@@ -1,0 +1,71 @@
+"""Extension — SIPT on a MESI-coherent shared-memory quad core.
+
+The paper's multicore evaluation is multiprogrammed ("no sharing and no
+contention", Section VI-B) and its coherence safety is argued, not
+simulated (Section IV). This bench closes that loop: four threads of
+one process with private SIPT L1s kept coherent by a snoop bus, across
+the three sharing idioms of ``repro.workloads.shared``.
+
+Claims checked: MESI invariants hold end-to-end; SIPT's fast-access
+fraction is unaffected by sharing intensity (speculation depends on the
+VA->PA mapping, not on coherence state); misspeculation adds L1 retries
+but zero coherence transactions.
+"""
+
+from conftest import fmt, print_table
+
+from repro.core import IndexingScheme
+from repro.sim import SIPT_GEOMETRIES, ooo_system, simulate_coherent
+from repro.workloads import SharedWorkload, generate_shared_traces
+
+SIPT = SIPT_GEOMETRIES["32K_2w"]
+IDEAL = SIPT.with_scheme(IndexingScheme.IDEAL)
+
+WORKLOADS = [
+    ("partitioned", SharedWorkload(kind="partitioned", shared_frac=0.3)),
+    ("prod/cons", SharedWorkload(kind="producer_consumer",
+                                 shared_frac=0.3)),
+    ("contended", SharedWorkload(kind="contended", shared_frac=0.5,
+                                 write_frac=0.4)),
+]
+
+
+def run_coherent_study(n_accesses):
+    table = {}
+    for label, workload in WORKLOADS:
+        traces = generate_shared_traces(workload, n_accesses, seed=3)
+        sipt = simulate_coherent(traces, ooo_system(SIPT))
+        ideal = simulate_coherent(traces, ooo_system(IDEAL))
+        table[label] = {
+            "sum_ipc": sipt.sum_ipc,
+            "ideal_ipc": ideal.sum_ipc,
+            "fast": min(core.fast_fraction for core in sipt),
+            "invalidations": sipt.bus.stats.invalidations_sent,
+            "ideal_invalidations": ideal.bus.stats.invalidations_sent,
+            "interventions": sipt.bus.stats.interventions,
+        }
+    return table
+
+
+def test_coherent_multicore(benchmark):
+    table = benchmark.pedantic(run_coherent_study, args=(8000,),
+                               rounds=1, iterations=1)
+    rows = [(label, fmt(c["sum_ipc"], 2), fmt(c["ideal_ipc"], 2),
+             fmt(c["fast"], 3), c["invalidations"], c["interventions"])
+            for label, c in table.items()]
+    print_table("Extension: SIPT on a coherent shared-memory quad core",
+                ["workload", "sum IPC", "ideal IPC", "min fast frac",
+                 "invalidations", "interventions"], rows)
+
+    for label, cell in table.items():
+        # Speculation quality independent of sharing intensity.
+        assert cell["fast"] > 0.9, label
+        # SIPT tracks the ideal cache closely even under contention.
+        assert cell["sum_ipc"] > 0.97 * cell["ideal_ipc"], label
+        # Misspeculation generates no coherence transactions: the bus
+        # sees identical invalidation counts under SIPT and ideal
+        # indexing (traffic is a property of the sharing, not of the
+        # index speculation).
+        assert cell["invalidations"] == cell["ideal_invalidations"], label
+    assert (table["contended"]["invalidations"]
+            > 5 * max(1, table["partitioned"]["invalidations"]))

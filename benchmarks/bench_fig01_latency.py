@@ -1,0 +1,64 @@
+"""Figure 1 — L1 latency (range and mean) relative to the 32K/8-way base.
+
+For each (capacity, associativity) the paper sweeps ports and banks and
+plots the range and mean of latency normalized to the baseline. The key
+claims to reproduce: associativity dominates latency; the attractive
+low-latency configurations (32K/2w at 2 cycles, 64K/4w at 3 cycles) are
+exactly the VIPT-infeasible ones.
+"""
+
+from conftest import fmt, print_table
+
+from repro.core import vipt_feasible
+from repro.timing import CactiModel
+
+KiB = 1024
+
+CONFIGS = [(16 * KiB, 2), (16 * KiB, 4),
+           (32 * KiB, 2), (32 * KiB, 4), (32 * KiB, 8),
+           (64 * KiB, 4), (64 * KiB, 8), (64 * KiB, 16),
+           (128 * KiB, 4), (128 * KiB, 8), (128 * KiB, 16),
+           (128 * KiB, 32)]
+
+
+def run_fig1():
+    model = CactiModel()
+    baseline = model.latency_ns(32 * KiB, 8)
+    rows = []
+    for capacity, ways in CONFIGS:
+        points = [model.latency_ns(capacity, ways, ports, banks) / baseline
+                  for ports in (1, 2) for banks in (1, 2, 4)]
+        rows.append({
+            "capacity": capacity, "ways": ways,
+            "lo": min(points), "hi": max(points),
+            "mean": sum(points) / len(points),
+            "cycles": model.latency_cycles(capacity, ways),
+            "vipt": vipt_feasible(capacity, ways),
+        })
+    return rows
+
+
+def test_fig01_latency(benchmark):
+    rows = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    print_table(
+        "Fig. 1: L1 latency vs 32KiB/8-way baseline (range over "
+        "ports x banks)",
+        ["config", "min", "mean", "max", "cycles", "VIPT-feasible"],
+        [(f"{r['capacity'] // KiB}KiB {r['ways']}-way",
+          fmt(r["lo"], 2), fmt(r["mean"], 2), fmt(r["hi"], 2),
+          r["cycles"], "yes" if r["vipt"] else "NO (needs SIPT)")
+         for r in rows])
+
+    by_key = {(r["capacity"], r["ways"]): r for r in rows}
+    # Associativity dominates latency (the motivation claim).
+    assert (by_key[(32 * KiB, 8)]["mean"]
+            > by_key[(32 * KiB, 2)]["mean"])
+    assert ((by_key[(32 * KiB, 8)]["mean"] - by_key[(32 * KiB, 2)]["mean"])
+            > (by_key[(128 * KiB, 4)]["mean"]
+               - by_key[(16 * KiB, 4)]["mean"]))
+    # The desirable (low-latency) configurations are VIPT-infeasible.
+    assert not by_key[(32 * KiB, 2)]["vipt"]
+    assert not by_key[(64 * KiB, 4)]["vipt"]
+    assert by_key[(32 * KiB, 8)]["vipt"]
+    # The worst port/bank corner is far above baseline (paper: up to 7.4x).
+    assert max(r["hi"] for r in rows) > 2.0

@@ -1,0 +1,62 @@
+"""Figure 2 — IPC with various (ideal) L1 configurations, OOO core.
+
+The paper models the VIPT-infeasible configurations as *ideal* caches
+(index bits always correct) to quantify the opportunity. Reproduced
+claims: the 32K/2-way 2-cycle configuration performs best on an OOO core
+(~+8.2% in the paper); 16K/4-way loses on average despite its 2-cycle
+latency.
+"""
+
+from conftest import fmt, print_table
+
+from repro.core import IndexingScheme
+from repro.sim import (
+    BASELINE_L1,
+    L1_16K_4W_VIPT,
+    SIPT_GEOMETRIES,
+    harmonic_mean,
+    ooo_system,
+    run_app,
+)
+from repro.workloads import EVALUATED_APPS
+
+
+def config_grid():
+    ideal = {name: cfg.with_scheme(IndexingScheme.IDEAL)
+             for name, cfg in SIPT_GEOMETRIES.items()}
+    return {"16K_4w": L1_16K_4W_VIPT, **ideal}
+
+
+def run_fig2(traces):
+    grid = config_grid()
+    table = {}
+    for app in EVALUATED_APPS:
+        base = run_app(app, ooo_system(BASELINE_L1), cache=traces)
+        table[app] = {name: run_app(app, ooo_system(cfg),
+                                    cache=traces).speedup_over(base)
+                      for name, cfg in grid.items()}
+    return table
+
+
+def test_fig02_ipc_ooo(benchmark, traces):
+    table = benchmark.pedantic(run_fig2, args=(traces,),
+                               rounds=1, iterations=1)
+    names = list(config_grid())
+    rows = [(app, *[fmt(table[app][n]) for n in names])
+            for app in EVALUATED_APPS]
+    averages = {n: harmonic_mean([table[app][n] for app in EVALUATED_APPS])
+                for n in names}
+    rows.append(("Average(hmean)", *[fmt(averages[n]) for n in names]))
+    print_table("Fig. 2: normalized IPC, OOO core (ideal caches). "
+                "Paper: 32K/2w best, +8.2% avg; 16K/4w -1.5% avg",
+                ["app", *names], rows)
+
+    # Shape claims: the low-latency 32K/2w config is the best performer
+    # and clearly beats the baseline on average.
+    best = max(averages, key=averages.get)
+    assert best == "32K_2w"
+    assert averages["32K_2w"] > 1.02
+    # 128K/4w (4-cycle) is no better than the lower-latency options.
+    assert averages["128K_4w"] < averages["32K_2w"]
+    # 16K/4w trails the 32K/2w configuration despite equal latency.
+    assert averages["16K_4w"] < averages["32K_2w"]

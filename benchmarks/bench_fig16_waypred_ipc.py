@@ -1,0 +1,77 @@
+"""Figure 16 — way prediction interacting with SIPT: IPC and accuracy.
+
+Three schemes per app: the baseline 8-way L1 with MRU way prediction,
+32K/2-way SIPT with IDB, and SIPT with both IDB and way prediction.
+
+Reproduced claims: way prediction on the 8-way baseline is ~89% accurate
+and costs ~2% performance; on 2-way SIPT its accuracy rises (paper:
+97.3%) and the performance cost shrinks (paper: 0.3%).
+"""
+
+from dataclasses import replace
+
+from conftest import fmt, print_table
+
+from repro.sim import (
+    BASELINE_L1,
+    SIPT_GEOMETRIES,
+    arithmetic_mean,
+    harmonic_mean,
+    ooo_system,
+    run_app,
+)
+from repro.workloads import EVALUATED_APPS
+
+BASE_WP = replace(BASELINE_L1, way_prediction=True)
+SIPT = SIPT_GEOMETRIES["32K_2w"]
+SIPT_WP = replace(SIPT, way_prediction=True)
+
+
+def run_fig16(traces):
+    table = {}
+    for app in EVALUATED_APPS:
+        base = run_app(app, ooo_system(BASELINE_L1), cache=traces)
+        base_wp = run_app(app, ooo_system(BASE_WP), cache=traces)
+        sipt = run_app(app, ooo_system(SIPT), cache=traces)
+        sipt_wp = run_app(app, ooo_system(SIPT_WP), cache=traces)
+        table[app] = {
+            "base_wp": base_wp.speedup_over(base),
+            "base_wp_acc": base_wp.way_prediction_accuracy,
+            "sipt": sipt.speedup_over(base),
+            "sipt_wp": sipt_wp.speedup_over(base),
+            "sipt_wp_acc": sipt_wp.way_prediction_accuracy,
+        }
+    return table
+
+
+def test_fig16_waypred_ipc(benchmark, traces):
+    table = benchmark.pedantic(run_fig16, args=(traces,),
+                               rounds=1, iterations=1)
+    rows = [(app, fmt(table[app]["base_wp"]),
+             fmt(table[app]["base_wp_acc"], 2),
+             fmt(table[app]["sipt"]), fmt(table[app]["sipt_wp"]),
+             fmt(table[app]["sipt_wp_acc"], 2))
+            for app in EVALUATED_APPS]
+    acc_base = arithmetic_mean([table[a]["base_wp_acc"]
+                                for a in EVALUATED_APPS])
+    acc_sipt = arithmetic_mean([table[a]["sipt_wp_acc"]
+                                for a in EVALUATED_APPS])
+    ipc_sipt = harmonic_mean([table[a]["sipt"] for a in EVALUATED_APPS])
+    ipc_sipt_wp = harmonic_mean([table[a]["sipt_wp"]
+                                 for a in EVALUATED_APPS])
+    rows.append(("Average", "", fmt(acc_base, 3), fmt(ipc_sipt),
+                 fmt(ipc_sipt_wp), fmt(acc_sipt, 3)))
+    print_table("Fig. 16: way prediction x SIPT (paper: 89% -> 97.3% "
+                "accuracy; <=0.3% IPC cost on SIPT)",
+                ["app", "base+WP IPC", "base WP acc", "SIPT IPC",
+                 "SIPT+WP IPC", "SIPT WP acc"], rows)
+
+    # Lower associativity makes MRU prediction much more accurate.
+    assert acc_sipt > acc_base
+    assert acc_sipt > 0.9
+    # Way prediction costs SIPT almost nothing.
+    assert (ipc_sipt - ipc_sipt_wp) < 0.01
+    # On the 8-way baseline, mispredictions cost some performance.
+    base_wp_avg = harmonic_mean([table[a]["base_wp"]
+                                 for a in EVALUATED_APPS])
+    assert base_wp_avg <= 1.0

@@ -1,0 +1,64 @@
+"""Figure 17 — way prediction interacting with SIPT: cache energy.
+
+Cache-hierarchy energy, normalized to the baseline L1, for the baseline
+with way prediction, SIPT with IDB, and SIPT with IDB + way prediction.
+
+Reproduced claims: way prediction cuts ~24% of the baseline's cache
+energy; SIPT alone already removes most of the dynamic-energy headroom
+(2-way arrays), so way prediction on top of SIPT saves only a couple of
+percent more — but it does save, stably across applications.
+"""
+
+from dataclasses import replace
+
+from conftest import fmt, print_table
+
+from repro.sim import (
+    BASELINE_L1,
+    SIPT_GEOMETRIES,
+    arithmetic_mean,
+    ooo_system,
+    run_app,
+)
+from repro.workloads import EVALUATED_APPS
+
+BASE_WP = replace(BASELINE_L1, way_prediction=True)
+SIPT = SIPT_GEOMETRIES["32K_2w"]
+SIPT_WP = replace(SIPT, way_prediction=True)
+
+
+def run_fig17(traces):
+    table = {}
+    for app in EVALUATED_APPS:
+        base = run_app(app, ooo_system(BASELINE_L1), cache=traces)
+        table[app] = {
+            "base_wp": run_app(app, ooo_system(BASE_WP),
+                               cache=traces).energy_over(base),
+            "sipt": run_app(app, ooo_system(SIPT),
+                            cache=traces).energy_over(base),
+            "sipt_wp": run_app(app, ooo_system(SIPT_WP),
+                               cache=traces).energy_over(base),
+        }
+    return table
+
+
+def test_fig17_waypred_energy(benchmark, traces):
+    table = benchmark.pedantic(run_fig17, args=(traces,),
+                               rounds=1, iterations=1)
+    rows = [(app, fmt(table[app]["base_wp"]), fmt(table[app]["sipt"]),
+             fmt(table[app]["sipt_wp"])) for app in EVALUATED_APPS]
+    avgs = {k: arithmetic_mean([table[a][k] for a in EVALUATED_APPS])
+            for k in ("base_wp", "sipt", "sipt_wp")}
+    rows.append(("Average", fmt(avgs["base_wp"]), fmt(avgs["sipt"]),
+                 fmt(avgs["sipt_wp"])))
+    print_table("Fig. 17: cache energy with way prediction "
+                "(paper: base+WP -24%; SIPT+WP saves ~2.2% over SIPT)",
+                ["app", "base+WP", "SIPT", "SIPT+WP"], rows)
+
+    # Way prediction helps the baseline substantially.
+    assert avgs["base_wp"] < 0.95
+    # SIPT+WP is the most efficient configuration...
+    assert avgs["sipt_wp"] < avgs["sipt"]
+    # ...but the increment over SIPT alone is small: SIPT's 2-way arrays
+    # already removed most of the parallel-way energy.
+    assert (avgs["sipt"] - avgs["sipt_wp"]) < (1.0 - avgs["base_wp"])

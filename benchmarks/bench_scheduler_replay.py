@@ -1,0 +1,76 @@
+"""Section VII-C — scheduler replay cost of SIPT mispredictions.
+
+The paper argues SIPT's rare mispredictions are cheap for the
+instruction scheduler: they are a fraction of the cache misses replay
+machinery already handles, and the bypass predictor doubles as a
+confidence estimator so expensive selective-replay entries can be
+reserved for the few low-confidence loads.
+
+This bench quantifies, per application on the 32K/2-way SIPT cache:
+the replay events per kilo-instruction, the added CPI under selective /
+flush / hybrid replay, and the fraction of loads needing selective
+resources.
+"""
+
+from conftest import fmt, print_table
+
+from repro.sim import SIPT_GEOMETRIES, arithmetic_mean, ooo_system, run_app
+from repro.timing import ReplayPolicy, SchedulerReplayModel
+from repro.workloads import EVALUATED_APPS
+
+SIPT = SIPT_GEOMETRIES["32K_2w"]
+
+
+def run_replay_study(traces):
+    model = SchedulerReplayModel()
+    table = {}
+    for app in EVALUATED_APPS:
+        result = run_app(app, ooo_system(SIPT), cache=traces)
+        reports = {policy: model.report(result.outcomes,
+                                        result.instructions,
+                                        result.cycles, policy)
+                   for policy in ReplayPolicy}
+        table[app] = {
+            "events_per_ki": (model.replay_events(result.outcomes)
+                              / result.instructions * 1000),
+            "miss_per_ki": (result.l1_stats.misses
+                            / result.instructions * 1000),
+            "cpi_selective": reports[ReplayPolicy.SELECTIVE].added_cpi,
+            "cpi_flush": reports[ReplayPolicy.FLUSH].added_cpi,
+            "cpi_hybrid": reports[ReplayPolicy.HYBRID].added_cpi,
+            "selective_frac":
+                reports[ReplayPolicy.HYBRID].selective_fraction,
+        }
+    return table
+
+
+def test_scheduler_replay(benchmark, traces):
+    table = benchmark.pedantic(run_replay_study, args=(traces,),
+                               rounds=1, iterations=1)
+    columns = ["events_per_ki", "miss_per_ki", "cpi_selective",
+               "cpi_flush", "cpi_hybrid", "selective_frac"]
+    rows = [(app, *[fmt(table[app][c], 4) for c in columns])
+            for app in EVALUATED_APPS]
+    avgs = {c: arithmetic_mean([table[a][c] for a in EVALUATED_APPS])
+            for c in columns}
+    rows.append(("Average", *[fmt(avgs[c], 4) for c in columns]))
+    print_table("Section VII-C: scheduler replay cost of SIPT "
+                "(32K/2w, OOO)",
+                ["app", "replays/kI", "L1miss/kI", "+CPI sel",
+                 "+CPI flush", "+CPI hybrid", "sel frac"], rows)
+
+    # SIPT replays are a small fraction of the cache misses the
+    # scheduler already handles.
+    assert avgs["events_per_ki"] < 0.25 * avgs["miss_per_ki"]
+    # Even the dumb flush policy costs modest CPI on average.
+    assert avgs["cpi_flush"] < 0.15
+    # Hybrid sits between selective and flush...
+    assert (avgs["cpi_selective"] <= avgs["cpi_hybrid"] + 1e-9
+            <= avgs["cpi_flush"] + 1e-9)
+    # ...while, in many applications (the paper names the hugepage-heavy
+    # ones like libquantum), nearly all loads are high-confidence and
+    # need no selective replay at all.
+    low_selective = sum(1 for a in EVALUATED_APPS
+                        if table[a]["selective_frac"] < 0.2)
+    assert low_selective >= 8
+    assert table["libquantum"]["selective_frac"] < 0.05

@@ -1,0 +1,35 @@
+"""Table I — the CACTI design-space sweep behind the motivation study.
+
+Regenerates the configuration grid of Tab. I (capacities x associativity
+x ports x banks) with the latency/energy estimate for each point.
+"""
+
+from conftest import fmt, print_table
+
+from repro.timing import CactiModel
+
+KiB = 1024
+
+
+def run_sweep():
+    model = CactiModel()
+    return list(model.sweep())
+
+
+def test_tab1_cacti_space(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        (f"{r.capacity_bytes // KiB}KiB", f"{r.n_ways}-way",
+         r.read_ports, r.n_banks, fmt(r.latency_ns), r.latency_cycles,
+         fmt(r.dynamic_nj), fmt(r.static_mw, 1))
+        for r in results
+    ]
+    print_table(
+        "Tab. I: L1 configuration space (CACTI-substitute model)",
+        ["capacity", "assoc", "ports", "banks", "ns", "cycles",
+         "nJ/access", "static mW"],
+        rows)
+    # The sweep must cover the full Tab. I grid.
+    capacities = {r.capacity_bytes for r in results}
+    assert capacities == {16 * KiB, 32 * KiB, 64 * KiB, 128 * KiB}
+    assert {r.n_ways for r in results} >= {2, 4, 8, 16, 32}

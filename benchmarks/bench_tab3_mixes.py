@@ -1,0 +1,29 @@
+"""Table III — the multi-programmed quad-core workloads.
+
+Regenerates the mix table and validates its construction rules: eleven
+four-app mixes, every single-core benchmark used at least once.
+"""
+
+from conftest import print_table
+
+from repro.workloads import EVALUATED_APPS, MIXES, PROFILES
+
+
+def run_tab3():
+    return {name: list(members) for name, members in MIXES.items()}
+
+
+def test_tab3_mixes(benchmark):
+    mixes = benchmark.pedantic(run_tab3, rounds=1, iterations=1)
+    print_table("Tab. III: multi-programmed workloads",
+                ["mix", "applications"],
+                [(name, ", ".join(members))
+                 for name, members in mixes.items()])
+
+    assert len(mixes) == 11
+    for name, members in mixes.items():
+        assert len(members) == 4, name
+        for app in members:
+            assert app in PROFILES, app
+    used = {app for members in mixes.values() for app in members}
+    assert set(EVALUATED_APPS) <= used

@@ -1,0 +1,50 @@
+"""Shared fixtures and table-printing helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper. Benchmarks
+run the experiment exactly once inside ``benchmark.pedantic`` (these are
+experiment harnesses, not microbenchmarks) and print the rows the paper
+plots, so `pytest benchmarks/ --benchmark-only -s` reproduces the
+evaluation section end to end.
+
+Traces are cached per (app, condition, length, seed) and shared across
+benchmark files through the session-scoped ``traces`` fixture.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.sim import TraceCache  # noqa: E402
+
+
+def pytest_configure(config):
+    # Tame experiment size when the full suite runs in CI-like settings.
+    os.environ.setdefault("REPRO_ACCESSES", "30000")
+
+
+@pytest.fixture(scope="session")
+def traces():
+    """Session-wide trace cache shared by all benchmark files."""
+    return TraceCache()
+
+
+def print_table(title, header, rows):
+    """Render one paper table/figure as an aligned text table."""
+    widths = [max(len(str(header[i])),
+                  max((len(str(row[i])) for row in rows), default=0))
+              for i in range(len(header))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def fmt(value, digits=3):
+    """Format a float for table cells."""
+    return f"{value:.{digits}f}"

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""SIPT and cache coherence: demonstrating the "no implications" claim.
+
+Section IV argues SIPT needs no coherence changes: only the L1 is
+probed speculatively, a wrong-index probe is an ordinary tag mismatch,
+and fills always use the physical index. This demo builds two cores
+with MESI-coherent private L1s sharing a memory segment, runs a
+producer/consumer exchange, and shows that interleaved SIPT
+misspeculation probes neither perturb MESI state nor generate bus
+traffic.
+
+Run:  python examples/coherence_demo.py
+"""
+
+from repro.cache import MesiState, SetAssociativeCache, SnoopBus
+from repro.mem import PAGE_SIZE, PhysicalMemory, Process
+
+
+def main() -> None:
+    memory = PhysicalMemory(64 * 1024 * 1024, thp_enabled=False)
+    producer = Process(memory, asid=1)
+    consumer = Process(memory, asid=2)
+    segment = memory.create_shared_segment(PAGE_SIZE)
+    prod_region = producer.map_shared(segment)
+    cons_region = consumer.map_shared(segment)
+
+    bus = SnoopBus(hop_latency=8)
+    l1 = [bus.attach(SetAssociativeCache(32 * 1024, 64, 2))
+          for _ in range(2)]
+
+    pa = producer.translate(prod_region.start)
+    assert pa == consumer.translate(cons_region.start)
+    print(f"shared line PA {pa:#x}; producer VA {prod_region.start:#x}, "
+          f"consumer VA {cons_region.start:#x} (synonymous pair)\n")
+
+    def states():
+        return " / ".join(f"core{idx}={l1[idx].state_of(pa).value}"
+                          for idx in range(2))
+
+    print("producer writes        ->", end=" ")
+    bus.write(0, pa)
+    print(states())
+
+    print("consumer reads         ->", end=" ")
+    latency, source = bus.read(1, pa)
+    print(f"{states()}  (dirty data forwarded from {source}, "
+          f"+{latency} cycles)")
+
+    print("consumer writes back   ->", end=" ")
+    bus.write(1, pa)
+    print(states())
+
+    # A SIPT misspeculation on core 0: the speculative index was wrong,
+    # so the probe looks in the wrong set. It is a pure tag mismatch.
+    before = (bus.stats.bus_reads, bus.stats.bus_read_exclusives,
+              bus.stats.invalidations_sent, bus.stats.interventions)
+    wrong_set = (l1[0].cache.set_index(pa) + 1) % l1[0].cache.n_sets
+    hit_way = l1[0].cache.probe(wrong_set, l1[0].cache.line_of(pa))
+    after = (bus.stats.bus_reads, bus.stats.bus_read_exclusives,
+             bus.stats.invalidations_sent, bus.stats.interventions)
+
+    print("\nSIPT wrong-index probe on core 0:")
+    print(f"  tag match in wrong set : "
+          f"{'none (way -1)' if hit_way < 0 else hit_way}")
+    print(f"  bus events before/after: {before} -> {after}")
+    print(f"  MESI state unchanged   : {states()}")
+    bus.check_invariants()
+    print("\nMESI invariants hold; the misspeculation was invisible to "
+          "coherence,\nexactly as Section IV claims.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Explore the L1 design space that motivates SIPT (Sections II-III).
+
+Uses the CACTI-substitute model to sweep capacity and associativity,
+flags which configurations a VIPT cache can actually build (way size
+must not exceed the 4 KiB page), and shows the latency/energy cost of
+staying VIPT-feasible — the paper's Fig. 1 / Tab. I argument.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.core import required_speculative_bits, vipt_feasible
+from repro.timing import CactiModel
+
+KiB = 1024
+
+
+def main() -> None:
+    model = CactiModel()
+    baseline_ns = model.latency_ns(32 * KiB, 8)
+    print("L1 design space (latency relative to the 32K/8-way VIPT "
+          "baseline; CACTI-substitute model)\n")
+    print(f"{'config':>16s} {'cycles':>7s} {'vs base':>8s} "
+          f"{'nJ/access':>10s} {'VIPT?':>6s} {'spec bits':>10s}")
+
+    for capacity in (16 * KiB, 32 * KiB, 64 * KiB, 128 * KiB):
+        for ways in (2, 4, 8, 16):
+            cycles = model.latency_cycles(capacity, ways)
+            rel = model.latency_ns(capacity, ways) / baseline_ns
+            nj = model.dynamic_nj(capacity, ways)
+            feasible = vipt_feasible(capacity, ways)
+            bits = required_speculative_bits(capacity, ways)
+            marker = "yes" if feasible else "NO"
+            print(f"{capacity // KiB:>13d}K/{ways:<2d} {cycles:>7d} "
+                  f"{rel:>8.2f} {nj:>10.3f} {marker:>6s} {bits:>10d}")
+        print()
+
+    print("Observations (the paper's motivation):")
+    print(" * associativity dominates latency — dropping 32K from 8-way")
+    print("   to 2-way halves the access time;")
+    print(" * every desirable low-latency point needs index bits beyond")
+    print("   the page offset, which VIPT cannot supply — that is the")
+    print("   gap SIPT closes with 1-3 speculated bits.")
+
+
+if __name__ == "__main__":
+    main()

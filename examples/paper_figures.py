@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Render the paper's headline figures as ASCII charts in the terminal.
+
+Runs a reduced version of the evaluation (a representative app subset,
+short traces) and draws Fig. 13-style IPC bars, Fig. 14-style energy
+bars, and a Fig. 12-style stacked outcome breakdown — a quick visual
+sanity check that the reproduction behaves like the paper without
+waiting for the full benchmark suite.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.report import bar_chart, speedup_summary, stacked_bars
+from repro.sim import (
+    BASELINE_L1,
+    SIPT_GEOMETRIES,
+    TraceCache,
+    ooo_system,
+    run_app,
+)
+
+APPS = ["sjeng", "h264ref", "perlbench", "libquantum", "calculix",
+        "gromacs", "graph500", "xalancbmk_17", "leela_17",
+        "exchange2_17"]
+N = 15_000
+
+
+def main() -> None:
+    traces = TraceCache()
+    sipt_cfg = ooo_system(SIPT_GEOMETRIES["32K_2w"])
+    base_cfg = ooo_system(BASELINE_L1)
+
+    speedups, energies, outcomes = {}, {}, {}
+    for app in APPS:
+        base = run_app(app, base_cfg, n_accesses=N, cache=traces)
+        sipt = run_app(app, sipt_cfg, n_accesses=N, cache=traces)
+        speedups[app] = sipt.speedup_over(base)
+        energies[app] = sipt.energy_over(base)
+        outcomes[app] = sipt.outcomes.as_fractions()
+
+    print(bar_chart(speedups, baseline=1.0,
+                    title="Fig. 13 (subset): SIPT 32K/2w IPC vs "
+                          "baseline (| = 1.0)"))
+    print("  " + speedup_summary(speedups))
+    print()
+    print(bar_chart(energies, baseline=1.0,
+                    title="Fig. 14 (subset): cache-hierarchy energy vs "
+                          "baseline (| = 1.0; lower is better)"))
+    print()
+    print("Fig. 12 (subset): speculation outcome mix at 2 bits")
+    print(stacked_bars(
+        outcomes,
+        order=["correct_speculation", "idb_hit", "correct_bypass",
+               "opportunity_loss", "extra_access"],
+        symbols={"correct_speculation": "#", "idb_hit": "=",
+                 "correct_bypass": ".", "opportunity_loss": "o",
+                 "extra_access": "x"}))
+
+
+if __name__ == "__main__":
+    main()

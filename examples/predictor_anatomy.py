@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Anatomy of the SIPT predictors, on a hand-built address space.
+
+Builds a small process with three memory regions whose VA->PA deltas
+differ (one aligned, one displaced by a constant, one remapped per
+page), then drives the perceptron bypass predictor and the index delta
+buffer directly — the component-level view of Sections V and VI.
+
+Run:  python examples/predictor_anatomy.py
+"""
+
+import numpy as np
+
+from repro.core import IndexDeltaBuffer, PerceptronPredictor
+from repro.mem import (
+    PAGE_SIZE,
+    PhysicalMemory,
+    Process,
+    fragment_memory,
+    index_bits,
+)
+
+N_BITS = 2  # speculative bits of a 32K/2-way L1
+
+
+def build_regions():
+    """Three regions with distinct delta behaviour."""
+    memory = PhysicalMemory(64 * 1024 * 1024, thp_enabled=False)
+    noise = Process(memory, asid=9)
+    proc = Process(memory, asid=1)
+
+    aligned = proc.mmap(64 * PAGE_SIZE, align=PAGE_SIZE)
+    proc.populate(aligned)                      # delta == 0
+
+    noise_region = noise.mmap(3 * PAGE_SIZE)    # odd displacement
+    noise.populate(noise_region)
+    displaced = proc.mmap(64 * PAGE_SIZE, align=PAGE_SIZE)
+    proc.populate(displaced)                    # constant delta != 0
+
+    fragment_memory(memory.buddy, rng=np.random.default_rng(1))
+    scattered = proc.mmap(64 * PAGE_SIZE, align=PAGE_SIZE)
+    proc.populate(scattered)                    # per-page random delta
+    return proc, {"aligned": aligned, "displaced": displaced,
+                  "scattered": scattered}
+
+
+def drive(proc, region, pc, perceptron, idb, rng):
+    """Replay accesses to one region through both predictors."""
+    outcomes = {"fast": 0, "idb_fast": 0, "slow": 0}
+    for _ in range(2000):
+        va = region.start + int(rng.integers(region.length)) & ~0x7
+        pa = proc.translate(va)
+        unchanged = index_bits(va, N_BITS) == index_bits(pa, N_BITS)
+        if perceptron.predict(pc):
+            outcomes["fast" if unchanged else "slow"] += 1
+        else:
+            predicted = idb.predict(pc, va)
+            hit = idb.record_outcome(predicted, pa)
+            idb.update(pc, va, pa)
+            outcomes["idb_fast" if hit else "slow"] += 1
+        perceptron.update(pc, unchanged)
+    return outcomes
+
+
+def main() -> None:
+    proc, regions = build_regions()
+    perceptron = PerceptronPredictor()
+    idb = IndexDeltaBuffer(N_BITS)
+    rng = np.random.default_rng(7)
+
+    print("Per-region predictor behaviour (2000 accesses each, "
+          f"{N_BITS} speculative bits):\n")
+    print(f"{'region':>11s} {'fast (perceptron)':>18s} "
+          f"{'fast (IDB)':>11s} {'slow':>6s}")
+    for i, (name, region) in enumerate(regions.items()):
+        pc = 0x400000 + 4 * i
+        out = drive(proc, region, pc, perceptron, idb, rng)
+        total = sum(out.values())
+        print(f"{name:>11s} {out['fast'] / total:>18.2f} "
+              f"{out['idb_fast'] / total:>11.2f} "
+              f"{out['slow'] / total:>6.2f}")
+
+    print("\nReading the table:")
+    print(" * aligned   — bits never change; the perceptron learns to")
+    print("   always speculate (all fast, IDB never consulted);")
+    print(" * displaced — bits always change by a constant; the")
+    print("   perceptron learns to hand off to the IDB, which nails the")
+    print("   delta (fast via IDB);")
+    print(" * scattered — per-page random deltas; only same-page reuse")
+    print("   is predictable, so some accesses stay slow. This is the")
+    print("   fragmented-memory regime of Section VII-B.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: compare a VIPT baseline L1 against a SIPT L1.
+
+Runs one SPEC-like workload (perlbench) through the paper's Table II
+out-of-order system twice — once with the 32 KiB 8-way VIPT baseline,
+once with the 32 KiB 2-way 2-cycle SIPT cache (combined perceptron +
+index-delta-buffer prediction) — and prints speedup, energy, and the
+speculation outcome mix.
+
+Run:  python examples/quickstart.py [app] [n_accesses]
+"""
+
+import sys
+
+from repro.sim import (
+    BASELINE_L1,
+    SIPT_GEOMETRIES,
+    TraceCache,
+    ooo_system,
+    run_app,
+)
+
+
+def main(app: str = "perlbench", n_accesses: int = 30_000) -> None:
+    traces = TraceCache()
+    print(f"Simulating {app!r} ({n_accesses} memory accesses) on the "
+          f"Table II OOO system...\n")
+
+    baseline = run_app(app, ooo_system(BASELINE_L1),
+                       n_accesses=n_accesses, cache=traces)
+    sipt = run_app(app, ooo_system(SIPT_GEOMETRIES["32K_2w"]),
+                   n_accesses=n_accesses, cache=traces)
+
+    print(f"{'':24s}{'baseline (VIPT 32K/8w/4c)':>28s}"
+          f"{'SIPT (32K/2w/2c)':>20s}")
+    print(f"{'IPC':24s}{baseline.ipc:>28.3f}{sipt.ipc:>20.3f}")
+    print(f"{'L1 miss rate':24s}{baseline.l1_stats.miss_rate:>28.3f}"
+          f"{sipt.l1_stats.miss_rate:>20.3f}")
+    print(f"{'cache energy (mJ)':24s}"
+          f"{baseline.energy.total * 1e3:>28.4f}"
+          f"{sipt.energy.total * 1e3:>20.4f}")
+
+    print(f"\nSIPT speedup over baseline : "
+          f"{sipt.speedup_over(baseline):.3f}x")
+    print(f"SIPT energy vs baseline    : "
+          f"{sipt.energy_over(baseline):.3f}x")
+    print(f"fast-access fraction       : {sipt.fast_fraction:.3f}")
+
+    print("\nSpeculation outcome mix (Section V/VI taxonomy):")
+    for name, fraction in sipt.outcomes.as_fractions().items():
+        print(f"  {name:20s} {fraction:6.3f}")
+
+
+if __name__ == "__main__":
+    app = sys.argv[1] if len(sys.argv) > 1 else "perlbench"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
+    main(app, n)

@@ -1,0 +1,35 @@
+"""repro: a reproduction of "SIPT: Speculatively Indexed, Physically
+Tagged Caches" (Zheng, Zhu, Erez — HPCA 2018).
+
+Public API overview
+-------------------
+
+* ``repro.core`` — the paper's contribution: SIPT indexing schemes, the
+  perceptron speculation-bypass predictor, the index delta buffer, way
+  prediction, and the SIPT L1 controller.
+* ``repro.mem`` — the OS memory substrate: buddy allocator, page tables,
+  demand paging with transparent huge pages, fragmentation tooling.
+* ``repro.cache`` — set-associative caches, TLBs, and the miss hierarchy.
+* ``repro.timing`` — CACTI-substitute latency/energy model, DRAM, and the
+  in-order / out-of-order core timing models.
+* ``repro.workloads`` — SPEC-like application profiles and trace
+  generation through the OS model.
+* ``repro.sim`` — Table II system configurations, the simulation driver,
+  and experiment helpers.
+
+Quickstart::
+
+    from repro.sim import (BASELINE_L1, SIPT_GEOMETRIES, ooo_system,
+                           run_app)
+
+    baseline = run_app("perlbench", ooo_system(BASELINE_L1))
+    sipt = run_app("perlbench", ooo_system(SIPT_GEOMETRIES["32K_2w"]))
+    print(f"speedup: {sipt.speedup_over(baseline):.3f}")
+"""
+
+__version__ = "1.0.0"
+
+from . import cache, core, mem, sim, timing, workloads
+
+__all__ = ["cache", "core", "mem", "sim", "timing", "workloads",
+           "__version__"]

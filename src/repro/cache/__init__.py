@@ -1,0 +1,36 @@
+"""Cache substrate: set-associative arrays, TLBs, and the miss hierarchy."""
+
+from .coherence import CoherenceStats, CoherentL1, MesiState, SnoopBus
+from .hierarchy import CacheHierarchy, MissPathStats
+from .replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from .set_assoc import AccessResult, CacheStats, SetAssociativeCache
+from .tlb import TlbHierarchy, TlbStats, TranslationResult
+from .walker import PageWalker, WalkerStats
+
+__all__ = [
+    "AccessResult",
+    "CacheHierarchy",
+    "CacheStats",
+    "CoherenceStats",
+    "CoherentL1",
+    "MesiState",
+    "SnoopBus",
+    "FifoPolicy",
+    "LruPolicy",
+    "MissPathStats",
+    "PageWalker",
+    "RandomPolicy",
+    "WalkerStats",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "TlbHierarchy",
+    "TlbStats",
+    "TranslationResult",
+    "make_policy",
+]

@@ -1,0 +1,200 @@
+"""MESI snooping coherence for private L1 caches.
+
+The paper's correctness argument (Section IV) states that SIPT has "no
+coherence implications because only the L1 cache is accessed
+speculatively and no action (other than another access) is taken on a
+misprediction". This module provides the machinery to *check* that
+claim rather than assert it: private L1s kept coherent by an
+invalidation-based MESI snoop bus, physically addressed exactly like
+the SIPT L1 (full line-address tags).
+
+The model is behavioural: states and transfers are exact; bus timing is
+a simple per-hop latency.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .set_assoc import SetAssociativeCache
+
+
+class MesiState(enum.Enum):
+    """The four MESI states."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class CoherenceStats:
+    """Bus-level event counters."""
+
+    bus_reads: int = 0
+    bus_read_exclusives: int = 0
+    upgrades: int = 0
+    invalidations_sent: int = 0
+    interventions: int = 0      # dirty data forwarded cache-to-cache
+    writebacks_to_memory: int = 0
+
+
+class CoherentL1:
+    """One core's private, physically-indexed, MESI-tracked L1.
+
+    Wraps a :class:`SetAssociativeCache` for storage/replacement and
+    keeps a line-address -> :class:`MesiState` side table (the state
+    bits of a real tag array). All traffic goes through the owning
+    :class:`SnoopBus`.
+    """
+
+    def __init__(self, cache: SetAssociativeCache, core_id: int):
+        self.cache = cache
+        self.core_id = core_id
+        self._states: Dict[int, MesiState] = {}
+
+    # -- local state helpers -------------------------------------------
+    def state_of(self, pa: int) -> MesiState:
+        line = self.cache.line_of(pa)
+        if not self.cache.contains(pa):
+            return MesiState.INVALID
+        return self._states.get(line, MesiState.INVALID)
+
+    def _set_state(self, pa: int, state: MesiState) -> None:
+        self._states[self.cache.line_of(pa)] = state
+
+    def _drop(self, line: int) -> None:
+        self._states.pop(line, None)
+
+    # -- snoop side ------------------------------------------------------
+    def snoop(self, pa: int, exclusive: bool) -> Tuple[bool, bool]:
+        """React to a remote request; returns (had_copy, was_dirty)."""
+        state = self.state_of(pa)
+        if state is MesiState.INVALID:
+            return False, False
+        dirty = state is MesiState.MODIFIED
+        if exclusive:
+            self.cache.invalidate_line(pa)
+            self._drop(self.cache.line_of(pa))
+        else:
+            self._set_state(pa, MesiState.SHARED)
+        return True, dirty
+
+
+class SnoopBus:
+    """An invalidation-based MESI snoop bus over private L1s.
+
+    ``read``/``write`` implement a core's loads and stores; the bus
+    queries every other cache, forwards dirty data, sends upgrades and
+    invalidations, and fills the requester with the right state.
+    """
+
+    def __init__(self, hop_latency: int = 8):
+        self.hop_latency = hop_latency
+        self.caches: List[CoherentL1] = []
+        self.stats = CoherenceStats()
+
+    def attach(self, cache: SetAssociativeCache) -> CoherentL1:
+        """Register a private L1; returns its coherent wrapper."""
+        wrapper = CoherentL1(cache, core_id=len(self.caches))
+        self.caches.append(wrapper)
+        return wrapper
+
+    # ------------------------------------------------------------------
+    def read(self, core_id: int, pa: int) -> Tuple[int, str]:
+        """Core ``core_id`` loads ``pa``.
+
+        Returns ``(bus_latency, source)`` with source one of
+        ``"local"`` (hit), ``"peer"`` (cache-to-cache transfer), or
+        ``"memory"`` (must be fetched from below the L1s).
+        """
+        me = self.caches[core_id]
+        state = me.state_of(pa)
+        if state is not MesiState.INVALID:
+            return 0, "local"  # M/E/S all satisfy a load locally
+        self.stats.bus_reads += 1
+        others_had, dirty_forward = self._snoop_others(core_id, pa,
+                                                       exclusive=False)
+        self._fill(me, pa, dirty=False)
+        me._set_state(pa, MesiState.SHARED if others_had
+                      else MesiState.EXCLUSIVE)
+        latency = self.hop_latency
+        if dirty_forward:
+            self.stats.interventions += 1
+            latency += self.hop_latency
+        return latency, ("peer" if others_had else "memory")
+
+    def write(self, core_id: int, pa: int) -> Tuple[int, str]:
+        """Core ``core_id`` stores to ``pa``.
+
+        Returns ``(bus_latency, source)`` as for :meth:`read`; an
+        upgrade from SHARED reports ``"local"`` (the data was already
+        here, only the permission travelled).
+        """
+        me = self.caches[core_id]
+        state = me.state_of(pa)
+        if state is MesiState.MODIFIED:
+            return 0, "local"
+        if state is MesiState.EXCLUSIVE:
+            me._set_state(pa, MesiState.MODIFIED)
+            me.cache.access(pa, is_write=True)
+            return 0, "local"
+        latency = self.hop_latency
+        if state is MesiState.SHARED:
+            self.stats.upgrades += 1
+            self._snoop_others(core_id, pa, exclusive=True)
+            me.cache.access(pa, is_write=True)
+            me._set_state(pa, MesiState.MODIFIED)
+            return latency, "local"
+        self.stats.bus_read_exclusives += 1
+        had, dirty_forward = self._snoop_others(core_id, pa,
+                                                exclusive=True)
+        self._fill(me, pa, dirty=True)
+        me._set_state(pa, MesiState.MODIFIED)
+        if dirty_forward:
+            self.stats.interventions += 1
+            latency += self.hop_latency
+        return latency, ("peer" if had else "memory")
+
+    # ------------------------------------------------------------------
+    def _snoop_others(self, core_id: int, pa: int,
+                      exclusive: bool) -> Tuple[bool, bool]:
+        had = dirty = False
+        for other in self.caches:
+            if other.core_id == core_id:
+                continue
+            copy, was_dirty = other.snoop(pa, exclusive)
+            had |= copy
+            dirty |= was_dirty
+            if copy and exclusive:
+                self.stats.invalidations_sent += 1
+        return had, dirty
+
+    def _fill(self, owner: CoherentL1, pa: int, dirty: bool) -> None:
+        result = owner.cache.access(pa, is_write=dirty)
+        if result.victim_line is not None:
+            owner._drop(result.victim_line)
+        if result.writeback_line is not None:
+            self.stats.writebacks_to_memory += 1
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Single-writer-multiple-reader: classic MESI invariants."""
+        lines: Dict[int, List[MesiState]] = {}
+        for wrapper in self.caches:
+            for line in wrapper.cache.resident_lines():
+                state = wrapper._states.get(line, MesiState.INVALID)
+                lines.setdefault(line, []).append(state)
+        for line, states in lines.items():
+            m_or_e = sum(1 for s in states
+                         if s in (MesiState.MODIFIED, MesiState.EXCLUSIVE))
+            if m_or_e > 1:
+                raise AssertionError(
+                    f"line {line:#x} owned exclusively by {m_or_e} caches")
+            if m_or_e == 1 and len(states) > 1:
+                raise AssertionError(
+                    f"line {line:#x} is M/E in one cache but present in "
+                    f"{len(states)}")

@@ -1,0 +1,105 @@
+"""Multi-level cache hierarchy below the L1.
+
+The L1 itself is owned by the SIPT controller (``repro.core.sipt_cache``);
+this module models everything underneath: an optional private L2, a shared
+LLC, and DRAM. It returns the latency of servicing an L1 miss and counts
+per-level accesses for the energy model.
+
+Configurations follow Table II: the OOO system has a 256 KiB private L2
+(12 cycles) and a 2 MiB shared LLC (25 cycles); the in-order system has no
+L2 and a 1 MiB LLC (20 cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .set_assoc import SetAssociativeCache
+from ..timing.dram import DramModel
+
+
+@dataclass
+class MissPathStats:
+    """Traffic seen below the L1 (for energy and sanity checks)."""
+
+    l2_accesses: int = 0
+    l2_hits: int = 0
+    llc_accesses: int = 0
+    llc_hits: int = 0
+    dram_accesses: int = 0
+    writebacks_to_dram: int = 0
+
+
+class CacheHierarchy:
+    """L2 (optional) -> LLC -> DRAM miss path shared by one or more cores.
+
+    ``access`` takes a *physical* address that missed in L1 and returns the
+    additional latency beyond the L1. Write-backs from L1 are inserted with
+    :meth:`writeback` and cost energy but no stall latency (they drain in
+    the background through write buffers).
+    """
+
+    def __init__(self,
+                 l2: Optional[SetAssociativeCache],
+                 llc: SetAssociativeCache,
+                 dram: DramModel,
+                 l2_latency: int = 12,
+                 llc_latency: int = 25):
+        self.l2 = l2
+        self.llc = llc
+        self.dram = dram
+        self.l2_latency = l2_latency
+        self.llc_latency = llc_latency
+        self.stats = MissPathStats()
+
+    def access(self, pa: int, is_write: bool) -> int:
+        """Service an L1 miss; returns added latency in cycles."""
+        stats = self.stats
+        latency = 0
+        if self.l2 is not None:
+            stats.l2_accesses += 1
+            latency += self.l2_latency
+            result = self.l2.access(pa, is_write)
+            if result.hit:
+                stats.l2_hits += 1
+                return latency
+            if result.writeback_line is not None:
+                self._writeback_to_llc(result.writeback_line)
+
+        stats.llc_accesses += 1
+        latency += self.llc_latency
+        result = self.llc.access(pa, is_write)
+        if result.hit:
+            stats.llc_hits += 1
+            return latency
+        if result.writeback_line is not None:
+            stats.writebacks_to_dram += 1
+            self.dram.write(result.writeback_line << self.llc.line_shift)
+
+        stats.dram_accesses += 1
+        latency += self.dram.read(pa)
+        return latency
+
+    def writeback(self, line_address: int, line_shift: int) -> None:
+        """Absorb a dirty line evicted from an L1 (no stall latency)."""
+        pa = line_address << line_shift
+        if self.l2 is not None:
+            self.stats.l2_accesses += 1
+            result = self.l2.access(pa, is_write=True)
+            if result.writeback_line is not None:
+                self._writeback_to_llc(result.writeback_line)
+            return
+        self.stats.llc_accesses += 1
+        result = self.llc.access(pa, is_write=True)
+        if result.writeback_line is not None:
+            self.stats.writebacks_to_dram += 1
+            self.dram.write(result.writeback_line << self.llc.line_shift)
+
+    def _writeback_to_llc(self, line_address: int) -> None:
+        pa = line_address << self.l2.line_shift
+        self.stats.llc_accesses += 1
+        result = self.llc.access(pa, is_write=True)
+        if result.writeback_line is not None:
+            self.stats.writebacks_to_dram += 1
+            self.dram.write(result.writeback_line << self.llc.line_shift)

@@ -1,0 +1,210 @@
+"""A set-associative cache model with SIPT-aware indexing.
+
+The model tracks tags, valid and dirty bits, and replacement state. Data
+values are not stored (this is a timing/behaviour simulator), but all the
+structural behaviour — indexing, tag matching, eviction, write-back — is
+exact.
+
+Two details matter specifically for SIPT (Section IV):
+
+* **Tags are full line addresses.** A lookup performed with a *wrong*
+  speculative index can never produce a false hit, because the stored tag
+  encodes the complete physical line address, not just the bits above the
+  index. This is the paper's correctness guarantee.
+* **Fills always use the true physical index.** A line therefore has
+  exactly one home set; synonyms cannot create duplicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .replacement import ReplacementPolicy, make_policy
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    fills: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a single cache access."""
+
+    hit: bool
+    way: int = -1
+    writeback_line: Optional[int] = None  # line address written back, if any
+    victim_line: Optional[int] = None     # line address evicted, if any
+
+
+class SetAssociativeCache:
+    """One level of cache, addressed by physical line address.
+
+    Parameters
+    ----------
+    capacity_bytes, line_size, n_ways:
+        Geometry. ``n_sets = capacity / (line_size * n_ways)`` must be a
+        power of two.
+    replacement:
+        'lru' (default), 'fifo', or 'random'.
+    name:
+        Label used in stats reporting ("L1D", "L2", ...).
+    """
+
+    def __init__(self, capacity_bytes: int, line_size: int, n_ways: int,
+                 replacement: str = "lru", name: str = "cache"):
+        if capacity_bytes % (line_size * n_ways):
+            raise ValueError("capacity must be a multiple of line*ways")
+        n_sets = capacity_bytes // (line_size * n_ways)
+        if n_sets & (n_sets - 1):
+            raise ValueError(f"n_sets ({n_sets}) must be a power of two")
+        if line_size & (line_size - 1):
+            raise ValueError("line_size must be a power of two")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.line_size = line_size
+        self.n_ways = n_ways
+        self.n_sets = n_sets
+        self.line_shift = line_size.bit_length() - 1
+        self.index_mask = n_sets - 1
+        #: Number of index bits above the 4 KiB page offset — the bits SIPT
+        #: must speculate. Zero for VIPT-feasible configurations.
+        offset_index_bits = self.line_shift + n_sets.bit_length() - 1
+        self.speculative_bits = max(0, offset_index_bits - 12)
+        self.stats = CacheStats()
+        self.policy: ReplacementPolicy = make_policy(replacement,
+                                                     n_sets, n_ways)
+        self._tags: List[List[int]] = [[-1] * n_ways for _ in range(n_sets)]
+        self._dirty: List[List[bool]] = [[False] * n_ways
+                                         for _ in range(n_sets)]
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+    def set_index(self, pa: int) -> int:
+        """The true set index for a physical address."""
+        return (pa >> self.line_shift) & self.index_mask
+
+    def line_of(self, pa: int) -> int:
+        """The full line address (tag) for a physical address."""
+        return pa >> self.line_shift
+
+    # ------------------------------------------------------------------
+    # access paths
+    # ------------------------------------------------------------------
+    def probe(self, set_index: int, line: int) -> int:
+        """Tag-match ``line`` in ``set_index`` without updating state.
+
+        Returns the matching way, or -1. Used for SIPT speculative lookups
+        where the index may be wrong.
+        """
+        try:
+            return self._tags[set_index].index(line)
+        except ValueError:
+            return -1
+
+    def access(self, pa: int, is_write: bool) -> AccessResult:
+        """Reference ``pa``; on a miss, fill it (allocate-on-write).
+
+        Returns an :class:`AccessResult`; a write-back line address is
+        reported when a dirty victim is evicted.
+        """
+        self.stats.accesses += 1
+        set_index = self.set_index(pa)
+        line = self.line_of(pa)
+        way = self.probe(set_index, line)
+        if way >= 0:
+            self.stats.hits += 1
+            self.policy.touch(set_index, way)
+            if is_write:
+                self._dirty[set_index][way] = True
+            return AccessResult(hit=True, way=way)
+        self.stats.misses += 1
+        result = self._fill(set_index, line, dirty=is_write)
+        result.hit = False
+        return result
+
+    def lookup_no_fill(self, pa: int, is_write: bool) -> bool:
+        """Reference ``pa`` without allocating on a miss; returns hit."""
+        self.stats.accesses += 1
+        set_index = self.set_index(pa)
+        way = self.probe(set_index, self.line_of(pa))
+        if way < 0:
+            self.stats.misses += 1
+            return False
+        self.stats.hits += 1
+        self.policy.touch(set_index, way)
+        if is_write:
+            self._dirty[set_index][way] = True
+        return True
+
+    def _fill(self, set_index: int, line: int, dirty: bool) -> AccessResult:
+        ways = self._tags[set_index]
+        if -1 in ways:
+            way = ways.index(-1)
+            victim_line = None
+            writeback = None
+        else:
+            way = self.policy.victim(set_index)
+            victim_line = ways[way]
+            writeback = victim_line if self._dirty[set_index][way] else None
+            self.stats.evictions += 1
+            if writeback is not None:
+                self.stats.writebacks += 1
+        ways[way] = line
+        self._dirty[set_index][way] = dirty
+        self.policy.touch(set_index, way)
+        self.stats.fills += 1
+        return AccessResult(hit=False, way=way,
+                            writeback_line=writeback, victim_line=victim_line)
+
+    def invalidate_line(self, pa: int) -> bool:
+        """Invalidate the line containing ``pa``; returns True if present."""
+        set_index = self.set_index(pa)
+        way = self.probe(set_index, self.line_of(pa))
+        if way < 0:
+            return False
+        self._tags[set_index][way] = -1
+        self._dirty[set_index][way] = False
+        self.policy.invalidate(set_index, way)
+        return True
+
+    def contains(self, pa: int) -> bool:
+        """Non-mutating membership check."""
+        return self.probe(self.set_index(pa), self.line_of(pa)) >= 0
+
+    def resident_lines(self) -> List[int]:
+        """All valid line addresses (for invariant checks in tests)."""
+        return [line for ways in self._tags for line in ways if line != -1]
+
+    def check_invariants(self) -> None:
+        """Each line appears at most once, and at its true set index."""
+        seen = set()
+        for set_index, ways in enumerate(self._tags):
+            for line in ways:
+                if line == -1:
+                    continue
+                if line in seen:
+                    raise AssertionError(f"line {line:#x} duplicated")
+                seen.add(line)
+                home = (line & self.index_mask)
+                if home != set_index:
+                    raise AssertionError(
+                        f"line {line:#x} resident in set {set_index}, "
+                        f"home is {home}")

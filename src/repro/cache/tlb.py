@@ -1,0 +1,184 @@
+"""TLB hierarchy matching the paper's Table II.
+
+L1: a split D-TLB — 64 entries for 4 KiB pages plus 32 entries for 2 MiB
+pages, 2-cycle latency (the latency VIPT/SIPT hides under the array
+access). L2: a unified 1024-entry TLB at 7 cycles. A miss in both costs a
+page-table walk, modelled as a fixed latency plus memory-hierarchy traffic
+handled by the caller.
+
+The TLB is looked up by *virtual* page number; entries cache the page
+table entry so translation returns both PA and the huge flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..mem.address import HUGE_PAGE_SHIFT, PAGE_SHIFT
+from ..mem.page_table import PageTable, PageTableEntry, TranslationFault
+from .replacement import LruPolicy
+
+
+@dataclass
+class TlbStats:
+    """Hit/miss counters for the whole TLB hierarchy."""
+
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    walks: int = 0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def walk_rate(self) -> float:
+        return self.walks / self.accesses if self.accesses else 0.0
+
+
+class _TlbArray:
+    """One set-associative TLB array keyed by (asid, vpn)."""
+
+    def __init__(self, n_entries: int, n_ways: int, page_shift: int):
+        if n_entries % n_ways:
+            raise ValueError("entries must divide evenly into ways")
+        self.page_shift = page_shift
+        self.n_sets = n_entries // n_ways
+        self.n_ways = n_ways
+        self._tags = [[None] * n_ways for _ in range(self.n_sets)]
+        self._entries = [[None] * n_ways for _ in range(self.n_sets)]
+        self._policy = LruPolicy(self.n_sets, n_ways)
+
+    def _set_of(self, key: Tuple[int, int]) -> int:
+        return key[1] % self.n_sets
+
+    def lookup(self, key: Tuple[int, int]) -> Optional[PageTableEntry]:
+        set_index = self._set_of(key)
+        tags = self._tags[set_index]
+        for way, tag in enumerate(tags):
+            if tag == key:
+                self._policy.touch(set_index, way)
+                return self._entries[set_index][way]
+        return None
+
+    def fill(self, key: Tuple[int, int], entry: PageTableEntry) -> None:
+        set_index = self._set_of(key)
+        tags = self._tags[set_index]
+        way = tags.index(None) if None in tags else \
+            self._policy.victim(set_index)
+        tags[way] = key
+        self._entries[set_index][way] = entry
+        self._policy.touch(set_index, way)
+
+    def flush(self) -> None:
+        for set_index in range(self.n_sets):
+            for way in range(self.n_ways):
+                self._tags[set_index][way] = None
+                self._entries[set_index][way] = None
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of one translation through the TLB hierarchy."""
+
+    pa: int
+    entry: PageTableEntry
+    latency: int
+    l1_hit: bool
+    walked: bool
+
+
+class TlbHierarchy:
+    """Split L1 D-TLB + unified L2 TLB + page walker, per Table II."""
+
+    def __init__(self,
+                 l1_4k_entries: int = 64, l1_4k_ways: int = 4,
+                 l1_2m_entries: int = 32, l1_2m_ways: int = 4,
+                 l2_entries: int = 1024, l2_ways: int = 8,
+                 l1_latency: int = 2, l2_latency: int = 7,
+                 walk_latency: int = 30):
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+        self.walk_latency = walk_latency
+        #: When set (see ``repro.cache.walker.PageWalker``), page walks
+        #: issue real memory accesses instead of costing the fixed
+        #: ``walk_latency``.
+        self.walker = None
+        self.stats = TlbStats()
+        self._l1_4k = _TlbArray(l1_4k_entries, l1_4k_ways, PAGE_SHIFT)
+        self._l1_2m = _TlbArray(l1_2m_entries, l1_2m_ways, HUGE_PAGE_SHIFT)
+        self._l2 = _TlbArray(l2_entries, l2_ways, PAGE_SHIFT)
+
+    def translate(self, va: int, page_table: PageTable) -> TranslationResult:
+        """Translate ``va``; fills TLBs on the way back up.
+
+        Raises :class:`TranslationFault` for unmapped addresses — the
+        driver is expected to have pre-touched all trace pages.
+        """
+        self.stats.accesses += 1
+        asid = page_table.asid
+        vpn_4k = va >> PAGE_SHIFT
+        vpn_2m = va >> HUGE_PAGE_SHIFT
+
+        entry = self._l1_2m.lookup((asid, vpn_2m))
+        if entry is not None:
+            # A 2M entry stores the translation of its first 4 KiB page;
+            # reconstruct this page's pfn from the in-huge-page offset.
+            pa = self._huge_pa(entry, va)
+            self.stats.l1_hits += 1
+            return TranslationResult(pa, entry, self.l1_latency, True, False)
+        entry = self._l1_4k.lookup((asid, vpn_4k))
+        if entry is not None:
+            pa = (entry.pfn << PAGE_SHIFT) | (va & ((1 << PAGE_SHIFT) - 1))
+            self.stats.l1_hits += 1
+            return TranslationResult(pa, entry, self.l1_latency, True, False)
+
+        entry = self._l2.lookup((asid, vpn_4k))
+        if entry is not None:
+            self.stats.l2_hits += 1
+            latency = self.l1_latency + self.l2_latency
+            walked = False
+        else:
+            pa_entry = page_table.lookup(vpn_4k)
+            if pa_entry is None:
+                raise TranslationFault(va)
+            entry = pa_entry
+            self.stats.walks += 1
+            if self.walker is not None:
+                walk_cycles = self.walker.walk(va, asid)
+            else:
+                walk_cycles = self.walk_latency
+            latency = self.l1_latency + self.l2_latency + walk_cycles
+            walked = True
+            self._l2.fill((asid, vpn_4k), entry)
+
+        if entry.huge:
+            base_entry = self._huge_base_entry(entry, va)
+            self._l1_2m.fill((asid, vpn_2m), base_entry)
+            pa = self._huge_pa(base_entry, va)
+        else:
+            self._l1_4k.fill((asid, vpn_4k), entry)
+            pa = (entry.pfn << PAGE_SHIFT) | (va & ((1 << PAGE_SHIFT) - 1))
+        return TranslationResult(pa, entry, latency, False, walked)
+
+    @staticmethod
+    def _huge_base_entry(entry: PageTableEntry, va: int) -> PageTableEntry:
+        """Normalize a huge mapping to the pfn of its 2 MiB-aligned base."""
+        pages_per_huge = 1 << (HUGE_PAGE_SHIFT - PAGE_SHIFT)
+        in_huge_index = (va >> PAGE_SHIFT) % pages_per_huge
+        base_pfn = entry.pfn - in_huge_index
+        return PageTableEntry(pfn=base_pfn, huge=True,
+                              writable=entry.writable)
+
+    @staticmethod
+    def _huge_pa(base_entry: PageTableEntry, va: int) -> int:
+        offset = va & ((1 << HUGE_PAGE_SHIFT) - 1)
+        return (base_entry.pfn << PAGE_SHIFT) | offset
+
+    def flush(self) -> None:
+        """Flush all TLB levels (context switch)."""
+        self._l1_4k.flush()
+        self._l1_2m.flush()
+        self._l2.flush()

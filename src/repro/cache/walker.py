@@ -1,0 +1,107 @@
+"""x86-style hardware page walker with a page-walk cache.
+
+Section II-B cites the x86 page walker as one of the mechanisms that
+require physically addressed caches — the walker's loads are physical
+accesses into the page-table radix tree, and they travel through the
+normal cache hierarchy. This module models that: a TLB miss triggers up
+to four dependent loads (PML4 -> PDPT -> PD -> PT), each of which may
+hit in a small page-walk cache (PWC, caching upper-level entries) or go
+to the memory hierarchy.
+
+The walker makes TLB-miss latency *dynamic*: hot page-table pages
+resolve in a few cycles, cold ones pay LLC/DRAM trips — which is what
+the fixed walk-latency constant of the plain TLB model approximates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+#: Virtual-address bits consumed per radix level (x86-64, 4 KiB pages).
+_LEVEL_SHIFTS = (39, 30, 21, 12)
+
+#: A model region of physical memory holding page-table pages, far from
+#: application data so walker traffic has its own cache footprint.
+PAGE_TABLE_REGION = 0x40_0000_0000
+
+
+@dataclass
+class WalkerStats:
+    """Walk activity counters."""
+
+    walks: int = 0
+    levels_walked: int = 0
+    pwc_hits: int = 0
+
+    @property
+    def avg_levels(self) -> float:
+        return self.levels_walked / self.walks if self.walks else 0.0
+
+
+class PageWalker:
+    """Radix-tree walker with a small upper-level walk cache.
+
+    ``memory_access`` is a callback ``(pa) -> latency_cycles`` supplied
+    by the driver (normally the L2/LLC/DRAM miss path); the walker adds
+    a fixed per-level sequencing cost on top.
+    """
+
+    def __init__(self, memory_access: Callable[[int], int],
+                 pwc_entries: int = 32, level_cost: int = 2):
+        if pwc_entries < 0:
+            raise ValueError("pwc_entries must be non-negative")
+        self.memory_access = memory_access
+        self.pwc_entries = pwc_entries
+        self.level_cost = level_cost
+        self.stats = WalkerStats()
+        # PWC: maps (level, va-prefix) -> True, with FIFO eviction.
+        self._pwc: List[tuple] = []
+
+    def _entry_address(self, asid: int, va: int, level: int) -> int:
+        """Model PA of the page-table entry read at ``level``."""
+        prefix = va >> _LEVEL_SHIFTS[level]
+        # Spread entries over a dedicated region; one 8-byte entry per
+        # prefix, hashed per address space.
+        return (PAGE_TABLE_REGION
+                + (((prefix * 0x9E3779B1) ^ (asid << 7)) % (1 << 28)) * 8)
+
+    def _pwc_lookup(self, key: tuple) -> bool:
+        if key in self._pwc:
+            self._pwc.remove(key)
+            self._pwc.append(key)  # LRU refresh
+            return True
+        return False
+
+    def _pwc_fill(self, key: tuple) -> None:
+        if self.pwc_entries == 0:
+            return
+        if key not in self._pwc:
+            self._pwc.append(key)
+            if len(self._pwc) > self.pwc_entries:
+                self._pwc.pop(0)
+
+    def walk(self, va: int, asid: int = 0) -> int:
+        """Perform a full walk for ``va``; returns latency in cycles.
+
+        Upper levels (PML4/PDPT/PD) can hit the PWC and be skipped; the
+        leaf PTE load always goes to the memory hierarchy.
+        """
+        self.stats.walks += 1
+        latency = 0
+        start_level = 0
+        # Find the deepest cached upper level; the walk resumes below it.
+        for level in (2, 1, 0):
+            key = (level, va >> _LEVEL_SHIFTS[level], asid)
+            if self._pwc_lookup(key):
+                self.stats.pwc_hits += 1
+                start_level = level + 1
+                break
+        for level in range(start_level, 4):
+            self.stats.levels_walked += 1
+            latency += self.level_cost
+            latency += self.memory_access(
+                self._entry_address(asid, va, level))
+            if level < 3:
+                self._pwc_fill((level, va >> _LEVEL_SHIFTS[level], asid))
+        return latency

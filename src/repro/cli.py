@@ -1,0 +1,227 @@
+"""Command-line interface: run SIPT experiments without writing code.
+
+Examples::
+
+    python -m repro list
+    python -m repro run --app perlbench --geometry 32K_2w
+    python -m repro run --app calculix --variant naive --core inorder
+    python -m repro suite --geometry 64K_4w --accesses 10000
+    python -m repro mix --name mix0
+    python -m repro designspace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from .core.indexing import IndexingScheme, SiptVariant
+from .sim import (
+    BASELINE_L1,
+    L1_16K_4W_VIPT,
+    SIPT_GEOMETRIES,
+    TraceCache,
+    harmonic_mean,
+    inorder_system,
+    ooo_system,
+    run_app,
+    simulate_multicore,
+)
+from .timing.cacti import CactiModel
+from .workloads import EVALUATED_APPS, MIX_NAMES, MemoryCondition, get_mix
+
+GEOMETRIES = {"baseline": BASELINE_L1, "16K_4w": L1_16K_4W_VIPT,
+              **SIPT_GEOMETRIES}
+
+CONDITIONS = {c.value: c for c in MemoryCondition}
+
+
+def _system(args, l1):
+    if args.core == "inorder":
+        return inorder_system(l1)
+    system = ooo_system(l1)
+    if args.core == "ooo-detailed":
+        system = replace(system, core="ooo-detailed",
+                         name=system.name.replace("ooo/", "ooo-detailed/"))
+    return system
+
+
+def _l1(args):
+    l1 = GEOMETRIES[args.geometry]
+    if args.scheme:
+        l1 = l1.with_scheme(IndexingScheme(args.scheme))
+    if args.variant:
+        l1 = replace(l1, variant=SiptVariant(args.variant))
+    if args.way_prediction:
+        l1 = replace(l1, way_prediction=True)
+    return l1
+
+
+def _print_result(result, baseline=None) -> None:
+    print(f"app               : {result.app}")
+    print(f"system            : {result.system}")
+    print(f"IPC               : {result.ipc:.4f}")
+    print(f"L1 miss rate      : {result.l1_stats.miss_rate:.4f}")
+    print(f"fast fraction     : {result.fast_fraction:.4f}")
+    print(f"extra L1 accesses : {result.extra_access_fraction:.4f}")
+    print(f"cache energy (mJ) : {result.energy.total * 1e3:.4f}")
+    if result.way_prediction_accuracy is not None:
+        print(f"way pred accuracy : {result.way_prediction_accuracy:.4f}")
+    if result.outcomes.total:
+        print("outcomes          :", {
+            k: round(v, 3)
+            for k, v in result.outcomes.as_fractions().items() if v})
+    if baseline is not None:
+        print(f"speedup vs VIPT   : {result.speedup_over(baseline):.4f}")
+        print(f"energy vs VIPT    : {result.energy_over(baseline):.4f}")
+
+
+def cmd_list(args) -> int:
+    print("geometries :", ", ".join(GEOMETRIES))
+    print("apps       :", ", ".join(EVALUATED_APPS))
+    print("mixes      :", ", ".join(MIX_NAMES))
+    print("conditions :", ", ".join(CONDITIONS))
+    print("schemes    :", ", ".join(s.value for s in IndexingScheme))
+    print("variants   :", ", ".join(v.value for v in SiptVariant))
+    return 0
+
+
+def cmd_run(args) -> int:
+    traces = TraceCache()
+    condition = CONDITIONS[args.condition]
+    l1 = _l1(args)
+    result = run_app(args.app, _system(args, l1), condition=condition,
+                     n_accesses=args.accesses, cache=traces)
+    baseline = None
+    if args.compare_baseline:
+        baseline = run_app(args.app, _system(args, BASELINE_L1),
+                           condition=condition, n_accesses=args.accesses,
+                           cache=traces)
+    _print_result(result, baseline)
+    return 0
+
+
+def cmd_suite(args) -> int:
+    traces = TraceCache()
+    condition = CONDITIONS[args.condition]
+    l1 = _l1(args)
+    speedups = []
+    print(f"{'app':>14s} {'IPC':>7s} {'speedup':>8s} {'fast':>6s} "
+          f"{'energy':>7s}")
+    for app in EVALUATED_APPS:
+        base = run_app(app, _system(args, BASELINE_L1),
+                       condition=condition, n_accesses=args.accesses,
+                       cache=traces)
+        result = run_app(app, _system(args, l1), condition=condition,
+                         n_accesses=args.accesses, cache=traces)
+        speedup = result.speedup_over(base)
+        speedups.append(speedup)
+        print(f"{app:>14s} {result.ipc:>7.3f} {speedup:>8.3f} "
+              f"{result.fast_fraction:>6.2f} "
+              f"{result.energy_over(base):>7.3f}")
+    print(f"{'hmean speedup':>14s} {'':>7s} "
+          f"{harmonic_mean(speedups):>8.3f}")
+    return 0
+
+
+def cmd_mix(args) -> int:
+    traces = TraceCache()
+    members = get_mix(args.name)
+    mix_traces = [traces.get(app, args.accesses, seed=i)
+                  for i, app in enumerate(members)]
+    base = simulate_multicore(mix_traces, _system(args, BASELINE_L1))
+    sipt = simulate_multicore(mix_traces, _system(args, _l1(args)))
+    for core, (b, s) in enumerate(zip(base, sipt)):
+        print(f"core {core} {b.app:>14s}: base={b.ipc:.3f} "
+              f"sipt={s.ipc:.3f} ({s.ipc / b.ipc:.3f}x)")
+    print(f"sum-of-IPC speedup: "
+          f"{sum(r.ipc for r in sipt) / sum(r.ipc for r in base):.3f}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from .validate import format_scorecard, run_scorecard
+    checks = run_scorecard(n_accesses=args.accesses)
+    print(format_scorecard(checks))
+    return 0 if all(c.passed for c in checks) else 1
+
+
+def cmd_designspace(args) -> int:
+    model = CactiModel()
+    base = model.latency_ns(32 * 1024, 8)
+    print(f"{'config':>12s} {'cycles':>7s} {'vs base':>8s} "
+          f"{'nJ':>7s} {'mW':>7s}")
+    for capacity in (16, 32, 64, 128):
+        for ways in (2, 4, 8, 16):
+            c = capacity * 1024
+            print(f"{capacity:>9d}K/{ways:<2d} "
+                  f"{model.latency_cycles(c, ways):>7d} "
+                  f"{model.latency_ns(c, ways) / base:>8.2f} "
+                  f"{model.dynamic_nj(c, ways):>7.3f} "
+                  f"{model.static_mw(c, ways):>7.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SIPT (HPCA 2018) reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list apps, geometries, mixes")
+
+    def common(p, with_app=False):
+        if with_app:
+            p.add_argument("--app", required=True,
+                           help="benchmark name (see `list`)")
+        p.add_argument("--geometry", default="32K_2w",
+                       choices=sorted(GEOMETRIES))
+        p.add_argument("--core", default="ooo",
+                       choices=("ooo", "ooo-detailed", "inorder"))
+        p.add_argument("--scheme", default=None,
+                       choices=[s.value for s in IndexingScheme])
+        p.add_argument("--variant", default=None,
+                       choices=[v.value for v in SiptVariant])
+        p.add_argument("--condition", default="normal",
+                       choices=sorted(CONDITIONS))
+        p.add_argument("--accesses", type=int, default=30_000)
+        p.add_argument("--way-prediction", action="store_true")
+
+    run_p = sub.add_parser("run", help="simulate one app")
+    common(run_p, with_app=True)
+    run_p.add_argument("--compare-baseline", action="store_true",
+                       help="also run the VIPT baseline and report ratios")
+
+    suite_p = sub.add_parser("suite", help="simulate the full 26-app suite")
+    common(suite_p)
+
+    mix_p = sub.add_parser("mix", help="simulate a Table III quad-core mix")
+    common(mix_p)
+    mix_p.add_argument("--name", default="mix0", choices=MIX_NAMES)
+
+    sub.add_parser("designspace", help="print the CACTI design space")
+
+    validate_p = sub.add_parser(
+        "validate", help="score the paper's headline claims (smoke check)")
+    validate_p.add_argument("--accesses", type=int, default=12_000)
+    return parser
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "suite": cmd_suite,
+    "mix": cmd_mix,
+    "designspace": cmd_designspace,
+    "validate": cmd_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The paper's primary contribution: SIPT indexing and its predictors."""
+
+from .counter import CounterBypassPredictor
+from .idb import IdbStats, IndexDeltaBuffer
+from .indexing import (
+    IndexingScheme,
+    InfeasibleConfigError,
+    SiptVariant,
+    check_vipt,
+    required_speculative_bits,
+    vipt_feasible,
+)
+from .outcomes import OutcomeCounts, SpeculationOutcome
+from .perceptron import PerceptronPredictor, PerceptronStats
+from .sipt_cache import L1AccessResult, SiptL1Cache, SiptL1Stats
+from .tlb_slice import TlbSlice, TlbSliceStats
+from .way_prediction import PcWayPredictor, WayPredictionStats, WayPredictor
+
+__all__ = [
+    "CounterBypassPredictor",
+    "IdbStats",
+    "IndexDeltaBuffer",
+    "IndexingScheme",
+    "InfeasibleConfigError",
+    "L1AccessResult",
+    "OutcomeCounts",
+    "PcWayPredictor",
+    "PerceptronPredictor",
+    "PerceptronStats",
+    "SiptL1Cache",
+    "SiptL1Stats",
+    "SiptVariant",
+    "SpeculationOutcome",
+    "TlbSlice",
+    "TlbSliceStats",
+    "WayPredictionStats",
+    "WayPredictor",
+    "check_vipt",
+    "required_speculative_bits",
+    "vipt_feasible",
+]

@@ -1,0 +1,73 @@
+"""L1 indexing schemes: PIPT, VIPT, ideal, and the three SIPT variants.
+
+An indexing policy decides, per access, *when* the L1 arrays may be read
+relative to address translation and *which* set index is used:
+
+* ``PIPT``  — wait for the PA; every access pays translation latency.
+* ``VIPT``  — index with untranslated offset bits only; requires the
+  index+offset to fit in the 4 KiB page offset (the paper's constraint:
+  way size <= page size), otherwise the configuration is infeasible.
+* ``IDEAL`` — index with the PA bits but at speculative-access latency:
+  the paper's upper bound ("assume the index bits are always correct").
+* ``SIPT``  — speculate on the index bits above the page offset, in one
+  of three variants (Sections IV-VI): ``naive`` always speculates,
+  ``bypass`` adds the perceptron speculate/bypass filter, ``combined``
+  adds IDB value prediction behind the perceptron.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class IndexingScheme(Enum):
+    """Top-level L1 indexing scheme."""
+
+    PIPT = "pipt"
+    VIPT = "vipt"
+    IDEAL = "ideal"
+    SIPT = "sipt"
+
+
+class SiptVariant(Enum):
+    """The three SIPT designs the paper evaluates."""
+
+    NAIVE = "naive"          # Section IV: always speculate
+    BYPASS = "bypass"        # Section V: perceptron speculate/bypass
+    COMBINED = "combined"    # Section VI: bypass + IDB value prediction
+
+
+class InfeasibleConfigError(Exception):
+    """Raised when a VIPT cache would need index bits beyond the page.
+
+    This is the central constraint of the paper (Section II-C):
+    ``capacity = n_ways * page_size`` is the largest VIPT-feasible cache
+    for a given associativity.
+    """
+
+
+def vipt_feasible(capacity_bytes: int, n_ways: int,
+                  page_size: int = 4096) -> bool:
+    """True if a VIPT cache of this geometry needs no speculative bits."""
+    way_bytes = capacity_bytes // n_ways
+    return way_bytes <= page_size
+
+
+def required_speculative_bits(capacity_bytes: int, n_ways: int,
+                              page_size: int = 4096) -> int:
+    """Index bits beyond the page offset for this geometry (0 if VIPT-ok)."""
+    way_bytes = capacity_bytes // n_ways
+    if way_bytes <= page_size:
+        return 0
+    return (way_bytes // page_size).bit_length() - 1
+
+
+def check_vipt(capacity_bytes: int, n_ways: int,
+               page_size: int = 4096) -> None:
+    """Raise :class:`InfeasibleConfigError` for VIPT-impossible geometry."""
+    if not vipt_feasible(capacity_bytes, n_ways, page_size):
+        bits = required_speculative_bits(capacity_bytes, n_ways, page_size)
+        raise InfeasibleConfigError(
+            f"{capacity_bytes // 1024} KiB / {n_ways}-way needs {bits} index "
+            f"bit(s) beyond a {page_size // 1024} KiB page; VIPT cannot "
+            f"index it — use SIPT")

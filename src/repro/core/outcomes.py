@@ -1,0 +1,99 @@
+"""Speculation outcome taxonomy (Sections V and VI of the paper).
+
+Section V defines four outcomes for the bypass predictor:
+
+* ``CORRECT_SPECULATION`` — bits unchanged, predictor speculated: fast.
+* ``CORRECT_BYPASS``      — bits changed, predictor bypassed: slow but no
+  wasted L1 access.
+* ``OPPORTUNITY_LOSS``    — bits unchanged but predictor bypassed: a fast
+  access was squandered.
+* ``EXTRA_ACCESS``        — bits changed but predictor speculated: the L1
+  must be re-accessed with the correct index (energy + port contention).
+
+Section VI adds ``IDB_HIT``: the bypass predictor said "bits will change",
+the index delta buffer supplied the changed bits, and the speculative
+access still completed fast. A wrong IDB prediction is an EXTRA_ACCESS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class SpeculationOutcome(Enum):
+    """Per-access classification of the SIPT speculation machinery."""
+
+    CORRECT_SPECULATION = "correct_speculation"
+    CORRECT_BYPASS = "correct_bypass"
+    OPPORTUNITY_LOSS = "opportunity_loss"
+    EXTRA_ACCESS = "extra_access"
+    IDB_HIT = "idb_hit"
+
+    @property
+    def is_fast(self) -> bool:
+        """Fast accesses complete at speculative-index latency."""
+        return self in (SpeculationOutcome.CORRECT_SPECULATION,
+                        SpeculationOutcome.IDB_HIT)
+
+    @property
+    def wastes_l1_access(self) -> bool:
+        """Extra accesses burn an L1 array read and a port slot."""
+        return self is SpeculationOutcome.EXTRA_ACCESS
+
+
+@dataclass
+class OutcomeCounts:
+    """Aggregated outcome counters for one simulation."""
+
+    correct_speculation: int = 0
+    correct_bypass: int = 0
+    opportunity_loss: int = 0
+    extra_access: int = 0
+    idb_hit: int = 0
+    #: Of the extra accesses, how many came from a failed IDB value
+    #: prediction (low-confidence loads) rather than from an endorsed
+    #: perceptron speculation. Used by the Section VII-C replay model.
+    extra_access_after_idb: int = 0
+
+    def record(self, outcome: SpeculationOutcome,
+               via_idb: bool = False) -> None:
+        name = outcome.value
+        setattr(self, name, getattr(self, name) + 1)
+        if outcome is SpeculationOutcome.EXTRA_ACCESS and via_idb:
+            self.extra_access_after_idb += 1
+
+    @property
+    def total(self) -> int:
+        return (self.correct_speculation + self.correct_bypass
+                + self.opportunity_loss + self.extra_access + self.idb_hit)
+
+    @property
+    def fast_accesses(self) -> int:
+        return self.correct_speculation + self.idb_hit
+
+    @property
+    def fast_fraction(self) -> float:
+        return self.fast_accesses / self.total if self.total else 0.0
+
+    @property
+    def extra_access_fraction(self) -> float:
+        return self.extra_access / self.total if self.total else 0.0
+
+    @property
+    def prediction_accuracy(self) -> float:
+        """Fraction of accesses where the machinery did the right thing."""
+        good = (self.correct_speculation + self.correct_bypass
+                + self.idb_hit)
+        return good / self.total if self.total else 0.0
+
+    def as_fractions(self) -> dict:
+        """Outcome mix normalized to total accesses (Fig. 9 / Fig. 12)."""
+        total = self.total or 1
+        return {
+            "correct_speculation": self.correct_speculation / total,
+            "correct_bypass": self.correct_bypass / total,
+            "opportunity_loss": self.opportunity_loss / total,
+            "extra_access": self.extra_access / total,
+            "idb_hit": self.idb_hit / total,
+        }

@@ -1,0 +1,109 @@
+"""Perceptron-based speculation bypass predictor (Section V).
+
+The paper bases its predictor directly on the smallest global-history
+perceptron configuration of Jimenez & Lin (HPCA 2001): a 64-entry table of
+perceptrons indexed by the memory operation's PC, each holding a bias plus
+one signed weight per global-history bit. The global history register
+records the last ``h`` speculation outcomes (1 = index bits unchanged /
+fast access succeeded, 0 = bits changed).
+
+Prediction: ``y = w0 + sum_i (x_i ? w_i : -w_i)``; ``y >= 0`` means
+"speculate" (index bits expected unchanged), ``y < 0`` means "bypass".
+Training uses the standard perceptron rule with threshold
+``theta = floor(1.93 * h + 14)`` and saturating signed weights.
+
+Storage: 64 perceptrons x 13 weights x 6 bits = 624 bytes, the figure the
+paper quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class PerceptronStats:
+    """Prediction accuracy counters."""
+
+    predictions: int = 0
+    correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 0.0
+
+
+class PerceptronPredictor:
+    """PC-indexed global-history perceptron, per Jimenez & Lin.
+
+    Parameters mirror the paper's sizing: 64 entries, 12 history bits
+    (13 weights including the bias), 6-bit weights.
+    """
+
+    def __init__(self, n_entries: int = 64, history_length: int = 12,
+                 weight_bits: int = 6):
+        if n_entries <= 0 or history_length <= 0:
+            raise ValueError("n_entries and history_length must be positive")
+        self.n_entries = n_entries
+        self.history_length = history_length
+        self.weight_bits = weight_bits
+        self.weight_max = (1 << (weight_bits - 1)) - 1
+        self.weight_min = -(1 << (weight_bits - 1))
+        self.theta = int(1.93 * history_length + 14)
+        self.stats = PerceptronStats()
+        # weights[entry][0] is the bias w0; [1..h] pair with history bits.
+        self._weights: List[List[int]] = [
+            [0] * (history_length + 1) for _ in range(n_entries)
+        ]
+        # Global history as a list of +/-1 (bipolar encoding), oldest last.
+        self._history: List[int] = [1] * history_length
+
+    # ------------------------------------------------------------------
+    def _entry(self, pc: int) -> int:
+        # Fold higher PC bits in so static loads from different code
+        # regions do not alias onto the same perceptron.
+        return ((pc >> 2) ^ (pc >> 9)) % self.n_entries
+
+    def output(self, pc: int) -> int:
+        """The raw perceptron sum ``y`` for this PC (confidence signal)."""
+        weights = self._weights[self._entry(pc)]
+        y = weights[0]
+        for weight, x in zip(weights[1:], self._history):
+            y += weight if x > 0 else -weight
+        return y
+
+    def predict(self, pc: int) -> bool:
+        """True -> speculate (bits expected unchanged); False -> bypass."""
+        self.stats.predictions += 1
+        return self.output(pc) >= 0
+
+    def update(self, pc: int, bits_unchanged: bool) -> None:
+        """Train on the resolved outcome and shift the global history.
+
+        ``bits_unchanged`` is the ground truth: did the speculative index
+        bits survive translation? Call this exactly once per access,
+        *after* :meth:`predict`.
+        """
+        y = self.output(pc)
+        predicted_unchanged = y >= 0
+        if predicted_unchanged == bits_unchanged:
+            self.stats.correct += 1
+        target = 1 if bits_unchanged else -1
+        if predicted_unchanged != bits_unchanged or abs(y) <= self.theta:
+            weights = self._weights[self._entry(pc)]
+            weights[0] = self._clip(weights[0] + target)
+            for i, x in enumerate(self._history, start=1):
+                weights[i] = self._clip(weights[i] + target * x)
+        self._history.insert(0, target)
+        self._history.pop()
+
+    def _clip(self, w: int) -> int:
+        return max(self.weight_min, min(self.weight_max, w))
+
+    # ------------------------------------------------------------------
+    @property
+    def storage_bits(self) -> int:
+        """Total predictor storage, for the overhead claim (~624 B)."""
+        return (self.n_entries * (self.history_length + 1) * self.weight_bits
+                + self.history_length)

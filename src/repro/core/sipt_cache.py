@@ -1,0 +1,273 @@
+"""The SIPT L1 data cache controller (Sections IV-VI).
+
+This module ties together the L1 array, the TLB, the perceptron bypass
+predictor, the index delta buffer, and (optionally) way prediction, and
+implements the access protocol of Fig. 4:
+
+1. The L1 arrays are probed with a *speculative* set index while the TLB
+   translates in parallel (unless the policy decides to bypass, in which
+   case the probe waits for the PA).
+2. After translation, the speculated index bits are compared against the
+   PA bits.
+3. If they match (or the access waited for the PA), the access completes
+   "fast" at the L1's native latency.
+4. If they mismatch, the access is *re-issued* with the correct index — a
+   "slow" access that starts only after translation, costs an extra L1
+   array read, and contends for the port.
+
+Functional correctness never depends on the speculation: tags are full
+physical line addresses and fills always use the true physical index, so
+a wrong-index probe can only miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cache.set_assoc import SetAssociativeCache
+from ..cache.tlb import TlbHierarchy, TranslationResult
+from ..mem.address import index_bits
+from ..mem.page_table import PageTable
+from .idb import IndexDeltaBuffer
+from .indexing import (
+    IndexingScheme,
+    SiptVariant,
+    check_vipt,
+    required_speculative_bits,
+)
+from .outcomes import OutcomeCounts, SpeculationOutcome
+from .perceptron import PerceptronPredictor
+from .way_prediction import WayPredictor
+
+
+@dataclass
+class L1AccessResult:
+    """Everything the timing model needs about one L1 access."""
+
+    hit: bool
+    fast: bool                 # completed at speculative-access latency
+    latency: int               # cycles until data available (L1 only)
+    extra_l1_access: bool      # a wasted array read occurred
+    outcome: Optional[SpeculationOutcome]
+    translation: TranslationResult
+    writeback_line: Optional[int] = None
+    way_penalty: int = 0
+
+
+@dataclass
+class SiptL1Stats:
+    """Counters specific to the SIPT front end."""
+
+    accesses: int = 0
+    fast_accesses: int = 0
+    slow_accesses: int = 0
+    extra_l1_accesses: int = 0
+    speculative_probes: int = 0
+
+    @property
+    def fast_fraction(self) -> float:
+        return self.fast_accesses / self.accesses if self.accesses else 0.0
+
+    @property
+    def extra_access_fraction(self) -> float:
+        return (self.extra_l1_accesses / self.accesses
+                if self.accesses else 0.0)
+
+
+class SiptL1Cache:
+    """An L1 data cache front end with a pluggable indexing scheme.
+
+    Parameters
+    ----------
+    cache:
+        The physical L1 array (tags are full line addresses).
+    tlb:
+        The TLB hierarchy used for translation.
+    scheme:
+        PIPT, VIPT, IDEAL, or SIPT.
+    variant:
+        For SIPT: NAIVE, BYPASS, or COMBINED.
+    hit_latency:
+        The array access latency of this L1 geometry (from the CACTI
+        model); a fast access costs ``max(hit_latency, tlb_l1_latency)``
+        because the tag compare still needs the PA.
+    page_bound_idb:
+        Propagated to the IDB for the zero-contiguity sensitivity study.
+    """
+
+    def __init__(self, cache: SetAssociativeCache, tlb: TlbHierarchy,
+                 scheme: IndexingScheme = IndexingScheme.SIPT,
+                 variant: SiptVariant = SiptVariant.COMBINED,
+                 hit_latency: int = 2,
+                 way_prediction: bool = False,
+                 page_bound_idb: bool = False):
+        self.cache = cache
+        self.tlb = tlb
+        self.scheme = scheme
+        self.variant = variant
+        self.hit_latency = hit_latency
+        self.n_spec_bits = cache.speculative_bits
+        if scheme is IndexingScheme.VIPT:
+            check_vipt(cache.capacity_bytes, cache.n_ways)
+        self.stats = SiptL1Stats()
+        self.outcomes = OutcomeCounts()
+        self.perceptron: Optional[PerceptronPredictor] = None
+        self.idb: Optional[IndexDeltaBuffer] = None
+        if scheme is IndexingScheme.SIPT and self.n_spec_bits > 0:
+            if variant in (SiptVariant.BYPASS, SiptVariant.COMBINED):
+                self.perceptron = PerceptronPredictor()
+            if variant is SiptVariant.COMBINED and self.n_spec_bits >= 2:
+                # With a single speculative bit the reversed bypass
+                # prediction replaces the IDB (Section VI-A).
+                self.idb = IndexDeltaBuffer(self.n_spec_bits,
+                                            page_bound=page_bound_idb)
+        self.way_predictor = WayPredictor(cache) if way_prediction else None
+
+    # ------------------------------------------------------------------
+    def front_end(self, pc: int, va: int, page_table: PageTable):
+        """Translation + speculation timing, without touching the array.
+
+        Returns ``(translation, fast, extra, outcome, latency)``. Used
+        directly by the coherent multicore driver, where the array
+        content is managed by the snoop bus; :meth:`access` composes it
+        with the private array access.
+        """
+        self.stats.accesses += 1
+        translation = self.tlb.translate(va, page_table)
+        pa = translation.pa
+        if self.scheme is IndexingScheme.SIPT and self.n_spec_bits > 0:
+            fast, extra, outcome, via_idb = self._speculate(pc, va, pa)
+        else:
+            fast, extra, outcome = self._non_sipt_timing()
+            via_idb = False
+        latency = self._latency(fast, translation, extra)
+        if fast:
+            self.stats.fast_accesses += 1
+        else:
+            self.stats.slow_accesses += 1
+        if extra:
+            self.stats.extra_l1_accesses += 1
+        if outcome is not None:
+            self.outcomes.record(outcome, via_idb=via_idb)
+        return translation, fast, extra, outcome, latency
+
+    def access(self, pc: int, va: int, is_write: bool,
+               page_table: PageTable) -> L1AccessResult:
+        """Perform one load/store through the SIPT front end."""
+        translation, fast, extra, outcome, latency = self.front_end(
+            pc, va, page_table)
+        pa = translation.pa
+        predicted_way = -1
+        if self.way_predictor is not None:
+            # The MRU metadata is read before the arrays are accessed.
+            predicted_way = self.way_predictor.predict(
+                self.cache.set_index(pa))
+        cache_result = self.cache.access(pa, is_write)
+        way_penalty = 0
+        if self.way_predictor is not None:
+            way_penalty = self.way_predictor.observe(
+                predicted_way, cache_result.way, cache_result.hit)
+        return L1AccessResult(
+            hit=cache_result.hit, fast=fast,
+            latency=latency + way_penalty,
+            extra_l1_access=extra, outcome=outcome,
+            translation=translation,
+            writeback_line=cache_result.writeback_line,
+            way_penalty=way_penalty)
+
+    # ------------------------------------------------------------------
+    # speculation policy per variant
+    # ------------------------------------------------------------------
+    def _speculate(self, pc: int, va: int, pa: int):
+        """Returns (fast, extra, outcome, via_idb) for a SIPT access.
+
+        ``via_idb`` marks extra accesses caused by a failed IDB value
+        prediction (a low-confidence load), as opposed to an endorsed
+        perceptron speculation that failed.
+        """
+        n = self.n_spec_bits
+        va_bits = index_bits(va, n)
+        pa_bits = index_bits(pa, n)
+        unchanged = va_bits == pa_bits
+        self.stats.speculative_probes += 1
+
+        if self.variant is SiptVariant.NAIVE:
+            if unchanged:
+                return (True, False,
+                        SpeculationOutcome.CORRECT_SPECULATION, False)
+            return False, True, SpeculationOutcome.EXTRA_ACCESS, False
+
+        speculate = self.perceptron.predict(pc)
+        self.perceptron.update(pc, unchanged)
+
+        if self.variant is SiptVariant.BYPASS:
+            if speculate and unchanged:
+                outcome = SpeculationOutcome.CORRECT_SPECULATION
+                fast, extra = True, False
+            elif speculate and not unchanged:
+                outcome = SpeculationOutcome.EXTRA_ACCESS
+                fast, extra = False, True
+            elif not speculate and unchanged:
+                outcome = SpeculationOutcome.OPPORTUNITY_LOSS
+                fast, extra = False, False
+            else:
+                outcome = SpeculationOutcome.CORRECT_BYPASS
+                fast, extra = False, False
+            return fast, extra, outcome, False
+
+        # COMBINED: perceptron gates the IDB; always access speculatively.
+        if speculate:
+            if unchanged:
+                return (True, False,
+                        SpeculationOutcome.CORRECT_SPECULATION, False)
+            return False, True, SpeculationOutcome.EXTRA_ACCESS, False
+        # Perceptron says "bits will change": predict their value.
+        if n == 1:
+            # Reversed-prediction shortcut (Section VI-A): flipping the
+            # single bit is the value prediction.
+            predicted = va_bits ^ 1
+        else:
+            predicted = self.idb.predict(pc, va)
+        if self.idb is not None:
+            hit = self.idb.record_outcome(predicted, pa)
+            self.idb.update(pc, va, pa)
+        else:
+            hit = predicted == pa_bits
+        if hit:
+            return True, False, SpeculationOutcome.IDB_HIT, True
+        return False, True, SpeculationOutcome.EXTRA_ACCESS, True
+
+    def _non_sipt_timing(self):
+        """Timing class for PIPT / VIPT / IDEAL / trivially-VIPT SIPT."""
+        if self.scheme is IndexingScheme.PIPT:
+            return False, False, None
+        # VIPT, IDEAL, and SIPT with zero speculative bits all overlap
+        # translation with the array access.
+        return True, False, None
+
+    # ------------------------------------------------------------------
+    def _latency(self, fast: bool, translation: TranslationResult,
+                 extra: bool) -> int:
+        """L1-visible latency for this access.
+
+        Fast path: the array access overlaps translation; data is gated by
+        the later of array latency and TLB latency (TLB L1 hits are fully
+        hidden; TLB misses expose their latency for any scheme).
+
+        Slow path: the (repeated or delayed) array access starts only when
+        the PA is available, i.e. after the full translation latency.
+        """
+        if fast:
+            return max(self.hit_latency, translation.latency)
+        return translation.latency + self.hit_latency
+
+    def predictor_overhead_fraction(self) -> float:
+        """Predictor storage relative to the L1 array (paper: < 2%)."""
+        predictor_bits = 0
+        if self.perceptron is not None:
+            predictor_bits += self.perceptron.storage_bits
+        if self.idb is not None:
+            predictor_bits += self.idb.storage_bits
+        l1_bits = self.cache.capacity_bytes * 8
+        return predictor_bits / l1_bits

@@ -1,0 +1,79 @@
+"""TLB slice — the related-work alternative of Taylor et al. (ISCA'90).
+
+Section II-D: the MIPS R6000's "TLB slice" is a tiny, fast lookaside
+structure holding only the few physical-address bits needed to index
+the cache, accessed with the low virtual page-number bits. It predates
+SIPT by decades and solves a similar problem, but differs in two ways
+the paper leans on:
+
+* the slice is a *translation* structure: it must be looked up before
+  the index is known, adding a (short) serial step, whereas SIPT's
+  PC-indexed predictors run in the front end, off the critical path;
+* the slice is indexed by VA bits with no tags, so distinct pages that
+  alias in the slice mispredict each other — its accuracy is purely a
+  function of page locality, whereas SIPT's perceptron+IDB exploit the
+  per-instruction *delta* structure.
+
+This module implements the slice faithfully (untagged, direct-mapped,
+few-bit payload, trained on every translation) so the ablation bench
+can compare its index-prediction accuracy against SIPT's machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..mem.address import PAGE_SHIFT, index_bits
+
+
+@dataclass
+class TlbSliceStats:
+    """Prediction counters."""
+
+    lookups: int = 0
+    correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.lookups if self.lookups else 0.0
+
+
+class TlbSlice:
+    """Untagged direct-mapped store of low physical index bits.
+
+    ``n_entries`` of ``n_bits`` each, indexed by the low VPN bits —
+    the R6000 used 4-8 entries per set of low PPN bits; we default to
+    the common 64-entry organization.
+    """
+
+    def __init__(self, n_bits: int, n_entries: int = 64):
+        if n_bits < 1 or n_entries < 1:
+            raise ValueError("n_bits and n_entries must be positive")
+        self.n_bits = n_bits
+        self.n_entries = n_entries
+        self.stats = TlbSliceStats()
+        self._slice: List[int] = [0] * n_entries
+
+    def _entry(self, va: int) -> int:
+        return (va >> PAGE_SHIFT) % self.n_entries
+
+    def predict(self, va: int) -> int:
+        """Predicted physical index bits for ``va``."""
+        self.stats.lookups += 1
+        return self._slice[self._entry(va)]
+
+    def record_outcome(self, predicted: int, pa: int) -> bool:
+        """Score a prediction against the true PA bits."""
+        hit = predicted == index_bits(pa, self.n_bits)
+        if hit:
+            self.stats.correct += 1
+        return hit
+
+    def update(self, va: int, pa: int) -> None:
+        """Install the true bits after translation completes."""
+        self._slice[self._entry(va)] = index_bits(pa, self.n_bits)
+
+    @property
+    def storage_bits(self) -> int:
+        return self.n_entries * self.n_bits

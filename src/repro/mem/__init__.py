@@ -1,0 +1,79 @@
+"""OS memory-management substrate: buddy allocator, page tables, THP.
+
+This package models the parts of Linux memory management that determine
+how predictable the cache index bits beyond the page offset are — the
+property SIPT speculates on.
+"""
+
+from .address import (
+    HUGE_PAGE_SAFE_BITS,
+    HUGE_PAGE_SHIFT,
+    HUGE_PAGE_SIZE,
+    LINE_SHIFT,
+    LINE_SIZE,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PAGES_PER_HUGE_PAGE,
+    apply_index_delta,
+    huge_page_number,
+    huge_page_offset,
+    index_bits,
+    index_delta,
+    line_address,
+    line_number,
+    make_address,
+    page_number,
+    page_offset,
+)
+from .address_space import (
+    PhysicalMemory,
+    Process,
+    SharedSegment,
+    VmRegion,
+    VmStats,
+)
+from .buddy import (
+    HUGE_PAGE_ORDER,
+    MAX_ORDER,
+    BuddyAllocator,
+    BuddyStats,
+    OutOfMemoryError,
+)
+from .fragmentation import fragment_memory, unusable_free_space_index
+from .page_table import PageTable, PageTableEntry, TranslationFault
+
+__all__ = [
+    "HUGE_PAGE_ORDER",
+    "HUGE_PAGE_SAFE_BITS",
+    "HUGE_PAGE_SHIFT",
+    "HUGE_PAGE_SIZE",
+    "LINE_SHIFT",
+    "LINE_SIZE",
+    "MAX_ORDER",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PAGES_PER_HUGE_PAGE",
+    "BuddyAllocator",
+    "BuddyStats",
+    "OutOfMemoryError",
+    "PageTable",
+    "PageTableEntry",
+    "PhysicalMemory",
+    "Process",
+    "SharedSegment",
+    "TranslationFault",
+    "VmRegion",
+    "VmStats",
+    "apply_index_delta",
+    "fragment_memory",
+    "huge_page_number",
+    "huge_page_offset",
+    "index_bits",
+    "index_delta",
+    "line_address",
+    "line_number",
+    "make_address",
+    "page_number",
+    "page_offset",
+    "unusable_free_space_index",
+]

@@ -1,0 +1,104 @@
+"""Address arithmetic for the simulated virtual memory system.
+
+All addresses are plain Python integers. The module centralizes the bit
+layout used throughout the simulator:
+
+* 4 KiB base pages (12 offset bits), matching the Linux default.
+* 2 MiB huge pages (21 offset bits), matching x86 transparent huge pages.
+* 64-byte cache lines (6 offset bits).
+
+The SIPT mechanism revolves around the *speculative index bits*: the cache
+index bits that lie above the 4 KiB page offset. Helpers here extract those
+bits from either a virtual or a physical address.
+"""
+
+from __future__ import annotations
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+HUGE_PAGE_SHIFT = 21
+HUGE_PAGE_SIZE = 1 << HUGE_PAGE_SHIFT
+LINE_SHIFT = 6
+LINE_SIZE = 1 << LINE_SHIFT
+
+#: Number of 4 KiB pages in one 2 MiB huge page.
+PAGES_PER_HUGE_PAGE = 1 << (HUGE_PAGE_SHIFT - PAGE_SHIFT)
+
+#: Address bits guaranteed unchanged by translation under a huge page,
+#: counted beyond the 4 KiB page offset (bits 12..20), as in Fig. 5.
+HUGE_PAGE_SAFE_BITS = HUGE_PAGE_SHIFT - PAGE_SHIFT
+
+
+def page_number(addr: int) -> int:
+    """Return the 4 KiB virtual/physical page number of ``addr``."""
+    return addr >> PAGE_SHIFT
+
+
+def page_offset(addr: int) -> int:
+    """Return the offset of ``addr`` within its 4 KiB page."""
+    return addr & (PAGE_SIZE - 1)
+
+
+def huge_page_number(addr: int) -> int:
+    """Return the 2 MiB huge-page number of ``addr``."""
+    return addr >> HUGE_PAGE_SHIFT
+
+
+def huge_page_offset(addr: int) -> int:
+    """Return the offset of ``addr`` within its 2 MiB huge page."""
+    return addr & (HUGE_PAGE_SIZE - 1)
+
+
+def make_address(page: int, offset: int = 0) -> int:
+    """Compose an address from a 4 KiB page number and an in-page offset."""
+    if not 0 <= offset < PAGE_SIZE:
+        raise ValueError(f"offset {offset:#x} outside a 4 KiB page")
+    return (page << PAGE_SHIFT) | offset
+
+
+def line_address(addr: int) -> int:
+    """Return the cache-line-aligned address containing ``addr``."""
+    return addr & ~(LINE_SIZE - 1)
+
+
+def line_number(addr: int) -> int:
+    """Return the cache-line number of ``addr``."""
+    return addr >> LINE_SHIFT
+
+
+def index_bits(addr: int, n_bits: int) -> int:
+    """Extract the ``n_bits`` cache-index bits just above the page offset.
+
+    These are the bits SIPT must speculate on: bits
+    ``[PAGE_SHIFT, PAGE_SHIFT + n_bits)``. ``n_bits == 0`` returns 0, which
+    models a VIPT-feasible configuration with nothing to speculate.
+    """
+    if n_bits < 0:
+        raise ValueError("n_bits must be non-negative")
+    if n_bits == 0:
+        return 0
+    return (addr >> PAGE_SHIFT) & ((1 << n_bits) - 1)
+
+
+def index_delta(va: int, pa: int, n_bits: int) -> int:
+    """Return the delta between VA and PA speculative index bits (mod 2^n).
+
+    Within one contiguously mapped block the delta is constant (Fig. 10),
+    which is exactly the property the index delta buffer exploits.
+    """
+    if n_bits == 0:
+        return 0
+    mask = (1 << n_bits) - 1
+    return (index_bits(pa, n_bits) - index_bits(va, n_bits)) & mask
+
+
+def apply_index_delta(va: int, delta: int, n_bits: int) -> int:
+    """Predict the PA index bits by adding ``delta`` to the VA index bits.
+
+    The addition is truncated to ``n_bits`` (no carry propagation), matching
+    the hardware adder described in Section VI of the paper.
+    """
+    if n_bits == 0:
+        return 0
+    mask = (1 << n_bits) - 1
+    return (index_bits(va, n_bits) + delta) & mask

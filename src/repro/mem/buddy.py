@@ -1,0 +1,267 @@
+"""A Linux-style binary buddy allocator for physical page frames.
+
+The paper's index-bit predictability argument (Section VI) rests on how the
+Linux buddy allocator hands out physical memory: free frames are kept in
+per-order free lists of 1, 2, 4, ... 1024 contiguous frames, and large
+requests (or bursts of small ones) are served from large aligned blocks.
+That makes VA->PA deltas constant across long runs of pages, which is what
+the index delta buffer learns.
+
+This module implements that allocator faithfully enough for the effect to
+emerge rather than be scripted:
+
+* per-order free lists with lowest-address-first allocation,
+* block splitting on allocation and buddy coalescing on free,
+* order-9 (2 MiB) allocations for transparent huge pages,
+* the unusable free space index Fu(j) of Gorman & Whitcroft, used by the
+  paper to quantify fragmentation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Linux's MAX_ORDER is 11: blocks of 2**0 .. 2**10 pages.
+MAX_ORDER = 10
+
+#: Order of a 2 MiB huge-page allocation with 4 KiB base pages.
+HUGE_PAGE_ORDER = 9
+
+
+class OutOfMemoryError(Exception):
+    """Raised when an allocation cannot be satisfied at any order."""
+
+
+@dataclass
+class BuddyStats:
+    """Counters describing allocator activity, useful in tests and benches."""
+
+    allocations: int = 0
+    frees: int = 0
+    splits: int = 0
+    coalesces: int = 0
+    failed_allocations: int = 0
+
+
+class BuddyAllocator:
+    """Binary buddy allocator over a flat range of physical page frames.
+
+    Frames are numbered ``0 .. total_frames - 1``. Blocks of order ``k``
+    cover ``2**k`` frames and are naturally aligned (the base frame number
+    is a multiple of ``2**k``), exactly as in the Linux implementation —
+    the alignment is what makes huge-page physical bits line up.
+    """
+
+    def __init__(self, total_frames: int):
+        if total_frames <= 0:
+            raise ValueError("total_frames must be positive")
+        self.total_frames = total_frames
+        self.stats = BuddyStats()
+        # _heaps[order] is a min-heap of base frame numbers with lazy
+        # deletion: entries whose block was removed (coalesced or
+        # allocated) stay in the heap until popped and are skipped then.
+        # _free_blocks is the source of truth: base -> order.
+        self._heaps: List[List[int]] = [[] for _ in range(MAX_ORDER + 1)]
+        self._live_counts: List[int] = [0] * (MAX_ORDER + 1)
+        self._free_frame_total = 0
+        # frame -> order for the *allocated* block based at that frame.
+        self._allocated: Dict[int, int] = {}
+        self._free_blocks: Dict[int, int] = {}
+        self._seed_free_lists()
+
+    def _seed_free_lists(self) -> None:
+        """Carve the frame range into maximal aligned free blocks."""
+        frame = 0
+        remaining = self.total_frames
+        while remaining > 0:
+            order = MAX_ORDER
+            while order > 0 and ((frame % (1 << order)) != 0
+                                 or (1 << order) > remaining):
+                order -= 1
+            self._insert_free(frame, order)
+            frame += 1 << order
+            remaining -= 1 << order
+
+    # ------------------------------------------------------------------
+    # free-list bookkeeping
+    # ------------------------------------------------------------------
+    def _insert_free(self, base: int, order: int) -> None:
+        heapq.heappush(self._heaps[order], base)
+        self._free_blocks[base] = order
+        self._live_counts[order] += 1
+        self._free_frame_total += 1 << order
+
+    def _remove_free(self, base: int, order: int) -> None:
+        # Lazy deletion: the heap entry is skipped when popped later.
+        del self._free_blocks[base]
+        self._live_counts[order] -= 1
+        self._free_frame_total -= 1 << order
+
+    def _pop_free(self, order: int) -> int:
+        """Pop the lowest-addressed free block of ``order``."""
+        heap = self._heaps[order]
+        while heap:
+            base = heapq.heappop(heap)
+            if self._free_blocks.get(base) == order:
+                del self._free_blocks[base]
+                self._live_counts[order] -= 1
+                self._free_frame_total -= 1 << order
+                return base
+        raise OutOfMemoryError(f"no free block of order {order}")
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def allocate(self, order: int = 0) -> int:
+        """Allocate a naturally aligned block of ``2**order`` frames.
+
+        Returns the base frame number. Raises :class:`OutOfMemoryError`
+        when no block of the requested order (or larger, to split) exists.
+        """
+        if not 0 <= order <= MAX_ORDER:
+            raise ValueError(f"order {order} outside [0, {MAX_ORDER}]")
+        source = order
+        while source <= MAX_ORDER and self._live_counts[source] == 0:
+            source += 1
+        if source > MAX_ORDER:
+            self.stats.failed_allocations += 1
+            raise OutOfMemoryError(f"no free block of order >= {order}")
+        base = self._pop_free(source)
+        # Split down to the requested order, returning the upper halves
+        # to their free lists (this is the "break large groups" behaviour
+        # Section VI describes).
+        while source > order:
+            source -= 1
+            buddy = base + (1 << source)
+            self._insert_free(buddy, source)
+            self.stats.splits += 1
+        self._allocated[base] = order
+        self.stats.allocations += 1
+        return base
+
+    def try_allocate(self, order: int = 0) -> Optional[int]:
+        """Like :meth:`allocate` but returns ``None`` instead of raising."""
+        try:
+            return self.allocate(order)
+        except OutOfMemoryError:
+            return None
+
+    def allocate_colored(self, color: int, color_bits: int,
+                         max_search: int = 64) -> Optional[int]:
+        """Allocate one frame whose low ``color_bits`` match ``color``.
+
+        This is the allocator half of software page coloring (Section
+        II-D): the OS constrains physical placement so that VA and PA
+        agree on the index bits a VIPT cache needs. Implemented the way
+        real colored allocators work — scan the free pool for a
+        matching frame, putting mismatches back. Returns ``None`` when
+        no matching frame is found within ``max_search`` candidates
+        (the fragmentation-induced failure the paper warns about).
+        """
+        if color_bits <= 0:
+            return self.try_allocate(0)
+        mask = (1 << color_bits) - 1
+        stash = []
+        found = None
+        for _ in range(max_search):
+            frame = self.try_allocate(0)
+            if frame is None:
+                break
+            if frame & mask == color & mask:
+                found = frame
+                break
+            stash.append(frame)
+        for frame in stash:
+            self.free(frame, 0)
+        if found is None:
+            self.stats.failed_allocations += 1
+        return found
+
+    def free(self, base: int, order: Optional[int] = None) -> None:
+        """Free a previously allocated block, coalescing with buddies."""
+        actual = self._allocated.pop(base, None)
+        if actual is None:
+            raise ValueError(f"frame {base} is not the base of a live block")
+        if order is not None and order != actual:
+            raise ValueError(
+                f"block at {base} has order {actual}, not {order}")
+        self.stats.frees += 1
+        current, cur_order = base, actual
+        while cur_order < MAX_ORDER:
+            buddy = current ^ (1 << cur_order)
+            if buddy >= self.total_frames:
+                break
+            if self._free_blocks.get(buddy) != cur_order:
+                break
+            self._remove_free(buddy, cur_order)
+            current = min(current, buddy)
+            cur_order += 1
+            self.stats.coalesces += 1
+        self._insert_free(current, cur_order)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def free_frames(self) -> int:
+        """Total number of free page frames."""
+        return self._free_frame_total
+
+    def allocated_frames(self) -> int:
+        """Total number of allocated page frames."""
+        return self.total_frames - self.free_frames()
+
+    def free_blocks_by_order(self) -> List[int]:
+        """Return ``k_i``: the number of free blocks at each order."""
+        return list(self._live_counts)
+
+    def largest_free_order(self) -> int:
+        """Largest order with at least one free block, or -1 if empty."""
+        for order in range(MAX_ORDER, -1, -1):
+            if self._live_counts[order]:
+                return order
+        return -1
+
+    def unusable_free_space_index(self, order: int = HUGE_PAGE_ORDER) -> float:
+        """Gorman & Whitcroft's Fu(j) fragmentation metric (Section VII-B).
+
+        0 means every free page sits in blocks big enough to satisfy an
+        order-``order`` allocation; 1 means none do. The paper keeps
+        Fu(9) > 0.95 for its fragmented-memory sensitivity study.
+        """
+        total_free = self.free_frames()
+        if total_free == 0:
+            return 0.0
+        usable = sum((1 << o) * self._live_counts[o]
+                     for o in range(order, MAX_ORDER + 1))
+        return (total_free - usable) / total_free
+
+    def is_allocated(self, base: int) -> bool:
+        """True if ``base`` is the base frame of a live allocation."""
+        return base in self._allocated
+
+    def check_invariants(self) -> None:
+        """Validate internal consistency; used by property-based tests."""
+        covered = set()
+        for base, order in self._free_blocks.items():
+            if base % (1 << order) != 0:
+                raise AssertionError(
+                    f"free block {base} misaligned for order {order}")
+            span = set(range(base, base + (1 << order)))
+            if covered & span:
+                raise AssertionError("overlapping free blocks")
+            covered |= span
+        by_order = [0] * (MAX_ORDER + 1)
+        for order in self._free_blocks.values():
+            by_order[order] += 1
+        if by_order != self._live_counts:
+            raise AssertionError("live counts out of sync with free set")
+        for base, order in self._allocated.items():
+            span = set(range(base, base + (1 << order)))
+            if covered & span:
+                raise AssertionError("allocated block overlaps free block")
+            covered |= span
+        if len(covered) != self.total_frames:
+            raise AssertionError(
+                f"coverage {len(covered)} != total {self.total_frames}")

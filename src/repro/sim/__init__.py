@@ -1,0 +1,53 @@
+"""Simulation layer: Table II configs, the driver, and result handling."""
+
+from .config import (
+    BASELINE_L1,
+    L1_16K_4W_VIPT,
+    L1Config,
+    SIPT_GEOMETRIES,
+    SystemConfig,
+    inorder_system,
+    ooo_system,
+)
+from .coherent_driver import CoherentRunResult, simulate_coherent
+from .driver import simulate, simulate_multicore
+from .experiment import (
+    SHARED_TRACES,
+    TraceCache,
+    default_accesses,
+    run_app,
+    run_suite,
+)
+from .results import (
+    Comparison,
+    SimResult,
+    arithmetic_mean,
+    harmonic_mean,
+)
+from .sweep import SweepSpec, run_sweep, to_csv
+
+__all__ = [
+    "BASELINE_L1",
+    "CoherentRunResult",
+    "Comparison",
+    "L1Config",
+    "L1_16K_4W_VIPT",
+    "SHARED_TRACES",
+    "SIPT_GEOMETRIES",
+    "SimResult",
+    "SweepSpec",
+    "SystemConfig",
+    "TraceCache",
+    "arithmetic_mean",
+    "default_accesses",
+    "harmonic_mean",
+    "inorder_system",
+    "ooo_system",
+    "run_app",
+    "run_suite",
+    "run_sweep",
+    "simulate",
+    "simulate_coherent",
+    "simulate_multicore",
+    "to_csv",
+]

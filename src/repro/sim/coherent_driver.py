@@ -1,0 +1,132 @@
+"""Coherent shared-memory multicore simulation.
+
+Extends the evaluation beyond the paper's multiprogrammed quad core:
+threads of one process run on cores with private SIPT L1 front ends
+whose arrays are kept coherent by a MESI snoop bus. This is the setting
+the paper's Section IV correctness argument speaks to — speculative
+indexing must not interact with coherence — and here it is *executed*
+rather than argued: the SIPT front end classifies each access
+(fast/slow/extra) from speculation alone, while the functional array
+content and all permissions are owned by the bus.
+
+Timing per access = SIPT front-end latency (translation overlap,
+misspeculation retries) + bus latency (upgrade/intervention hops)
++ the shared miss path (LLC/DRAM) for memory-sourced fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..cache.coherence import SnoopBus
+from ..cache.set_assoc import SetAssociativeCache
+from ..timing.dram import DramModel
+from ..workloads.trace import Trace
+from .config import SystemConfig
+from .driver import (
+    _build_core,
+    _build_l1,
+    _build_miss_path,
+    _energy_model,
+)
+from .results import SimResult
+
+
+@dataclass
+class CoherentRunResult:
+    """Per-core results plus the shared snoop bus of one coherent run."""
+
+    cores: List[SimResult]
+    bus: SnoopBus
+
+    def __iter__(self):
+        return iter(self.cores)
+
+    def __len__(self):
+        return len(self.cores)
+
+    @property
+    def sum_ipc(self) -> float:
+        return sum(result.ipc for result in self.cores)
+
+
+def simulate_coherent(traces: Sequence[Trace], system: SystemConfig,
+                      hop_latency: int = 8,
+                      llc_capacity: Optional[int] = None
+                      ) -> CoherentRunResult:
+    """Run one thread trace per core over MESI-coherent private L1s.
+
+    All traces must come from :func:`repro.workloads.shared.
+    generate_shared_traces` (they share one page table). Returns a
+    :class:`CoherentRunResult` with one :class:`SimResult` per core and
+    the snoop bus for coherence-traffic inspection.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    n_cores = len(traces)
+    bus = SnoopBus(hop_latency=hop_latency)
+    shared_llc = SetAssociativeCache(
+        llc_capacity or system.llc_capacity * n_cores,
+        system.l1.line_size, system.llc_ways, name="LLC")
+    shared_dram = DramModel()
+
+    fronts = [_build_l1(system) for _ in range(n_cores)]
+    wrappers = [bus.attach(front.cache) for front in fronts]
+    miss_paths = [_build_miss_path(system, shared_llc, shared_dram)
+                  for _ in range(n_cores)]
+    cores = [_build_core(system, trace.mlp) for trace in traces]
+
+    positions = [0] * n_cores
+    done = [False] * n_cores
+    while not all(done):
+        for cid in range(n_cores):
+            trace = traces[cid]
+            i = positions[cid]
+            is_write = bool(trace.is_write[i])
+            cores[cid].retire_instructions(int(trace.inst_gap[i]))
+            translation, fast, extra, outcome, latency = \
+                fronts[cid].front_end(int(trace.pc[i]),
+                                      int(trace.va[i]),
+                                      trace.process.page_table)
+            pa = translation.pa
+            if is_write:
+                bus_latency, source = bus.write(cid, pa)
+            else:
+                bus_latency, source = bus.read(cid, pa)
+            latency += bus_latency
+            if source == "memory":
+                latency += miss_paths[cid].access(pa, is_write)
+            cores[cid].memory_access(latency, is_write,
+                                     int(trace.dep_dist[i]))
+            positions[cid] += 1
+            if positions[cid] == len(trace):
+                positions[cid] = 0
+                done[cid] = True
+    bus.check_invariants()
+
+    results = []
+    for cid in range(n_cores):
+        stats = cores[cid].finish()
+        front = fronts[cid]
+        l1_accesses = (front.cache.stats.accesses
+                       + front.stats.extra_l1_accesses)
+        energy = _energy_model(system).breakdown(
+            cycles=int(stats.cycles),
+            l1_accesses=l1_accesses,
+            l2_accesses=miss_paths[cid].stats.l2_accesses,
+            llc_accesses=miss_paths[cid].stats.llc_accesses,
+            predictor_queries=front.stats.accesses)
+        results.append(SimResult(
+            app=traces[cid].app,
+            system=system.name,
+            instructions=stats.instructions,
+            cycles=stats.cycles,
+            l1_stats=front.cache.stats,
+            tlb_stats=front.tlb.stats,
+            outcomes=front.outcomes,
+            energy=energy,
+            l1_accesses_with_extra=l1_accesses,
+            fast_fraction=front.stats.fast_fraction,
+            extra_access_fraction=front.stats.extra_access_fraction))
+    return CoherentRunResult(cores=results, bus=bus)

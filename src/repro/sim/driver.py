@@ -1,0 +1,217 @@
+"""Simulation driver: replay a trace through a configured system.
+
+One call to :func:`simulate` builds the whole machine (SIPT L1 front end,
+TLBs, L2/LLC/DRAM miss path, core timing model, energy model), replays
+the trace access by access, and returns a :class:`SimResult`.
+
+:func:`simulate_multicore` runs four traces against private L1/L2s and a
+shared LLC/DRAM, recycling shorter traces until the longest completes —
+the paper's quad-core methodology (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..cache.hierarchy import CacheHierarchy
+from ..cache.set_assoc import SetAssociativeCache
+from ..cache.tlb import TlbHierarchy
+from ..core.indexing import IndexingScheme
+from ..core.sipt_cache import SiptL1Cache
+from ..timing.cacti import CactiModel
+from ..timing.dram import DramModel
+from ..timing.energy import (
+    EnergyModel,
+    INORDER_LLC_PARAMS,
+    LevelEnergyParams,
+    OOO_L2_PARAMS,
+    OOO_LLC_PARAMS,
+)
+from ..timing.inorder import InOrderCore
+from ..timing.ooo import OooCore
+from ..workloads.trace import Trace
+from .config import SystemConfig
+from .results import SimResult
+
+_CACTI = CactiModel()
+
+
+def _build_l1(system: SystemConfig) -> SiptL1Cache:
+    l1cfg = system.l1
+    cache = SetAssociativeCache(l1cfg.capacity, l1cfg.line_size,
+                                l1cfg.ways, name="L1D")
+    tlb = TlbHierarchy()
+    return SiptL1Cache(cache, tlb,
+                       scheme=l1cfg.scheme,
+                       variant=l1cfg.variant,
+                       hit_latency=l1cfg.latency,
+                       way_prediction=l1cfg.way_prediction,
+                       page_bound_idb=l1cfg.page_bound_idb)
+
+
+def _build_miss_path(system: SystemConfig,
+                     shared_llc: Optional[SetAssociativeCache] = None,
+                     shared_dram: Optional[DramModel] = None
+                     ) -> CacheHierarchy:
+    l2 = None
+    if system.has_l2:
+        l2 = SetAssociativeCache(system.l2_capacity, system.l1.line_size,
+                                 system.l2_ways, name="L2")
+    llc = shared_llc or SetAssociativeCache(
+        system.llc_capacity, system.l1.line_size, system.llc_ways,
+        name="LLC")
+    dram = shared_dram or DramModel()
+    return CacheHierarchy(l2, llc, dram,
+                          l2_latency=system.l2_latency,
+                          llc_latency=system.llc_latency)
+
+
+def _build_core(system: SystemConfig, mlp: float):
+    if system.core == "ooo":
+        return OooCore(width=6, rob_size=192, mlp=mlp)
+    if system.core == "ooo-detailed":
+        from ..timing.detailed import DetailedOooCore
+        return DetailedOooCore(width=6, rob_size=192)
+    return InOrderCore(width=2)
+
+
+def _energy_model(system: SystemConfig) -> EnergyModel:
+    l1 = LevelEnergyParams(
+        dynamic_nj=_CACTI.dynamic_nj(system.l1.capacity, system.l1.ways),
+        static_mw=_CACTI.static_mw(system.l1.capacity, system.l1.ways))
+    l2 = OOO_L2_PARAMS if system.has_l2 else None
+    llc = OOO_LLC_PARAMS if system.core == "ooo" else INORDER_LLC_PARAMS
+    return EnergyModel(l1, l2, llc)
+
+
+def _attach_walker(l1: SiptL1Cache, miss_path: CacheHierarchy,
+                   trace: Trace) -> None:
+    """Give the TLB a hardware page walker over the core's miss path.
+
+    Walker loads are physical accesses into the page-table radix tree
+    (Section II-B's x86-walker argument); they share the L2/LLC with
+    demand traffic, so TLB-miss latency becomes dynamic.
+    """
+    from ..cache.walker import PageWalker
+    l1.tlb.walker = PageWalker(
+        lambda pa: miss_path.access(pa, is_write=False))
+
+
+class _CoreContext:
+    """Everything private to one core during a (multi)core simulation."""
+
+    #: An extra L1 access (SIPT misspeculation) occupies the cache port;
+    #: a memory access issued immediately afterwards queues behind it
+    #: (Section IV: slow accesses "contend for the L1 cache port").
+    PORT_CONFLICT_WINDOW = 2   # instruction gap below which it queues
+    PORT_CONFLICT_CYCLES = 1
+
+    def __init__(self, system: SystemConfig, trace: Trace,
+                 shared_llc=None, shared_dram=None):
+        self.system = system
+        self.trace = trace
+        self.l1 = _build_l1(system)
+        self.miss_path = _build_miss_path(system, shared_llc, shared_dram)
+        _attach_walker(self.l1, self.miss_path, trace)
+        self.core = _build_core(system, trace.mlp)
+        self.position = 0
+        self.completed_once = False
+        self.port_conflicts = 0
+        self._port_busy = False
+
+    def step(self) -> None:
+        """Replay one trace record (recycling at the end)."""
+        trace = self.trace
+        i = self.position
+        gap = int(trace.inst_gap[i])
+        self.core.retire_instructions(gap)
+        result = self.l1.access(int(trace.pc[i]), int(trace.va[i]),
+                                bool(trace.is_write[i]),
+                                trace.process.page_table)
+        latency = result.latency
+        if self._port_busy and gap < self.PORT_CONFLICT_WINDOW:
+            latency += self.PORT_CONFLICT_CYCLES
+            self.port_conflicts += 1
+        self._port_busy = result.extra_l1_access
+        if not result.hit:
+            latency += self.miss_path.access(result.translation.pa,
+                                             bool(trace.is_write[i]))
+        if result.writeback_line is not None:
+            self.miss_path.writeback(result.writeback_line,
+                                     self.l1.cache.line_shift)
+        self.core.memory_access(latency, bool(trace.is_write[i]),
+                                int(trace.dep_dist[i]))
+        self.position += 1
+        if self.position == len(trace):
+            self.position = 0
+            self.completed_once = True
+
+    def result(self) -> SimResult:
+        stats = self.core.finish()
+        l1 = self.l1
+        predictor_queries = 0
+        if l1.perceptron is not None:
+            predictor_queries = l1.perceptron.stats.predictions
+        if l1.idb is not None:
+            predictor_queries += l1.idb.stats.predictions
+        l1_accesses = l1.cache.stats.accesses + l1.stats.extra_l1_accesses
+        energy_factor = 1.0
+        way_accuracy = None
+        if l1.way_predictor is not None:
+            energy_factor = l1.way_predictor.dynamic_energy_factor()
+            way_accuracy = l1.way_predictor.stats.accuracy
+        energy = _energy_model(self.system).breakdown(
+            cycles=int(stats.cycles),
+            l1_accesses=l1_accesses,
+            l2_accesses=self.miss_path.stats.l2_accesses,
+            llc_accesses=self.miss_path.stats.llc_accesses,
+            predictor_queries=predictor_queries,
+            l1_data_energy_factor=energy_factor)
+        return SimResult(
+            app=self.trace.app,
+            system=self.system.name,
+            instructions=stats.instructions,
+            cycles=stats.cycles,
+            l1_stats=l1.cache.stats,
+            tlb_stats=l1.tlb.stats,
+            outcomes=l1.outcomes,
+            energy=energy,
+            l1_accesses_with_extra=l1_accesses,
+            fast_fraction=l1.stats.fast_fraction,
+            extra_access_fraction=l1.stats.extra_access_fraction,
+            way_prediction_accuracy=way_accuracy)
+
+
+def simulate(trace: Trace, system: SystemConfig) -> SimResult:
+    """Run one trace through one system configuration."""
+    ctx = _CoreContext(system, trace)
+    for _ in range(len(trace)):
+        ctx.step()
+    return ctx.result()
+
+
+def simulate_multicore(traces: Sequence[Trace], system: SystemConfig,
+                       llc_capacity: Optional[int] = None
+                       ) -> List[SimResult]:
+    """Run one trace per core with a shared LLC and DRAM.
+
+    The shared LLC defaults to ``system.llc_capacity * n_cores``
+    (the paper scales LLC size with core count). Traces are recycled
+    until the last core finishes its first pass, keeping contention
+    alive throughout, exactly as in Section VI-B.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    n_cores = len(traces)
+    shared_llc = SetAssociativeCache(
+        llc_capacity or system.llc_capacity * n_cores,
+        system.l1.line_size, system.llc_ways, name="LLC")
+    shared_dram = DramModel()
+    contexts = [_CoreContext(system, trace, shared_llc, shared_dram)
+                for trace in traces]
+    # Round-robin; finished cores keep replaying their (recycled) trace
+    # so contention stays constant until the last core completes.
+    while not all(ctx.completed_once for ctx in contexts):
+        for ctx in contexts:
+            ctx.step()
+    return [ctx.result() for ctx in contexts]

@@ -1,0 +1,75 @@
+"""Experiment harness: shared trace cache and suite runners.
+
+The benchmarks regenerate the paper's tables and figures by sweeping
+(app, system) pairs. Traces are expensive to build relative to replaying
+them, so this module memoizes them per (app, condition, length, seed).
+
+The experiment length defaults to a laptop-friendly access count and can
+be scaled with the ``REPRO_ACCESSES`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..workloads.spec import EVALUATED_APPS
+from ..workloads.trace import MemoryCondition, Trace, generate_trace
+from .config import SystemConfig
+from .driver import simulate
+from .results import SimResult
+
+
+def default_accesses() -> int:
+    """Experiment length: 50k accesses unless REPRO_ACCESSES overrides."""
+    return int(os.environ.get("REPRO_ACCESSES", "50000"))
+
+
+class TraceCache:
+    """Memoizes generated traces for reuse across systems.
+
+    Replaying a trace mutates only simulator-side state (caches, TLBs,
+    predictor tables built per `simulate` call); the trace itself and its
+    page table are read-only during replay, so sharing is safe.
+    """
+
+    def __init__(self):
+        self._traces: Dict[Tuple, Trace] = {}
+
+    def get(self, app: str, n_accesses: Optional[int] = None,
+            condition: MemoryCondition = MemoryCondition.NORMAL,
+            seed: int = 0) -> Trace:
+        n = n_accesses or default_accesses()
+        key = (app, n, condition, seed)
+        if key not in self._traces:
+            self._traces[key] = generate_trace(app, n, condition=condition,
+                                               seed=seed)
+        return self._traces[key]
+
+    def clear(self) -> None:
+        self._traces.clear()
+
+
+#: Module-level cache shared by the benchmark suite.
+SHARED_TRACES = TraceCache()
+
+
+def run_app(app: str, system: SystemConfig,
+            condition: MemoryCondition = MemoryCondition.NORMAL,
+            n_accesses: Optional[int] = None, seed: int = 0,
+            cache: Optional[TraceCache] = None) -> SimResult:
+    """Simulate one app on one system (trace memoized)."""
+    cache = cache or SHARED_TRACES
+    trace = cache.get(app, n_accesses, condition, seed)
+    return simulate(trace, system)
+
+
+def run_suite(system: SystemConfig,
+              apps: Optional[Iterable[str]] = None,
+              condition: MemoryCondition = MemoryCondition.NORMAL,
+              n_accesses: Optional[int] = None, seed: int = 0,
+              cache: Optional[TraceCache] = None) -> Dict[str, SimResult]:
+    """Simulate the (default 26-app) suite on one system."""
+    apps = list(apps) if apps is not None else list(EVALUATED_APPS)
+    return {app: run_app(app, system, condition, n_accesses, seed, cache)
+            for app in apps}

@@ -1,0 +1,103 @@
+"""Simulation result containers and aggregation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..cache.set_assoc import CacheStats
+from ..cache.tlb import TlbStats
+from ..core.outcomes import OutcomeCounts
+from ..timing.energy import EnergyBreakdown
+
+
+@dataclass
+class SimResult:
+    """Everything one (trace, system) simulation produced."""
+
+    app: str
+    system: str
+    instructions: int
+    cycles: float
+    l1_stats: CacheStats
+    tlb_stats: TlbStats
+    outcomes: OutcomeCounts
+    energy: EnergyBreakdown
+    l1_accesses_with_extra: int
+    fast_fraction: float
+    extra_access_fraction: float
+    way_prediction_accuracy: Optional[float] = None
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """IPC relative to a baseline run of the same trace."""
+        if baseline.ipc == 0:
+            raise ValueError("baseline IPC is zero")
+        return self.ipc / baseline.ipc
+
+    def energy_over(self, baseline: "SimResult") -> float:
+        """Total cache-hierarchy energy relative to a baseline run."""
+        if baseline.energy.total == 0:
+            raise ValueError("baseline energy is zero")
+        return self.energy.total / baseline.energy.total
+
+    def dynamic_energy_over(self, baseline: "SimResult") -> float:
+        """Dynamic energy relative to the baseline's *total* energy.
+
+        Matches the paper's "Normalized Dynamic Energy" series in
+        Figs. 7 and 14 (dynamic over baseline total).
+        """
+        if baseline.energy.total == 0:
+            raise ValueError("baseline energy is zero")
+        return self.energy.dynamic / baseline.energy.total
+
+    def additional_accesses_over(self, baseline: "SimResult") -> float:
+        """Relative extra L1 accesses: accesses_SIPT/accesses_base - 1."""
+        if baseline.l1_accesses_with_extra == 0:
+            raise ValueError("baseline has no L1 accesses")
+        return (self.l1_accesses_with_extra
+                / baseline.l1_accesses_with_extra) - 1.0
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean, the paper's averaging rule for speedups."""
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic_mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean, the paper's averaging rule for energy."""
+    values = list(values)
+    if not values:
+        raise ValueError("arithmetic_mean of empty sequence")
+    return sum(values) / len(values)
+
+
+@dataclass
+class Comparison:
+    """Per-app metric plus the paper-style average row."""
+
+    per_app: Dict[str, float]
+    average: float
+
+    @classmethod
+    def speedups(cls, results: Dict[str, SimResult],
+                 baselines: Dict[str, SimResult]) -> "Comparison":
+        per_app = {app: results[app].speedup_over(baselines[app])
+                   for app in results}
+        return cls(per_app=per_app, average=harmonic_mean(per_app.values()))
+
+    @classmethod
+    def energies(cls, results: Dict[str, SimResult],
+                 baselines: Dict[str, SimResult]) -> "Comparison":
+        per_app = {app: results[app].energy_over(baselines[app])
+                   for app in results}
+        return cls(per_app=per_app,
+                   average=arithmetic_mean(per_app.values()))

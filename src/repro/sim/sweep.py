@@ -1,0 +1,118 @@
+"""Parameter-sweep utility: run a grid of experiments, export CSV.
+
+The benchmark files each regenerate one figure; this module is the
+general tool behind ad-hoc studies: sweep (app x L1 config x condition)
+grids, collect the standard metrics, and write them as CSV for external
+plotting.
+
+Example::
+
+    from repro.sim.sweep import SweepSpec, run_sweep, to_csv
+    spec = SweepSpec(apps=["perlbench", "mcf"],
+                     configs={"base": BASELINE_L1,
+                              "sipt": SIPT_GEOMETRIES["32K_2w"]})
+    rows = run_sweep(spec, n_accesses=20_000)
+    to_csv(rows, "sweep.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..workloads.trace import MemoryCondition
+from .config import L1Config, SystemConfig, inorder_system, ooo_system
+from .experiment import TraceCache, run_app
+
+#: The columns every sweep row carries, in CSV order.
+FIELDS = ["app", "config", "core", "condition", "seed", "ipc",
+          "speedup", "l1_miss_rate", "fast_fraction",
+          "extra_access_fraction", "energy_j", "energy_ratio"]
+
+
+@dataclass
+class SweepSpec:
+    """What to sweep. Every combination of the lists is run."""
+
+    apps: List[str]
+    configs: Dict[str, L1Config]
+    cores: List[str] = field(default_factory=lambda: ["ooo"])
+    conditions: List[MemoryCondition] = field(
+        default_factory=lambda: [MemoryCondition.NORMAL])
+    seeds: List[int] = field(default_factory=lambda: [0])
+    #: Config name to normalize speedup/energy against (per app, core,
+    #: condition, seed); None disables the ratio columns.
+    baseline: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.apps or not self.configs:
+            raise ValueError("apps and configs must be non-empty")
+        if self.baseline is not None and self.baseline not in self.configs:
+            raise ValueError(f"baseline {self.baseline!r} not in configs")
+
+
+def _system_for(core: str, l1: L1Config) -> SystemConfig:
+    if core == "inorder":
+        return inorder_system(l1)
+    system = ooo_system(l1)
+    if core == "ooo-detailed":
+        from dataclasses import replace
+        system = replace(system, core="ooo-detailed")
+    return system
+
+
+def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
+              traces: Optional[TraceCache] = None) -> List[dict]:
+    """Run the grid; returns one dict per (combination), FIELDS keys."""
+    traces = traces or TraceCache()
+    rows: List[dict] = []
+    for core in spec.cores:
+        for condition in spec.conditions:
+            for seed in spec.seeds:
+                baselines = {}
+                if spec.baseline is not None:
+                    for app in spec.apps:
+                        baselines[app] = run_app(
+                            app, _system_for(core,
+                                             spec.configs[spec.baseline]),
+                            condition=condition, n_accesses=n_accesses,
+                            seed=seed, cache=traces)
+                for name, cfg in spec.configs.items():
+                    for app in spec.apps:
+                        result = run_app(app, _system_for(core, cfg),
+                                         condition=condition,
+                                         n_accesses=n_accesses,
+                                         seed=seed, cache=traces)
+                        base = baselines.get(app)
+                        rows.append({
+                            "app": app,
+                            "config": name,
+                            "core": core,
+                            "condition": condition.value,
+                            "seed": seed,
+                            "ipc": result.ipc,
+                            "speedup": (result.speedup_over(base)
+                                        if base else ""),
+                            "l1_miss_rate": result.l1_stats.miss_rate,
+                            "fast_fraction": result.fast_fraction,
+                            "extra_access_fraction":
+                                result.extra_access_fraction,
+                            "energy_j": result.energy.total,
+                            "energy_ratio": (result.energy_over(base)
+                                             if base else ""),
+                        })
+    return rows
+
+
+def to_csv(rows: Iterable[dict], path: Union[str, Path]) -> Path:
+    """Write sweep rows to ``path`` as CSV; returns the path."""
+    path = Path(path)
+    rows = list(rows)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=FIELDS)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path

@@ -1,0 +1,44 @@
+"""Timing and energy models: CACTI substitute, cores, DRAM, energy."""
+
+from .cacti import CLOCK_GHZ, CactiModel, CactiResult, TABLE2_ANCHORS
+from .dram import DramModel, DramStats
+from .energy import (
+    EnergyBreakdown,
+    EnergyModel,
+    INORDER_LLC_PARAMS,
+    LevelEnergyParams,
+    OOO_L2_PARAMS,
+    OOO_LLC_PARAMS,
+)
+from .detailed import DetailedOooCore
+from .inorder import CoreStats, InOrderCore
+from .ooo import OooCore
+from .scheduler import (
+    ReplayCosts,
+    ReplayPolicy,
+    ReplayReport,
+    SchedulerReplayModel,
+)
+
+__all__ = [
+    "CLOCK_GHZ",
+    "CactiModel",
+    "CactiResult",
+    "CoreStats",
+    "DetailedOooCore",
+    "DramModel",
+    "DramStats",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "INORDER_LLC_PARAMS",
+    "InOrderCore",
+    "LevelEnergyParams",
+    "OOO_L2_PARAMS",
+    "OOO_LLC_PARAMS",
+    "OooCore",
+    "ReplayCosts",
+    "ReplayPolicy",
+    "ReplayReport",
+    "SchedulerReplayModel",
+    "TABLE2_ANCHORS",
+]

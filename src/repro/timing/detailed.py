@@ -1,0 +1,106 @@
+"""Dependence-graph OOO core model ("detailed" core).
+
+Where :class:`~repro.timing.ooo.OooCore` uses calibrated stall
+accounting, this model computes per-instruction issue and retire times
+from first principles, the way limit studies of OOO pipelines do:
+
+* **fetch/ROB limit**: instruction ``i`` cannot enter the window until
+  the instruction ``ROB`` slots older has retired;
+* **issue width**: at most ``width`` instructions issue per cycle;
+* **data dependence**: the consumer of a load (``dep_dist``
+  instructions later) cannot issue before the load completes;
+* **in-order retire** with ``width`` retire bandwidth.
+
+The recurrences are O(1) per instruction with ring buffers, so the
+detailed core is only ~2x slower than the analytic one while modelling
+ROB stalls, dependence chains, and MLP *emergently* (independent loads
+overlap simply because nothing serializes them).
+
+Select it with ``SystemConfig(core="ooo-detailed")``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict
+
+from .inorder import CoreStats
+
+
+class DetailedOooCore:
+    """Event-time OOO model with ROB, width, and dependence limits.
+
+    Implements the same interface as the analytic cores
+    (:meth:`retire_instructions`, :meth:`memory_access`,
+    :meth:`finish`), so the driver can swap it in transparently.
+    """
+
+    #: Pipeline front-end depth: a load's value is available to its
+    #: consumer this many cycles after issue even for a 0-latency op.
+    FORWARD_LATENCY = 1
+
+    def __init__(self, width: int = 6, rob_size: int = 192):
+        if width < 1 or rob_size < width:
+            raise ValueError("invalid width/ROB configuration")
+        self.width = width
+        self.rob_size = rob_size
+        self.stats = CoreStats()
+        self._index = 0
+        self._issue_times: Deque[float] = deque(maxlen=width)
+        self._retire_times: Deque[float] = deque(maxlen=rob_size)
+        self._wakeups: Dict[int, float] = {}
+        self._last_retire = 0.0
+        self._final_time = 0.0
+
+    # ------------------------------------------------------------------
+    def _issue_one(self, exec_latency: float,
+                   completes_off_path: bool = False) -> float:
+        """Advance one instruction; returns its completion time."""
+        i = self._index
+        rob_ok = (self._retire_times[0]
+                  if len(self._retire_times) == self.rob_size else 0.0)
+        width_ok = (self._issue_times[0] + 1.0
+                    if len(self._issue_times) == self.width else 0.0)
+        dep_ok = self._wakeups.pop(i, 0.0)
+        issue = max(rob_ok, width_ok, dep_ok)
+        complete = issue + exec_latency
+        # In-order retire at up to `width` per cycle.
+        retire = max(issue if completes_off_path else complete,
+                     self._last_retire + 1.0 / self.width)
+        self._issue_times.append(issue)
+        self._retire_times.append(retire)
+        self._last_retire = retire
+        self._final_time = max(self._final_time, retire)
+        self._index += 1
+        self.stats.instructions += 1
+        return complete
+
+    # ------------------------------------------------------------------
+    def retire_instructions(self, count: int) -> None:
+        """Account for ``count`` single-cycle ALU instructions."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for _ in range(count):
+            self._issue_one(1.0)
+
+    def memory_access(self, latency: int, is_write: bool,
+                      dep_dist: int) -> None:
+        """One load/store with total memory latency ``latency``.
+
+        Loads wake their first consumer ``dep_dist`` instructions later;
+        stores complete off the critical path through the store buffer.
+        """
+        if is_write:
+            self._issue_one(1.0, completes_off_path=True)
+            return
+        complete = self._issue_one(max(1.0, float(latency)))
+        consumer = self._index + max(0, int(dep_dist))
+        previous = self._wakeups.get(consumer, 0.0)
+        if complete > previous:
+            self._wakeups[consumer] = complete
+
+    def finish(self) -> CoreStats:
+        """Final stats; cycles is the retire time of the last instruction."""
+        self.stats.cycles = max(self._final_time,
+                                self.stats.instructions / self.width)
+        return self.stats

@@ -1,0 +1,126 @@
+"""Speculative-scheduling replay model (Section VII-C).
+
+Modern OOO schedulers speculatively wake dependents of a load assuming
+its common-case latency; when the load turns out slower (a cache miss,
+a way misprediction, or — new with SIPT — a slow access after a wrong
+index speculation), the speculatively issued dependents must *replay*.
+
+Section VII-C argues SIPT composes well with existing replay schemes:
+
+* its misprediction rate is a small fraction of the cache-miss rate the
+  scheduler already tolerates, and
+* the bypass predictor is a built-in *confidence estimator*: loads
+  predicted to have unchanged bits almost never misspeculate, so the
+  expensive selective-replay resources can be reserved for the few
+  low-confidence loads while high-confidence loads fall back to a
+  cheaper flush-style replay.
+
+This module quantifies that argument. It post-processes a simulation's
+outcome counts into replay events and costs under three policies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.outcomes import OutcomeCounts
+
+
+class ReplayPolicy(enum.Enum):
+    """How the scheduler recovers from a latency misprediction."""
+
+    SELECTIVE = "selective"   # replay only the dependent chain
+    FLUSH = "flush"           # squash and refetch from the load
+    HYBRID = "hybrid"         # selective for low-confidence loads only
+
+
+@dataclass(frozen=True)
+class ReplayCosts:
+    """Recovery penalties in cycles per event.
+
+    Defaults follow the rough costs in Kim & Lipasti's analysis of
+    replay schemes: selective replay re-issues only dependents (a few
+    cycles); a flush pays a pipeline-refill-like penalty.
+    """
+
+    selective_cycles: float = 3.0
+    flush_cycles: float = 12.0
+
+
+@dataclass
+class ReplayReport:
+    """Replay accounting for one simulation under one policy."""
+
+    policy: ReplayPolicy
+    replay_events: int
+    replay_cycles: float
+    added_cpi: float
+    #: Fraction of loads that needed the selective-replay hardware
+    #: (0 for pure FLUSH; all events for pure SELECTIVE).
+    selective_fraction: float
+
+
+class SchedulerReplayModel:
+    """Convert SIPT outcome counts into scheduler replay costs.
+
+    A replay event occurs whenever the scheduler woke dependents for a
+    fast access that turned out slow — i.e., every EXTRA_ACCESS outcome
+    (the access was issued speculatively and failed). Correct bypasses
+    and opportunity losses schedule conservatively and never replay.
+    """
+
+    def __init__(self, costs: ReplayCosts = ReplayCosts()):
+        self.costs = costs
+
+    def replay_events(self, outcomes: OutcomeCounts) -> int:
+        """Number of scheduler replays SIPT causes."""
+        return outcomes.extra_access
+
+    def confident_fraction(self, outcomes: OutcomeCounts) -> float:
+        """Loads whose speculation the bypass predictor endorsed.
+
+        These are the high-confidence loads (correct speculations plus
+        the extra accesses that slipped past the predictor); the rest
+        went through the IDB or bypassed, i.e. were flagged low
+        confidence. The paper: "in many applications nearly all loads
+        do not require selective replay".
+        """
+        total = outcomes.total
+        if total == 0:
+            return 1.0
+        endorsed_failures = (outcomes.extra_access
+                             - outcomes.extra_access_after_idb)
+        confident = outcomes.correct_speculation + endorsed_failures
+        return confident / total
+
+    def report(self, outcomes: OutcomeCounts, instructions: int,
+               cycles: float, policy: ReplayPolicy) -> ReplayReport:
+        """Replay cost report for one finished simulation."""
+        if instructions <= 0 or cycles <= 0:
+            raise ValueError("instructions and cycles must be positive")
+        events = self.replay_events(outcomes)
+        costs = self.costs
+        if policy is ReplayPolicy.SELECTIVE:
+            cycles_added = events * costs.selective_cycles
+            selective_fraction = 1.0 if events else 0.0
+        elif policy is ReplayPolicy.FLUSH:
+            cycles_added = events * costs.flush_cycles
+            selective_fraction = 0.0
+        else:
+            # HYBRID: high-confidence loads use flush (their events are
+            # rare), low-confidence loads get selective replay. The
+            # split is exact: an EXTRA_ACCESS from a failed IDB value
+            # prediction is by definition a low-confidence event.
+            low_events = outcomes.extra_access_after_idb
+            high_events = events - low_events
+            cycles_added = (high_events * costs.flush_cycles
+                            + low_events * costs.selective_cycles)
+            selective_fraction = 1.0 - self.confident_fraction(outcomes)
+        return ReplayReport(
+            policy=policy,
+            replay_events=events,
+            replay_cycles=cycles_added,
+            added_cpi=cycles_added / instructions,
+            selective_fraction=selective_fraction,
+        )

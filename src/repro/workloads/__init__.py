@@ -1,0 +1,49 @@
+"""Workload synthesis: SPEC-like profiles, patterns, traces, and mixes."""
+
+from .ifetch import CODE_PROFILES, CodeProfile, generate_ifetch_trace
+from .mixes import MIX_NAMES, MIXES, get_mix
+from .patterns import PATTERNS, make_pattern
+from .shared import SHARING_KINDS, SharedWorkload, generate_shared_traces
+from .storage import load_trace, save_trace
+from .spec import (
+    EVALUATED_APPS,
+    LOW_SPECULATION_APPS,
+    PROFILES,
+    AppProfile,
+    PatternSpec,
+    get_profile,
+)
+from .trace import (
+    DEFAULT_PHYS_BYTES,
+    MemoryCondition,
+    Trace,
+    build_memory_image,
+    generate_trace,
+)
+
+__all__ = [
+    "AppProfile",
+    "CODE_PROFILES",
+    "CodeProfile",
+    "DEFAULT_PHYS_BYTES",
+    "generate_ifetch_trace",
+    "EVALUATED_APPS",
+    "LOW_SPECULATION_APPS",
+    "MIXES",
+    "MIX_NAMES",
+    "MemoryCondition",
+    "PATTERNS",
+    "PROFILES",
+    "PatternSpec",
+    "SHARING_KINDS",
+    "SharedWorkload",
+    "Trace",
+    "build_memory_image",
+    "generate_shared_traces",
+    "generate_trace",
+    "get_mix",
+    "get_profile",
+    "load_trace",
+    "make_pattern",
+    "save_trace",
+]

@@ -1,0 +1,127 @@
+"""Instruction-fetch stream synthesis (the paper's future-work case).
+
+Section III: "We believe SIPT will work at least as well for
+instruction caches as instruction working sets are typically small
+compared to data (suggested by the high I-TLB hit rates observed in
+prior work)." This module provides the substrate to test that claim:
+synthetic instruction-fetch traces over a code image mapped by the same
+OS model as the data experiments.
+
+A fetch stream is a random walk over basic blocks: runs of sequential
+4-byte fetches ended by a branch to a Zipf-popular target block. Code
+images are modest (hundreds of KiB), mapped read-only from bursty
+(contiguous) allocations — the loader writes the text segment in one
+pass, which is exactly the behaviour that makes I-side index bits
+predictable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..mem.address import PAGE_SIZE
+from ..mem.address_space import PhysicalMemory, Process
+from .trace import DEFAULT_PHYS_BYTES, MemoryCondition, Trace, \
+    _condition_memory
+
+
+@dataclass(frozen=True)
+class CodeProfile:
+    """Shape of one application's instruction stream."""
+
+    name: str
+    code_bytes: int = 512 * 1024       # text segment size
+    hot_blocks: int = 256              # distinct branch targets in play
+    mean_block_len: int = 8            # instructions per basic block
+    zipf_alpha: float = 1.1            # target popularity skew
+    inst_bytes: int = 4
+
+
+#: A few representative code footprints (small/medium/large text).
+CODE_PROFILES = {
+    "tight-loops": CodeProfile("tight-loops", code_bytes=64 * 1024,
+                               hot_blocks=48, mean_block_len=12),
+    "typical-int": CodeProfile("typical-int", code_bytes=512 * 1024,
+                               hot_blocks=256, mean_block_len=8),
+    "branchy-oop": CodeProfile("branchy-oop", code_bytes=2 * 1024 * 1024,
+                               hot_blocks=1024, mean_block_len=5),
+}
+
+
+def generate_ifetch_trace(profile_name: str, n_fetches: int,
+                          condition: MemoryCondition = MemoryCondition.NORMAL,
+                          seed: int = 0,
+                          phys_bytes: int = DEFAULT_PHYS_BYTES) -> Trace:
+    """Synthesize an instruction-fetch trace for a code profile.
+
+    Returns a :class:`~repro.workloads.trace.Trace` whose accesses are
+    all reads; ``pc`` is the fetch-block address (what an I-side SIPT
+    predictor would index with).
+    """
+    if n_fetches <= 0:
+        raise ValueError("n_fetches must be positive")
+    try:
+        profile = CODE_PROFILES[profile_name]
+    except KeyError:
+        raise ValueError(f"unknown code profile {profile_name!r}; "
+                         f"known: {sorted(CODE_PROFILES)}") from None
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, hash(profile_name) & 0x7FFFFFFF]))
+    memory = _condition_memory(condition, phys_bytes, rng)
+    process = Process(memory, asid=1)
+    # Text is mapped in one contiguous pass by the loader; file-backed
+    # mappings are not THP-eligible on a classic kernel.
+    region = process.mmap(profile.code_bytes, thp_eligible=False,
+                          align=PAGE_SIZE)
+    process.populate(region)
+
+    # Branch targets: block starts spread over the text segment.
+    n_targets = min(profile.hot_blocks,
+                    profile.code_bytes // (profile.mean_block_len
+                                           * profile.inst_bytes))
+    targets = rng.choice(profile.code_bytes // profile.inst_bytes,
+                         size=n_targets, replace=False)
+    targets = targets * profile.inst_bytes
+    ranks = np.arange(1, n_targets + 1, dtype=np.float64)
+    weights = ranks ** -profile.zipf_alpha
+    weights /= weights.sum()
+
+    va = np.empty(n_fetches, dtype=np.int64)
+    pc = np.empty(n_fetches, dtype=np.int64)
+    block_lens = rng.geometric(1.0 / profile.mean_block_len,
+                               size=n_fetches)
+    picks = rng.choice(n_targets, size=n_fetches, p=weights)
+    i = 0
+    block_index = 0
+    while i < n_fetches:
+        start = int(targets[picks[block_index]])
+        length = int(block_lens[block_index])
+        block_index += 1
+        addr = start
+        block_pc = region.start + start
+        for _ in range(length):
+            if i >= n_fetches:
+                break
+            va[i] = region.start + (addr % profile.code_bytes)
+            pc[i] = block_pc
+            addr += profile.inst_bytes
+            i += 1
+
+    huge = sum(
+        1 for address in va[: min(2000, n_fetches)]
+        if process.page_table.translate_entry(int(address))[1].huge)
+    return Trace(
+        app=f"ifetch/{profile_name}",
+        condition=condition,
+        process=process,
+        pc=pc,
+        va=va,
+        is_write=np.zeros(n_fetches, dtype=bool),
+        inst_gap=np.zeros(n_fetches, dtype=np.int32),
+        dep_dist=np.full(n_fetches, 2, dtype=np.int32),
+        mlp=4.0,
+        huge_fraction=huge / min(2000, n_fetches),
+    )

@@ -1,0 +1,36 @@
+"""Multi-programmed quad-core workloads (Table III).
+
+Eleven four-app mixes built from the single-core benchmarks; every
+evaluated application appears at least once, exactly as listed in the
+paper's Table III.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Table III, verbatim.
+MIXES: Dict[str, List[str]] = {
+    "mix0": ["h264ref", "hmmer", "perlbench", "povray"],
+    "mix1": ["mcf", "gcc", "bwaves", "cactusADM"],
+    "mix2": ["gobmk", "calculix", "GemsFDTD", "gromacs"],
+    "mix3": ["astar", "libquantum", "lbm", "zeusmp"],
+    "mix4": ["mcf", "perlbench", "leslie3d", "milc"],
+    "mix5": ["h264ref", "cactusADM", "calculix", "tonto"],
+    "mix6": ["gcc", "libquantum", "gamess", "povray"],
+    "mix7": ["sjeng", "omnetpp", "bzip2", "soplex"],
+    "mix8": ["graph500", "ycsb", "mcf", "povray"],
+    "mix9": ["mcf_17", "xalancbmk_17", "x264_17", "deepsjeng_17"],
+    "mix10": ["leela_17", "exchange2_17", "xz_17", "xalancbmk_17"],
+}
+
+MIX_NAMES: List[str] = list(MIXES)
+
+
+def get_mix(name: str) -> List[str]:
+    """Return the four benchmark names of a mix."""
+    try:
+        return list(MIXES[name])
+    except KeyError:
+        raise ValueError(
+            f"unknown mix {name!r}; known: {MIX_NAMES}") from None

@@ -1,0 +1,180 @@
+"""Access-pattern generators used to synthesize SPEC-like traces.
+
+Each generator yields byte offsets into an application's data footprint.
+The trace builder maps offsets onto the process's allocated regions and
+attaches PCs, write flags, and dependence distances.
+
+Patterns provided (the building blocks of the per-app profiles):
+
+* ``sequential``    — streaming walk (libquantum-, bwaves-like).
+* ``strided``       — fixed-stride walk (stencil codes).
+* ``random_uniform``— uniform random over a working set (mcf-, gcc-like).
+* ``zipf``          — hot/cold page mix with a Zipf popularity skew
+  (integer codes with hot data structures).
+* ``pointer_chase`` — a random cyclic permutation walked one element at a
+  time (linked data structures; maximally dependent).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+def sequential(footprint: int, stride: int = 8,
+               rng: np.random.Generator = None,
+               start: int = 0, working_set: int = None) -> Iterator[int]:
+    """Linear walk over the footprint (or working set), wrapping."""
+    span = min(working_set or footprint, footprint)
+    if span <= 0 or stride <= 0:
+        raise ValueError("footprint and stride must be positive")
+    offset = start % span
+    while True:
+        yield offset
+        offset = (offset + stride) % span
+
+
+def strided(footprint: int, stride: int = 256,
+            rng: np.random.Generator = None,
+            working_set: int = None) -> Iterator[int]:
+    """Fixed-stride walk; strides past the end wrap with a phase shift.
+
+    The phase shift on wrap makes successive sweeps touch different lines,
+    as column-major stencil sweeps do.
+    """
+    span = min(working_set or footprint, footprint)
+    if span <= 0 or stride <= 0:
+        raise ValueError("footprint and stride must be positive")
+    offset = 0
+    phase = 0
+    while True:
+        yield offset
+        offset += stride
+        if offset >= span:
+            phase = (phase + 8) % max(1, min(stride, span))
+            offset = phase
+
+
+def random_uniform(footprint: int, working_set: int = None,
+                   rng: np.random.Generator = None) -> Iterator[int]:
+    """Uniform random offsets within a (possibly smaller) working set."""
+    rng = rng or np.random.default_rng(0)
+    span = min(working_set or footprint, footprint)
+    if span <= 0:
+        raise ValueError("working set must be positive")
+    while True:
+        # Batch the RNG calls; one at a time is painfully slow.
+        for value in rng.integers(0, span, size=1024):
+            yield int(value) & ~0x7
+
+
+def zipf(footprint: int, alpha: float = 1.2, hot_fraction: float = 0.1,
+         rng: np.random.Generator = None, working_set: int = None,
+         lines_per_page: int = 16, n_clusters: int = 4) -> Iterator[int]:
+    """Zipf-skewed popularity over cache-line-sized hot units.
+
+    ``working_set`` sets the total bytes of hot lines. Hot lines are
+    packed ``lines_per_page`` to a page (bounding the TLB footprint, as
+    real hot data structures do); the hot pages form ``n_clusters``
+    contiguous runs placed at random positions in the footprint —
+    programs keep their hot structures in a few compact regions, which
+    is also what makes the index delta buffer effective. Each page's
+    hot lines occupy random line slots, so the hot set still maps
+    near-uniformly onto cache sets at any associativity.
+    ``hot_fraction`` is retained for interface symmetry and validated.
+    """
+    rng = rng or np.random.default_rng(0)
+    if not 0 < hot_fraction <= 1:
+        raise ValueError("hot_fraction must be in (0, 1]")
+    lines_per_page = max(1, min(lines_per_page, 64))
+    total_pages = max(1, footprint // 4096)
+    span = min(working_set or footprint, footprint)
+    n_lines = max(1, span // 64)
+    n_pages = min(total_pages, max(1, -(-n_lines // lines_per_page)))
+    n_lines = min(n_lines, n_pages * lines_per_page)
+    pages = _clustered_pages(total_pages, n_pages, n_clusters, rng)
+    # Each hot line i lives at a random line slot of its cluster page.
+    line_page = pages[np.arange(n_lines) // lines_per_page]
+    line_slot = np.concatenate([
+        rng.choice(64, size=min(lines_per_page, n_lines - p * lines_per_page),
+                   replace=False)
+        for p in range(n_pages)])[:n_lines]
+    line_addr = line_page.astype(np.int64) * 4096 + line_slot * 64
+    ranks = np.arange(1, n_lines + 1, dtype=np.float64)
+    weights = ranks ** -alpha
+    weights /= weights.sum()
+    order = rng.permutation(n_lines)  # spread hot ranks across pages
+    while True:
+        picks = rng.choice(n_lines, size=1024, p=weights)
+        in_line = rng.integers(0, 64, size=1024)
+        for pick, offset in zip(picks, in_line):
+            yield int(line_addr[order[pick]]) + (int(offset) & ~0x7)
+
+
+def _clustered_pages(total_pages: int, n_pages: int, n_clusters: int,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Pick ``n_pages`` page numbers as a few contiguous runs."""
+    n_pages = min(n_pages, total_pages)
+    if 2 * n_pages >= total_pages:
+        # Dense working set: clustering is meaningless, take a shuffled
+        # prefix of everything (also avoids hunting for the last free
+        # pages with random run starts).
+        return rng.permutation(total_pages)[:n_pages].astype(np.int64)
+    n_clusters = max(1, min(n_clusters, n_pages))
+    run_len = -(-n_pages // n_clusters)
+    chosen = []
+    used = set()
+    attempts = 0
+    while len(chosen) < n_pages and attempts < 64 * n_clusters:
+        attempts += 1
+        start = int(rng.integers(0, total_pages))
+        run = [p for p in range(start, min(start + run_len, total_pages))
+               if p not in used]
+        chosen.extend(run[: n_pages - len(chosen)])
+        used.update(run)
+    if len(chosen) < n_pages:
+        # Saturated: top up from whatever pages remain unused.
+        rest = [p for p in range(total_pages) if p not in used]
+        chosen.extend(rest[: n_pages - len(chosen)])
+    return np.asarray(chosen[:n_pages], dtype=np.int64)
+
+
+def pointer_chase(footprint: int, working_set: int = None,
+                  element_size: int = 64,
+                  rng: np.random.Generator = None) -> Iterator[int]:
+    """Walk a random cyclic permutation of cache-line-sized elements.
+
+    Every access depends on the previous one — the classic linked-list
+    traversal that defeats both prefetching and MLP.
+    """
+    rng = rng or np.random.default_rng(0)
+    span = min(working_set or footprint, footprint)
+    n_elems = max(2, span // element_size)
+    # A random cycle: visit order is a permutation walked repeatedly.
+    order = rng.permutation(n_elems)
+    position = 0
+    while True:
+        yield int(order[position]) * element_size
+        position = (position + 1) % n_elems
+
+
+PATTERNS = {
+    "sequential": sequential,
+    "strided": strided,
+    "random": random_uniform,
+    "zipf": zipf,
+    "chase": pointer_chase,
+}
+
+
+def make_pattern(kind: str, footprint: int, rng: np.random.Generator,
+                 **params) -> Iterator[int]:
+    """Instantiate a pattern generator by name."""
+    try:
+        factory = PATTERNS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown pattern {kind!r}; choose from {sorted(PATTERNS)}"
+        ) from None
+    return factory(footprint, rng=rng, **params)

@@ -1,0 +1,251 @@
+"""Trace generation: run an app profile through the OS memory model.
+
+A trace is the unit of simulation input, mirroring what the paper's
+modified Macsim trace generator captures: for every memory access the
+virtual address, the physical mapping (via the model page table rather
+than Linux pagemap), and page flags (huge or not). We additionally carry
+per-access pipeline hints (instruction gap, dependence distance) for the
+timing models.
+
+The decisive part is :func:`build_memory_image`: allocations are made
+through the buddy allocator with per-profile noise interleaving, so the
+VA->PA delta structure the SIPT predictors exploit *emerges* from the OS
+model rather than being scripted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..mem.address import PAGE_SIZE
+from ..mem.address_space import PhysicalMemory, Process, VmRegion
+from ..mem.fragmentation import fragment_memory
+from .patterns import make_pattern
+from .spec import AppProfile, get_profile
+
+#: Default modelled physical memory; small enough to simulate quickly,
+#: large enough that no experiment approaches out-of-memory.
+DEFAULT_PHYS_BYTES = 512 * 1024 * 1024
+
+
+class MemoryCondition(enum.Enum):
+    """Operating conditions of Section VII-B's sensitivity studies."""
+
+    NORMAL = "normal"          # regularly used machine, THP on
+    FRAGMENTED = "fragmented"  # Fu(9) > 0.95, THP mostly defeated
+    THP_OFF = "thp_off"        # transparent huge pages disabled
+
+
+@dataclass
+class Trace:
+    """One application's memory-access trace plus its address space."""
+
+    app: str
+    condition: MemoryCondition
+    process: Process
+    pc: np.ndarray          # int64, per access
+    va: np.ndarray          # int64
+    is_write: np.ndarray    # bool
+    inst_gap: np.ndarray    # int32: non-mem instructions before access
+    dep_dist: np.ndarray    # int32: distance to first consumer
+    mlp: float
+    huge_fraction: float    # fraction of accesses landing on huge pages
+
+    def __len__(self) -> int:
+        return len(self.va)
+
+    @property
+    def total_instructions(self) -> int:
+        return int(self.inst_gap.sum()) + len(self.va)
+
+
+def _condition_memory(condition: MemoryCondition,
+                      phys_bytes: int,
+                      rng: np.random.Generator) -> PhysicalMemory:
+    """Create physical memory in the requested operating condition."""
+    thp = condition is not MemoryCondition.THP_OFF
+    memory = PhysicalMemory(phys_bytes, thp_enabled=thp)
+    if condition is MemoryCondition.FRAGMENTED:
+        fragment_memory(memory.buddy, target_fu=0.95, rng=rng)
+    else:
+        # A long-uptime machine: some of memory is already in use, so
+        # fresh allocations rarely start at frame 0, but large contiguous
+        # blocks still exist.
+        _light_preuse(memory, rng)
+    return memory
+
+
+def _light_preuse(memory: PhysicalMemory,
+                  rng: np.random.Generator) -> None:
+    """Displace the allocation frontier (uptime-of-weeks machine state).
+
+    A varying slice of memory is held by "other processes" in block-sized
+    allocations, so fresh workloads never start at frame 0 — but the
+    frontier stays block-aligned and large contiguous free blocks remain,
+    as on a healthy long-running system.
+    """
+    buddy = memory.buddy
+    target = int(buddy.total_frames * float(rng.uniform(0.08, 0.20)))
+    taken = 0
+    while taken < target:
+        order = int(rng.choice([3, 4, 5, 6, 8, 10]))
+        base = buddy.try_allocate(order)
+        if base is None:
+            break
+        taken += 1 << order
+    # The held blocks are deliberately leaked: they model resident memory
+    # of the rest of the system, pinning the frontier in place.
+
+
+def build_memory_image(profile: AppProfile, memory: PhysicalMemory,
+                       rng: np.random.Generator) -> Tuple[Process, List[VmRegion]]:
+    """Allocate and populate the app's footprint per its allocation style.
+
+    Returns the process and the regions backing the data footprint.
+    ``noise_pages`` odd-sized allocations from a separate noise process
+    are interleaved between the app's chunks for the ``offset`` and
+    ``scattered`` styles, displacing subsequent frames by a constant
+    amount and breaking VA==PA bit equality without destroying the
+    constant-delta structure the IDB learns.
+    """
+    process = Process(memory, asid=1)
+    noise = Process(memory, asid=99)
+    regions: List[VmRegion] = []
+    if profile.alloc_style == "thp_big":
+        region = process.mmap(profile.footprint, thp_eligible=True)
+        process.populate(region)
+        regions.append(region)
+        return process, regions
+
+    if profile.initial_noise_pages:
+        noise_region = noise.mmap(profile.initial_noise_pages * PAGE_SIZE,
+                                  thp_eligible=False)
+        noise.populate(noise_region)
+
+    thp_eligible = False  # chunked/offset/scattered model sub-2MiB chunks
+    remaining = profile.footprint
+    chunk = profile.chunk_bytes
+    while remaining > 0:
+        size = min(chunk, remaining)
+        fire_noise = (profile.noise_pages > 0
+                      and rng.random() < profile.noise_prob)
+        if fire_noise:
+            noise_region = noise.mmap(profile.noise_pages * PAGE_SIZE,
+                                      thp_eligible=False)
+            noise.populate(noise_region)
+        region = process.mmap(size, thp_eligible=thp_eligible,
+                              align=PAGE_SIZE)
+        process.populate(region)
+        regions.append(region)
+        remaining -= size
+    return process, regions
+
+
+def _region_offset_to_va(regions: List[VmRegion], footprint: int,
+                         offset: int) -> int:
+    """Map a flat footprint offset onto the (possibly split) regions."""
+    for region in regions:
+        if offset < region.length:
+            return region.start + offset
+        offset -= region.length
+    # Wrap (patterns yield offsets modulo the footprint already, but a
+    # final partial chunk can make the region sum slightly larger).
+    return regions[-1].start + (offset % regions[-1].length)
+
+
+def generate_trace(app: str, n_accesses: int,
+                   condition: MemoryCondition = MemoryCondition.NORMAL,
+                   seed: int = 0,
+                   phys_bytes: int = DEFAULT_PHYS_BYTES,
+                   memory: Optional[PhysicalMemory] = None) -> Trace:
+    """Synthesize a trace of ``n_accesses`` memory references for ``app``.
+
+    Deterministic for a given (app, condition, seed). Pass ``memory`` to
+    allocate several apps in one shared physical memory (multicore runs).
+    """
+    if n_accesses <= 0:
+        raise ValueError("n_accesses must be positive")
+    profile = get_profile(app)
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, hash(app) & 0x7FFFFFFF,
+                                hash(condition.value) & 0x7FFFFFFF]))
+    if memory is None:
+        memory = _condition_memory(condition, phys_bytes, rng)
+    process, regions = build_memory_image(profile, memory, rng)
+
+    generators = []
+    pc_bases = []
+    weights = []
+    dep_means = []
+    for i, spec in enumerate(profile.patterns):
+        params = {}
+        if spec.working_set:
+            params["working_set"] = spec.working_set
+        if spec.stride:
+            params["stride"] = spec.stride
+        if spec.alpha:
+            params["alpha"] = spec.alpha
+        kind_rng = np.random.default_rng(rng.integers(2 ** 31))
+        generators.append(make_pattern(spec.kind, profile.footprint,
+                                       kind_rng, **params))
+        pc_bases.append(0x400000 + i * 0x100000)
+        weights.append(spec.weight)
+        dep_means.append(spec.dep_dist_mean)
+    weights = np.asarray(weights)
+    weights = weights / weights.sum()
+
+    # Pre-draw all randomness in bulk for speed.
+    component = rng.choice(len(generators), size=n_accesses, p=weights)
+    writes = rng.random(n_accesses) < profile.write_frac
+    gap_mean = max(0.0, 1.0 / profile.mem_per_inst - 1.0)
+    inst_gap = rng.poisson(gap_mean, size=n_accesses).astype(np.int32)
+    dep_draw = rng.exponential(1.0, size=n_accesses)
+    repeats = rng.random(n_accesses) < profile.repeat_frac
+    line_offsets = rng.integers(0, 8, size=n_accesses) * 8
+
+    pc = np.empty(n_accesses, dtype=np.int64)
+    va = np.empty(n_accesses, dtype=np.int64)
+    dep_dist = np.empty(n_accesses, dtype=np.int32)
+    huge_hits = 0
+    last_line = [-1] * len(generators)
+    for i in range(n_accesses):
+        comp = component[i]
+        if repeats[i] and last_line[comp] >= 0:
+            # Temporal line reuse: the same static load re-touches its
+            # current line (loop iteration, adjacent struct fields).
+            address = last_line[comp] | int(line_offsets[i])
+        else:
+            offset = next(generators[comp])
+            address = _region_offset_to_va(regions, profile.footprint,
+                                           offset)
+        last_line[comp] = address & ~63
+        va[i] = address
+        # Static loads have region affinity: every 32 KiB block of each
+        # component gets its own PC, as if a distinct static load walks
+        # each data structure. Each PC therefore sees a stable VA->PA
+        # delta when the underlying mapping is stable — the property
+        # that makes PC-indexed predictors (Sections V-VI) work. Having
+        # more PCs than predictor entries is normal; the tables alias
+        # exactly as they would on real code.
+        pc[i] = pc_bases[comp] + 4 * ((address - Process.HEAP_BASE) >> 15)
+        dep_dist[i] = int(dep_draw[i] * dep_means[comp])
+        entry = process.page_table.lookup(address >> 12)
+        if entry is not None and entry.huge:
+            huge_hits += 1
+
+    return Trace(
+        app=app,
+        condition=condition,
+        process=process,
+        pc=pc,
+        va=va,
+        is_write=writes,
+        inst_gap=inst_gap,
+        dep_dist=dep_dist,
+        mlp=profile.mlp,
+        huge_fraction=huge_hits / n_accesses,
+    )

@@ -1,0 +1,125 @@
+"""Tests for the MESI snoop bus and SIPT's no-coherence-impact claim."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import MesiState, SetAssociativeCache, SnoopBus
+
+
+def make_bus(n_cores=2, hop=8):
+    bus = SnoopBus(hop_latency=hop)
+    wrappers = [bus.attach(SetAssociativeCache(8 * 1024, 64, 2))
+                for _ in range(n_cores)]
+    return bus, wrappers
+
+
+def test_cold_read_is_exclusive():
+    bus, (c0, c1) = make_bus()
+    latency, source = bus.read(0, 0x1000)
+    assert latency == bus.hop_latency
+    assert source == "memory"
+    assert c0.state_of(0x1000) is MesiState.EXCLUSIVE
+    assert c1.state_of(0x1000) is MesiState.INVALID
+
+
+def test_second_reader_downgrades_to_shared():
+    bus, (c0, c1) = make_bus()
+    bus.read(0, 0x1000)
+    bus.read(1, 0x1000)
+    assert c0.state_of(0x1000) is MesiState.SHARED
+    assert c1.state_of(0x1000) is MesiState.SHARED
+    bus.check_invariants()
+
+
+def test_exclusive_write_is_silent():
+    bus, (c0, _) = make_bus()
+    bus.read(0, 0x1000)
+    latency, source = bus.write(0, 0x1000)
+    assert (latency, source) == (0, "local")  # E -> M: no bus traffic
+    assert c0.state_of(0x1000) is MesiState.MODIFIED
+
+
+def test_shared_write_upgrades_and_invalidates():
+    bus, (c0, c1) = make_bus()
+    bus.read(0, 0x1000)
+    bus.read(1, 0x1000)
+    latency, source = bus.write(0, 0x1000)
+    assert latency > 0 and source == "local"
+    assert c0.state_of(0x1000) is MesiState.MODIFIED
+    assert c1.state_of(0x1000) is MesiState.INVALID
+    assert bus.stats.upgrades == 1
+    assert bus.stats.invalidations_sent == 1
+    bus.check_invariants()
+
+
+def test_dirty_intervention_on_remote_read():
+    bus, (c0, c1) = make_bus()
+    bus.write(0, 0x1000)
+    latency, source = bus.read(1, 0x1000)
+    assert latency == 2 * bus.hop_latency  # dirty data forwarded
+    assert source == "peer"
+    assert bus.stats.interventions == 1
+    assert c0.state_of(0x1000) is MesiState.SHARED
+    assert c1.state_of(0x1000) is MesiState.SHARED
+
+
+def test_write_write_migration():
+    bus, (c0, c1) = make_bus()
+    bus.write(0, 0x1000)
+    bus.write(1, 0x1000)
+    assert c0.state_of(0x1000) is MesiState.INVALID
+    assert c1.state_of(0x1000) is MesiState.MODIFIED
+    bus.check_invariants()
+
+
+def test_modified_rewrite_is_free():
+    bus, (c0, _) = make_bus()
+    bus.write(0, 0x1000)
+    assert bus.write(0, 0x1000) == (0, "local")
+
+
+def test_speculative_probe_causes_no_coherence_action():
+    """The paper's claim: a SIPT wrong-index probe is invisible to
+    coherence — it is a plain tag mismatch, no state change, no bus
+    traffic."""
+    bus, (c0, c1) = make_bus()
+    bus.write(0, 0x1000)
+    before = (bus.stats.bus_reads, bus.stats.invalidations_sent,
+              bus.stats.interventions)
+    # A SIPT misspeculation probes a wrong set with the line's tag:
+    wrong_set = (c1.cache.set_index(0x1000) + 1) % c1.cache.n_sets
+    assert c1.cache.probe(wrong_set, c1.cache.line_of(0x1000)) == -1
+    after = (bus.stats.bus_reads, bus.stats.invalidations_sent,
+             bus.stats.interventions)
+    assert before == after
+    assert c0.state_of(0x1000) is MesiState.MODIFIED
+    bus.check_invariants()
+
+
+def test_four_core_sharing():
+    bus, wrappers = make_bus(n_cores=4)
+    for core in range(4):
+        bus.read(core, 0x2000)
+    assert all(w.state_of(0x2000) is MesiState.SHARED for w in wrappers)
+    bus.write(2, 0x2000)
+    states = [w.state_of(0x2000) for w in wrappers]
+    assert states.count(MesiState.MODIFIED) == 1
+    assert states.count(MesiState.INVALID) == 3
+    bus.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 3), st.booleans(),
+                          st.integers(0, 15)),
+                min_size=1, max_size=120))
+def test_property_mesi_invariants_under_random_traffic(ops):
+    """Single-writer/multi-reader holds under arbitrary interleavings."""
+    bus, _ = make_bus(n_cores=4)
+    for core, is_write, line in ops:
+        pa = line * 64
+        if is_write:
+            bus.write(core, pa)
+        else:
+            bus.read(core, pa)
+        bus.check_invariants()

@@ -1,0 +1,89 @@
+"""Tests for the L2/LLC/DRAM miss path and the DRAM model."""
+
+from repro.cache import CacheHierarchy, SetAssociativeCache
+from repro.timing.dram import DramModel
+
+
+def make_ooo_path():
+    l2 = SetAssociativeCache(256 * 1024, 64, 8, name="L2")
+    llc = SetAssociativeCache(2 * 1024 * 1024, 64, 16, name="LLC")
+    return CacheHierarchy(l2, llc, DramModel(), l2_latency=12,
+                          llc_latency=25)
+
+
+def make_inorder_path():
+    llc = SetAssociativeCache(1024 * 1024, 64, 16, name="LLC")
+    return CacheHierarchy(None, llc, DramModel(), llc_latency=20)
+
+
+def test_cold_miss_goes_to_dram():
+    path = make_ooo_path()
+    latency = path.access(0x10000, is_write=False)
+    assert latency > 12 + 25  # walked through both levels plus DRAM
+    assert path.stats.dram_accesses == 1
+
+
+def test_second_access_hits_l2():
+    path = make_ooo_path()
+    path.access(0x10000, is_write=False)
+    latency = path.access(0x10000, is_write=False)
+    assert latency == 12
+    assert path.stats.l2_hits == 1
+    assert path.stats.dram_accesses == 1
+
+
+def test_inorder_path_has_no_l2():
+    path = make_inorder_path()
+    path.access(0x10000, is_write=False)
+    latency = path.access(0x10000, is_write=False)
+    assert latency == 20
+    assert path.stats.l2_accesses == 0
+    assert path.stats.llc_hits == 1
+
+
+def test_l1_writeback_lands_in_l2():
+    path = make_ooo_path()
+    line_shift = 6
+    path.writeback(0x40000 >> line_shift, line_shift)
+    assert path.stats.l2_accesses == 1
+    assert path.l2.contains(0x40000)
+
+
+def test_l1_writeback_without_l2_lands_in_llc():
+    path = make_inorder_path()
+    path.writeback(0x40000 >> 6, 6)
+    assert path.llc.contains(0x40000)
+
+
+def test_dirty_l2_eviction_propagates_to_llc():
+    l2 = SetAssociativeCache(8 * 1024, 64, 2, name="L2")  # tiny L2
+    llc = SetAssociativeCache(1024 * 1024, 64, 16, name="LLC")
+    path = CacheHierarchy(l2, llc, DramModel())
+    set_stride = l2.n_sets * 64
+    path.writeback(0 >> 6, 6)  # dirty line at 0 in L2
+    path.access(set_stride, is_write=False)
+    path.access(2 * set_stride, is_write=False)  # evicts dirty line 0
+    assert llc.contains(0)
+
+
+def test_dram_row_hit_faster_than_miss():
+    dram = DramModel()
+    cold = dram.read(0)
+    hot = dram.read(64)  # same row
+    assert hot < cold
+    assert dram.stats.row_hits == 1
+    assert dram.stats.row_misses == 1
+
+
+def test_dram_channel_interleaving_spreads_accesses():
+    dram = DramModel(n_channels=4)
+    # Row-sized strides cycle through channels.
+    latencies = [dram.read(i * dram.row_bytes) for i in range(8)]
+    assert dram.stats.row_misses == 8  # all distinct banks/rows
+    assert all(lat >= dram.cas_cycles for lat in latencies)
+
+
+def test_dram_write_counts():
+    dram = DramModel()
+    dram.write(0x1234)
+    assert dram.stats.writes == 1

@@ -1,0 +1,68 @@
+"""Tests for replacement policies."""
+
+import pytest
+
+from repro.cache import FifoPolicy, LruPolicy, RandomPolicy, make_policy
+
+
+def test_lru_victim_is_least_recently_used():
+    lru = LruPolicy(n_sets=1, n_ways=4)
+    for way in (0, 1, 2, 3):
+        lru.touch(0, way)
+    assert lru.victim(0) == 0
+    lru.touch(0, 0)
+    assert lru.victim(0) == 1
+    assert lru.mru_way(0) == 0
+
+
+def test_lru_sets_are_independent():
+    lru = LruPolicy(n_sets=2, n_ways=2)
+    lru.touch(0, 1)
+    assert lru.mru_way(0) == 1
+    assert lru.mru_way(1) == 0
+
+
+def test_lru_invalidate_becomes_victim():
+    lru = LruPolicy(n_sets=1, n_ways=4)
+    for way in (0, 1, 2, 3):
+        lru.touch(0, way)
+    lru.invalidate(0, 3)  # 3 was MRU; now it must be the next victim
+    assert lru.victim(0) == 3
+
+
+def test_fifo_cycles_through_ways():
+    fifo = FifoPolicy(n_sets=1, n_ways=3)
+    assert [fifo.victim(0) for _ in range(4)] == [0, 1, 2, 0]
+
+
+def test_fifo_mru_tracks_touches():
+    fifo = FifoPolicy(n_sets=1, n_ways=3)
+    fifo.touch(0, 2)
+    assert fifo.mru_way(0) == 2
+
+
+def test_random_policy_is_deterministic_per_seed():
+    import numpy as np
+    a = RandomPolicy(1, 8, rng=np.random.default_rng(3))
+    b = RandomPolicy(1, 8, rng=np.random.default_rng(3))
+    assert [a.victim(0) for _ in range(16)] == [b.victim(0) for _ in range(16)]
+
+
+def test_random_victims_in_range():
+    policy = RandomPolicy(1, 4)
+    assert all(0 <= policy.victim(0) < 4 for _ in range(50))
+
+
+def test_make_policy_dispatch():
+    assert isinstance(make_policy("lru", 2, 2), LruPolicy)
+    assert isinstance(make_policy("fifo", 2, 2), FifoPolicy)
+    assert isinstance(make_policy("random", 2, 2), RandomPolicy)
+    with pytest.raises(ValueError):
+        make_policy("plru", 2, 2)
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        LruPolicy(0, 4)
+    with pytest.raises(ValueError):
+        LruPolicy(4, 0)

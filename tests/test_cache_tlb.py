@@ -1,0 +1,110 @@
+"""Tests for the TLB hierarchy."""
+
+import pytest
+
+from repro.cache import TlbHierarchy
+from repro.mem import (
+    HUGE_PAGE_SIZE,
+    PAGE_SIZE,
+    PageTable,
+    PhysicalMemory,
+    Process,
+    TranslationFault,
+)
+
+
+def mapped_process(thp=False, pages=256):
+    memory = PhysicalMemory(256 * 1024 * 1024, thp_enabled=thp)
+    proc = Process(memory)
+    region = proc.mmap(pages * PAGE_SIZE)
+    proc.populate(region)
+    return proc, region
+
+
+def test_first_access_walks_then_hits():
+    proc, region = mapped_process()
+    tlb = TlbHierarchy()
+    first = tlb.translate(region.start, proc.page_table)
+    assert first.walked
+    assert first.latency == tlb.l1_latency + tlb.l2_latency + tlb.walk_latency
+    second = tlb.translate(region.start, proc.page_table)
+    assert second.l1_hit
+    assert second.latency == tlb.l1_latency
+    assert first.pa == second.pa == proc.translate(region.start)
+
+
+def test_l2_catches_l1_capacity_misses():
+    proc, region = mapped_process(pages=512)
+    tlb = TlbHierarchy()
+    # Touch 512 distinct pages: far beyond the 64-entry L1, within 1024 L2.
+    for i in range(512):
+        tlb.translate(region.start + i * PAGE_SIZE, proc.page_table)
+    walks_after_first_pass = tlb.stats.walks
+    for i in range(512):
+        tlb.translate(region.start + i * PAGE_SIZE, proc.page_table)
+    assert tlb.stats.walks == walks_after_first_pass  # all L2 hits or better
+    assert tlb.stats.l2_hits > 0
+
+
+def test_translation_matches_page_table_for_all_pages():
+    proc, region = mapped_process(pages=128)
+    tlb = TlbHierarchy()
+    for i in range(128):
+        va = region.start + i * PAGE_SIZE + (i % PAGE_SIZE)
+        result = tlb.translate(va, proc.page_table)
+        assert result.pa == proc.translate(va)
+
+
+def test_huge_page_uses_2m_array():
+    memory = PhysicalMemory(256 * 1024 * 1024, thp_enabled=True)
+    proc = Process(memory)
+    region = proc.mmap(2 * HUGE_PAGE_SIZE)
+    proc.populate(region)
+    assert proc.stats.huge_page_faults == 2
+    tlb = TlbHierarchy()
+    tlb.translate(region.start, proc.page_table)
+    # A different 4 KiB page inside the same huge page must L1-hit.
+    result = tlb.translate(region.start + 37 * PAGE_SIZE, proc.page_table)
+    assert result.l1_hit
+    assert result.pa == proc.translate(region.start + 37 * PAGE_SIZE)
+    assert result.entry.huge
+
+
+def test_huge_page_translation_correct_at_all_offsets():
+    memory = PhysicalMemory(256 * 1024 * 1024, thp_enabled=True)
+    proc = Process(memory)
+    region = proc.mmap(HUGE_PAGE_SIZE)
+    proc.populate(region)
+    tlb = TlbHierarchy()
+    for offset in (0, 1, PAGE_SIZE, HUGE_PAGE_SIZE - 1, 1234567 % HUGE_PAGE_SIZE):
+        va = region.start + offset
+        assert tlb.translate(va, proc.page_table).pa == proc.translate(va)
+
+
+def test_unmapped_address_faults():
+    tlb = TlbHierarchy()
+    with pytest.raises(TranslationFault):
+        tlb.translate(0xDEAD000, PageTable())
+
+
+def test_flush_forces_walks():
+    proc, region = mapped_process()
+    tlb = TlbHierarchy()
+    tlb.translate(region.start, proc.page_table)
+    tlb.flush()
+    result = tlb.translate(region.start, proc.page_table)
+    assert result.walked
+
+
+def test_asid_separates_processes():
+    memory = PhysicalMemory(256 * 1024 * 1024, thp_enabled=False)
+    p1, p2 = Process(memory, asid=1), Process(memory, asid=2)
+    r1, r2 = p1.mmap(PAGE_SIZE), p2.mmap(PAGE_SIZE)
+    p1.populate(r1)
+    p2.populate(r2)
+    tlb = TlbHierarchy()
+    tlb.translate(r1.start, p1.page_table)
+    # Same VA shape in p2 must not hit p1's entry (homonym safety).
+    result = tlb.translate(r2.start, p2.page_table)
+    assert result.pa == p2.translate(r2.start)
+    assert result.pa != p1.translate(r1.start)

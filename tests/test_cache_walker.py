@@ -1,0 +1,81 @@
+"""Tests for the hardware page walker and its walk cache."""
+
+import pytest
+
+from repro.cache.walker import PAGE_TABLE_REGION, PageWalker
+
+
+def constant_memory(latency=10):
+    calls = []
+
+    def access(pa):
+        calls.append(pa)
+        return latency
+
+    return access, calls
+
+
+def test_cold_walk_touches_four_levels():
+    access, calls = constant_memory()
+    walker = PageWalker(access)
+    latency = walker.walk(0x5555_0000_0000)
+    assert len(calls) == 4
+    assert latency == 4 * (10 + walker.level_cost)
+    assert walker.stats.walks == 1
+    assert walker.stats.levels_walked == 4
+
+
+def test_walk_addresses_live_in_page_table_region():
+    access, calls = constant_memory()
+    PageWalker(access).walk(0x5555_0000_0000)
+    assert all(pa >= PAGE_TABLE_REGION for pa in calls)
+
+
+def test_pwc_skips_upper_levels_on_locality():
+    access, calls = constant_memory()
+    walker = PageWalker(access)
+    walker.walk(0x5555_0000_0000)
+    calls.clear()
+    # A neighbouring page shares PML4/PDPT/PD prefixes: only the PTE
+    # (and possibly the PD entry) should be re-read.
+    walker.walk(0x5555_0000_1000)
+    assert len(calls) == 1
+    assert walker.stats.pwc_hits == 1
+
+
+def test_distant_va_walks_more_levels():
+    access, calls = constant_memory()
+    walker = PageWalker(access)
+    walker.walk(0x5555_0000_0000)
+    calls.clear()
+    walker.walk(0x7F00_0000_0000)  # different PML4 subtree
+    assert len(calls) == 4
+
+
+def test_pwc_capacity_eviction():
+    access, _ = constant_memory()
+    walker = PageWalker(access, pwc_entries=2)
+    walker.walk(0x5555_0000_0000)
+    assert len(walker._pwc) == 2  # capped
+    # Disabled PWC never caches.
+    walker_off = PageWalker(access, pwc_entries=0)
+    walker_off.walk(0x5555_0000_0000)
+    walker_off.walk(0x5555_0000_1000)
+    assert walker_off.stats.pwc_hits == 0
+    assert walker_off.stats.avg_levels == 4.0
+
+
+def test_asid_separates_page_tables():
+    access, calls = constant_memory()
+    walker = PageWalker(access)
+    walker.walk(0x5555_0000_0000, asid=1)
+    first = list(calls)
+    calls.clear()
+    walker.walk(0x5555_0000_0000, asid=2)
+    assert calls != first  # different address space, different PT pages
+
+
+def test_validation():
+    access, _ = constant_memory()
+    with pytest.raises(ValueError):
+        PageWalker(access, pwc_entries=-1)

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import GEOMETRIES, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "32K_2w" in out
+    assert "perlbench" in out
+    assert "mix10" in out
+
+
+def test_run_command(capsys):
+    rc = main(["run", "--app", "povray", "--accesses", "2000"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out
+    assert "fast fraction" in out
+
+
+def test_run_with_baseline_comparison(capsys):
+    rc = main(["run", "--app", "gamess", "--accesses", "2000",
+               "--compare-baseline"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "speedup vs VIPT" in out
+
+
+def test_run_variant_and_core_flags(capsys):
+    rc = main(["run", "--app", "povray", "--accesses", "2000",
+               "--core", "inorder", "--variant", "naive",
+               "--geometry", "64K_4w"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "inorder" in out
+
+
+def test_run_ideal_scheme(capsys):
+    rc = main(["run", "--app", "povray", "--accesses", "2000",
+               "--scheme", "ideal"])
+    assert rc == 0
+    assert "ideal" in capsys.readouterr().out
+
+
+def test_designspace_command(capsys):
+    assert main(["designspace"]) == 0
+    out = capsys.readouterr().out
+    assert "128K/4" in out
+
+
+def test_mix_command(capsys):
+    rc = main(["mix", "--name", "mix0", "--accesses", "1500"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sum-of-IPC speedup" in out
+    assert "h264ref" in out
+
+
+def test_parser_rejects_unknown_geometry():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--app", "x",
+                                   "--geometry", "1M_2w"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_geometry_table_complete():
+    assert set(GEOMETRIES) == {"baseline", "16K_4w", "32K_2w", "32K_4w",
+                               "64K_4w", "128K_4w"}

@@ -1,0 +1,72 @@
+"""Tests for the counter-based bypass predictor baseline."""
+
+import pytest
+
+from repro.core import CounterBypassPredictor, PerceptronPredictor
+
+
+def test_initial_prediction_is_speculate():
+    assert CounterBypassPredictor().predict(0x400) is True
+
+
+def test_learns_stable_biases():
+    p = CounterBypassPredictor()
+    for _ in range(10):
+        p.update(0x400, bits_unchanged=True)
+        p.update(0x404, bits_unchanged=False)
+    assert p.predict(0x400) is True
+    assert p.predict(0x404) is False
+
+
+def test_counters_saturate():
+    p = CounterBypassPredictor(counter_bits=2)
+    for _ in range(100):
+        p.update(0x400, bits_unchanged=True)
+    entry = p._entry(0x400)
+    assert p._counters[entry] == p.counter_max
+    # Two bad outcomes flip a saturated counter only partway.
+    p.update(0x400, bits_unchanged=False)
+    assert p.predict(0x400) is True  # hysteresis holds
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CounterBypassPredictor(n_entries=0)
+    with pytest.raises(ValueError):
+        CounterBypassPredictor(counter_bits=0)
+
+
+def test_storage_smaller_than_perceptron():
+    counter = CounterBypassPredictor()
+    perceptron = PerceptronPredictor()
+    assert counter.storage_bits < perceptron.storage_bits
+
+
+def test_counter_fails_on_alternating_pattern():
+    """The weakness the paper cites: no history correlation.
+
+    An alternating outcome stream is perfectly predictable from one bit
+    of history (the perceptron learns it) but drives a saturating
+    counter to ~50% accuracy.
+    """
+    counter = CounterBypassPredictor()
+    perceptron = PerceptronPredictor()
+    pc = 0x800
+    counter_correct = perceptron_correct = 0
+    total = 400
+    for i in range(total):
+        truth = i % 2 == 0
+        counter_correct += counter.predict(pc) == truth
+        counter.update(pc, truth)
+        perceptron_correct += perceptron.predict(pc) == truth
+        perceptron.update(pc, truth)
+    assert counter_correct / total < 0.65
+    assert perceptron_correct / total > 0.8
+
+
+def test_accuracy_stats_track():
+    p = CounterBypassPredictor()
+    for _ in range(50):
+        p.predict(0x10)
+        p.update(0x10, True)
+    assert p.stats.accuracy > 0.9

@@ -1,0 +1,90 @@
+"""Tests for the index delta buffer."""
+
+import numpy as np
+import pytest
+
+from repro.core import IndexDeltaBuffer
+from repro.mem import index_bits, make_address
+
+
+def test_requires_at_least_one_bit():
+    with pytest.raises(ValueError):
+        IndexDeltaBuffer(0)
+
+
+def test_learns_constant_delta():
+    """One update suffices for every later page with the same delta."""
+    idb = IndexDeltaBuffer(n_bits=3)
+    pc = 0x400
+    # VA pages 0x100.. map to PA pages 0x305.. -> delta = 5 mod 8.
+    va0, pa0 = make_address(0x100), make_address(0x305)
+    idb.update(pc, va0, pa0)
+    for page in range(1, 20):
+        va = make_address(0x100 + page)
+        pa = make_address(0x305 + page)
+        predicted = idb.predict(pc, va)
+        assert idb.record_outcome(predicted, pa)
+    assert idb.stats.hit_rate == 1.0
+
+
+def test_prediction_wraps_without_carry():
+    idb = IndexDeltaBuffer(n_bits=2)
+    pc = 0x10
+    va, pa = make_address(0b01), make_address(0b11)  # delta = 2 mod 4
+    idb.update(pc, va, pa)
+    # New VA whose bits + delta wrap: 0b11 + 2 = 0b01 (mod 4).
+    va2 = make_address(0b11)
+    assert idb.predict(pc, va2) == 0b01
+
+
+def test_delta_change_retrains_entry():
+    idb = IndexDeltaBuffer(n_bits=3)
+    pc = 0x20
+    idb.update(pc, make_address(0x10), make_address(0x12))  # delta 2
+    idb.update(pc, make_address(0x50), make_address(0x55))  # delta 5
+    predicted = idb.predict(pc, make_address(0x51))
+    assert predicted == index_bits(make_address(0x56), 3)
+
+
+def test_different_pcs_use_different_entries():
+    idb = IndexDeltaBuffer(n_bits=3, n_entries=64)
+    idb.update(0x100, make_address(0), make_address(1))  # delta 1
+    idb.update(0x104, make_address(0), make_address(2))  # delta 2
+    assert idb.predict(0x100, make_address(0)) == 1
+    assert idb.predict(0x104, make_address(0)) == 2
+
+
+def test_page_bound_mode_trusts_same_page_only():
+    rng = np.random.default_rng(11)
+    idb = IndexDeltaBuffer(n_bits=3, page_bound=True, rng=rng)
+    pc = 0x30
+    va, pa = make_address(0x200, 0x10), make_address(0x407, 0x10)
+    idb.update(pc, va, pa)
+    # Same page: the learned delta applies.
+    same_page = make_address(0x200, 0x800)
+    assert idb.predict(pc, same_page) == index_bits(make_address(0x407), 3)
+    # Different page: predictions are randomized; over many tries the
+    # hit rate must be near 1/8, not near 1.
+    hits = 0
+    trials = 400
+    for i in range(trials):
+        other = make_address(0x300 + i)
+        true_pa = make_address(0x512 + i)
+        predicted = idb.predict(pc, other)
+        hits += predicted == index_bits(true_pa, 3)
+    assert hits / trials < 0.4
+
+
+def test_storage_is_tiny():
+    idb = IndexDeltaBuffer(n_bits=3, n_entries=64)
+    assert idb.storage_bits == 64 * 3  # 24 bytes
+
+
+def test_stats_counts():
+    idb = IndexDeltaBuffer(n_bits=1)
+    idb.update(0, make_address(0), make_address(0))
+    p = idb.predict(0, make_address(4))
+    idb.record_outcome(p, make_address(4))
+    assert idb.stats.predictions == 1
+    assert idb.stats.updates == 1
+    assert idb.stats.hits == 1

@@ -1,0 +1,45 @@
+"""Tests for indexing-scheme feasibility rules."""
+
+import pytest
+
+from repro.core import (
+    InfeasibleConfigError,
+    check_vipt,
+    required_speculative_bits,
+    vipt_feasible,
+)
+
+KiB = 1024
+
+
+def test_baseline_32k_8way_is_vipt_feasible():
+    assert vipt_feasible(32 * KiB, 8)
+    check_vipt(32 * KiB, 8)  # must not raise
+
+
+def test_16k_4way_is_vipt_feasible():
+    assert vipt_feasible(16 * KiB, 4)
+
+
+def test_paper_sipt_configs_are_vipt_infeasible():
+    for capacity, ways in [(32 * KiB, 2), (32 * KiB, 4),
+                           (64 * KiB, 4), (128 * KiB, 4)]:
+        assert not vipt_feasible(capacity, ways)
+        with pytest.raises(InfeasibleConfigError):
+            check_vipt(capacity, ways)
+
+
+def test_required_speculative_bits_match_table2():
+    assert required_speculative_bits(32 * KiB, 8) == 0
+    assert required_speculative_bits(32 * KiB, 4) == 1
+    assert required_speculative_bits(32 * KiB, 2) == 2
+    assert required_speculative_bits(64 * KiB, 4) == 2
+    assert required_speculative_bits(128 * KiB, 4) == 3
+
+
+def test_huge_pages_relax_the_constraint():
+    """With a 2 MiB page every paper config would be VIPT-feasible."""
+    for capacity, ways in [(32 * KiB, 2), (128 * KiB, 4)]:
+        assert vipt_feasible(capacity, ways, page_size=2 * 1024 * KiB)
+        assert required_speculative_bits(
+            capacity, ways, page_size=2 * 1024 * KiB) == 0

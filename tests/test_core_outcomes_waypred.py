@@ -1,0 +1,93 @@
+"""Tests for outcome bookkeeping and way prediction."""
+
+import pytest
+
+from repro.cache import SetAssociativeCache
+from repro.core import OutcomeCounts, SpeculationOutcome, WayPredictor
+
+
+def test_outcome_fast_classification():
+    assert SpeculationOutcome.CORRECT_SPECULATION.is_fast
+    assert SpeculationOutcome.IDB_HIT.is_fast
+    assert not SpeculationOutcome.CORRECT_BYPASS.is_fast
+    assert not SpeculationOutcome.OPPORTUNITY_LOSS.is_fast
+    assert not SpeculationOutcome.EXTRA_ACCESS.is_fast
+
+
+def test_only_extra_access_wastes_l1():
+    wasteful = [o for o in SpeculationOutcome if o.wastes_l1_access]
+    assert wasteful == [SpeculationOutcome.EXTRA_ACCESS]
+
+
+def test_outcome_counts_record_and_fractions():
+    counts = OutcomeCounts()
+    for _ in range(6):
+        counts.record(SpeculationOutcome.CORRECT_SPECULATION)
+    for _ in range(2):
+        counts.record(SpeculationOutcome.IDB_HIT)
+    counts.record(SpeculationOutcome.EXTRA_ACCESS)
+    counts.record(SpeculationOutcome.OPPORTUNITY_LOSS)
+    assert counts.total == 10
+    assert counts.fast_accesses == 8
+    assert counts.fast_fraction == 0.8
+    assert counts.extra_access_fraction == 0.1
+    assert counts.prediction_accuracy == 0.8
+    fractions = counts.as_fractions()
+    assert abs(sum(fractions.values()) - 1.0) < 1e-12
+
+
+def test_empty_counts_are_zero():
+    counts = OutcomeCounts()
+    assert counts.fast_fraction == 0.0
+    assert counts.prediction_accuracy == 0.0
+
+
+def make_cache(ways=8):
+    return SetAssociativeCache(32 * 1024, 64, ways)
+
+
+def test_way_predictor_mru_hit():
+    cache = make_cache()
+    wp = WayPredictor(cache)
+    cache.access(0x1000, False)
+    predicted = wp.predict(cache.set_index(0x1000))
+    result = cache.access(0x1000, False)
+    penalty = wp.observe(predicted, result.way, result.hit)
+    assert penalty == 0
+    assert wp.stats.accuracy == 1.0
+
+
+def test_way_predictor_mispredict_penalty():
+    cache = make_cache()
+    wp = WayPredictor(cache, mispredict_penalty=1)
+    set_stride = cache.n_sets * 64
+    cache.access(0, False)           # way 0
+    cache.access(set_stride, False)  # way 1, now MRU
+    predicted = wp.predict(cache.set_index(0))
+    result = cache.access(0, False)  # hits way 0, predicted way 1
+    penalty = wp.observe(predicted, result.way, result.hit)
+    assert penalty == 1
+    assert wp.stats.second_accesses == 1
+
+
+def test_way_predictor_ignores_misses():
+    cache = make_cache()
+    wp = WayPredictor(cache)
+    predicted = wp.predict(cache.set_index(0x9000))
+    result = cache.access(0x9000, False)
+    assert not result.hit
+    assert wp.observe(predicted, result.way, result.hit) == 0
+    assert wp.stats.predictions == 0
+
+
+def test_energy_factor_bounds():
+    cache = make_cache(ways=8)
+    wp = WayPredictor(cache)
+    assert wp.dynamic_energy_factor() == 1.0  # no data yet
+    cache.access(0x1000, False)
+    for _ in range(99):
+        predicted = wp.predict(cache.set_index(0x1000))
+        result = cache.access(0x1000, False)
+        wp.observe(predicted, result.way, result.hit)
+    # Perfect prediction on an 8-way cache -> 1/8 of the energy.
+    assert abs(wp.dynamic_energy_factor() - 1 / 8) < 1e-9

@@ -1,0 +1,187 @@
+"""Integration tests for the SIPT L1 controller."""
+
+import pytest
+
+from repro.cache import SetAssociativeCache, TlbHierarchy
+from repro.core import (
+    IndexingScheme,
+    InfeasibleConfigError,
+    SiptL1Cache,
+    SiptVariant,
+    SpeculationOutcome,
+)
+from repro.mem import PAGE_SIZE, PhysicalMemory, Process
+
+
+def build(scheme=IndexingScheme.SIPT, variant=SiptVariant.COMBINED,
+          capacity=32 * 1024, ways=2, thp=True, mib=256,
+          fragment=False, way_prediction=False, hit_latency=2):
+    memory = PhysicalMemory(mib * 1024 * 1024, thp_enabled=thp)
+    if fragment:
+        from repro.mem import fragment_memory
+        import numpy as np
+        fragment_memory(memory.buddy, rng=np.random.default_rng(5))
+    proc = Process(memory)
+    cache = SetAssociativeCache(capacity, 64, ways, name="L1D")
+    tlb = TlbHierarchy()
+    l1 = SiptL1Cache(cache, tlb, scheme=scheme, variant=variant,
+                     way_prediction=way_prediction, hit_latency=hit_latency)
+    return l1, proc
+
+
+def touch_region(proc, pages):
+    region = proc.mmap(pages * PAGE_SIZE)
+    proc.populate(region)
+    return region
+
+
+def test_vipt_rejects_infeasible_geometry():
+    memory = PhysicalMemory(64 * 1024 * 1024)
+    cache = SetAssociativeCache(32 * 1024, 64, 2)
+    with pytest.raises(InfeasibleConfigError):
+        SiptL1Cache(cache, TlbHierarchy(), scheme=IndexingScheme.VIPT)
+
+
+def test_vipt_feasible_geometry_is_always_fast():
+    l1, proc = build(scheme=IndexingScheme.VIPT, capacity=32 * 1024, ways=8)
+    region = touch_region(proc, 32)
+    for i in range(100):
+        result = l1.access(0x400, region.start + i * 64, False,
+                           proc.page_table)
+        assert result.fast
+    assert l1.stats.fast_fraction == 1.0
+    assert l1.stats.extra_l1_accesses == 0
+
+
+def test_pipt_is_never_fast():
+    l1, proc = build(scheme=IndexingScheme.PIPT, capacity=32 * 1024, ways=8)
+    region = touch_region(proc, 4)
+    result = l1.access(0x400, region.start, False, proc.page_table)
+    assert not result.fast
+    assert result.latency >= l1.tlb.l1_latency + l1.hit_latency
+
+
+def test_ideal_is_always_fast_regardless_of_bits():
+    l1, proc = build(scheme=IndexingScheme.IDEAL, capacity=32 * 1024, ways=2)
+    region = touch_region(proc, 32)
+    for i in range(50):
+        result = l1.access(0x400, region.start + i * 64, False,
+                           proc.page_table)
+        assert result.fast
+
+
+def test_naive_sipt_on_huge_pages_speculates_correctly():
+    """THP regions preserve bits 12-20, so 2-bit speculation always wins."""
+    l1, proc = build(variant=SiptVariant.NAIVE)
+    region = proc.mmap(2 * 1024 * 1024)  # one huge page
+    proc.populate(region)
+    assert proc.stats.huge_page_faults == 1
+    for i in range(200):
+        result = l1.access(0x400, region.start + i * 64, False,
+                           proc.page_table)
+        assert result.outcome is SpeculationOutcome.CORRECT_SPECULATION
+    assert l1.stats.fast_fraction == 1.0
+
+
+def test_naive_sipt_misspeculation_creates_extra_access():
+    """Under fragmented 4 KiB paging, index bits change across pages."""
+    l1, proc = build(variant=SiptVariant.NAIVE, thp=False, fragment=True)
+    region = touch_region(proc, 64)
+    for page in range(64):
+        l1.access(0x400, region.start + page * PAGE_SIZE, False,
+                  proc.page_table)
+    assert l1.stats.extra_l1_accesses > 0
+    assert l1.outcomes.extra_access == l1.stats.extra_l1_accesses
+
+
+def test_functional_correctness_matches_plain_cache():
+    """SIPT must be behaviourally identical to a plain PA-indexed cache."""
+    l1, proc = build(variant=SiptVariant.NAIVE, thp=False, fragment=True)
+    shadow = SetAssociativeCache(32 * 1024, 64, 2)
+    region = touch_region(proc, 32)
+    import numpy as np
+    rng = np.random.default_rng(0)
+    for _ in range(2000):
+        va = region.start + int(rng.integers(32 * PAGE_SIZE))
+        pa = proc.translate(va)
+        result = l1.access(0x400, va, False, proc.page_table)
+        assert result.hit == shadow.access(pa, False).hit
+    l1.cache.check_invariants()
+
+
+def test_bypass_variant_learns_to_bypass():
+    l1, proc = build(variant=SiptVariant.BYPASS, thp=False, fragment=True)
+    region = touch_region(proc, 128)
+    # Strided page-sized accesses from one PC: bits change ~unpredictably,
+    # so the perceptron should learn to bypass and kill extra accesses.
+    for rep in range(4):
+        for page in range(128):
+            l1.access(0x400, region.start + page * PAGE_SIZE, False,
+                      proc.page_table)
+    frac = l1.outcomes.as_fractions()
+    assert frac["extra_access"] < 0.2
+    assert l1.outcomes.correct_bypass > 0
+
+
+def test_combined_variant_converts_slow_to_fast():
+    """IDB turns changed-bits accesses into fast accesses (Section VI)."""
+    l1, proc = build(variant=SiptVariant.COMBINED, thp=False)
+    region = touch_region(proc, 256)
+    for rep in range(2):
+        for page in range(256):
+            l1.access(0x400, region.start + page * PAGE_SIZE, False,
+                      proc.page_table)
+    # Contiguous buddy frames give a constant delta: near-perfect IDB.
+    assert l1.stats.fast_fraction > 0.9
+
+
+def test_combined_single_bit_uses_reversed_prediction():
+    l1, proc = build(variant=SiptVariant.COMBINED, capacity=32 * 1024,
+                     ways=4, thp=False)
+    assert l1.n_spec_bits == 1
+    assert l1.idb is None  # single-bit mode flips instead of using the IDB
+    region = touch_region(proc, 64)
+    for page in range(64):
+        l1.access(0x400, region.start + page * PAGE_SIZE, False,
+                  proc.page_table)
+    assert l1.outcomes.total == 64
+
+
+def test_slow_access_latency_exceeds_fast():
+    l1, proc = build(variant=SiptVariant.NAIVE, thp=False, fragment=True)
+    region = touch_region(proc, 64)
+    fast_lat, slow_lat = [], []
+    for page in range(64):
+        result = l1.access(0x400, region.start + page * PAGE_SIZE, False,
+                           proc.page_table)
+        (fast_lat if result.fast else slow_lat).append(result.latency)
+    if fast_lat and slow_lat:
+        assert min(slow_lat) > min(fast_lat)
+
+
+def test_way_prediction_accuracy_tracked():
+    l1, proc = build(way_prediction=True)
+    region = touch_region(proc, 4)
+    # Repeated access to one line: MRU prediction is always right.
+    for _ in range(100):
+        l1.access(0x400, region.start, False, proc.page_table)
+    assert l1.way_predictor.stats.accuracy > 0.95
+
+
+def test_predictor_overhead_below_2_percent():
+    l1, _ = build(variant=SiptVariant.COMBINED)
+    assert l1.predictor_overhead_fraction() < 0.02
+
+
+def test_outcome_totals_match_access_count():
+    l1, proc = build(variant=SiptVariant.COMBINED, thp=False)
+    region = touch_region(proc, 32)
+    n = 500
+    import numpy as np
+    rng = np.random.default_rng(1)
+    for _ in range(n):
+        va = region.start + int(rng.integers(32 * PAGE_SIZE))
+        l1.access(0x400, va, rng.random() < 0.3, proc.page_table)
+    assert l1.outcomes.total == n
+    assert l1.stats.accesses == n
+    assert (l1.stats.fast_accesses + l1.stats.slow_accesses) == n

@@ -1,0 +1,146 @@
+"""End-to-end integration tests across the whole stack.
+
+These check the *relationships* the paper's argument depends on, on real
+simulations: variant orderings (ideal >= combined >= naive for
+low-speculation apps), functional equivalence of all indexing schemes,
+energy decomposition consistency, and multicore contention effects.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import IndexingScheme, SiptVariant
+from repro.sim import (
+    BASELINE_L1,
+    SIPT_GEOMETRIES,
+    TraceCache,
+    inorder_system,
+    ooo_system,
+    run_app,
+    simulate,
+    simulate_multicore,
+)
+
+N = 4000
+CACHE = TraceCache()
+SIPT = SIPT_GEOMETRIES["32K_2w"]
+
+
+def variants(cfg):
+    return {
+        "naive": replace(cfg, variant=SiptVariant.NAIVE),
+        "bypass": replace(cfg, variant=SiptVariant.BYPASS),
+        "combined": cfg,
+        "ideal": cfg.with_scheme(IndexingScheme.IDEAL),
+        "pipt": cfg.with_scheme(IndexingScheme.PIPT),
+    }
+
+
+@pytest.mark.parametrize("app", ["calculix", "gromacs", "cactusADM"])
+def test_variant_ipc_ordering_on_low_speculation_apps(app):
+    """For constant-nonzero-delta apps: ideal ~ combined > bypass/naive,
+    and everything beats PIPT."""
+    results = {name: run_app(app, ooo_system(cfg), n_accesses=N,
+                             cache=CACHE)
+               for name, cfg in variants(SIPT).items()}
+    assert results["ideal"].ipc >= results["combined"].ipc * 0.999
+    assert results["combined"].ipc > results["naive"].ipc
+    assert results["combined"].ipc > results["bypass"].ipc * 0.999
+    assert results["combined"].ipc > results["pipt"].ipc
+    # Combined converts nearly everything to fast on these apps.
+    assert results["combined"].fast_fraction > 0.9
+
+
+@pytest.mark.parametrize("app", ["perlbench", "calculix", "graph500"])
+def test_all_schemes_functionally_equivalent(app):
+    """Hits/misses must not depend on the indexing scheme at all."""
+    reference = None
+    for cfg in variants(SIPT).values():
+        result = run_app(app, ooo_system(cfg), n_accesses=N, cache=CACHE)
+        key = (result.l1_stats.hits, result.l1_stats.misses,
+               result.l1_stats.writebacks)
+        if reference is None:
+            reference = key
+        assert key == reference
+
+
+def test_bypass_reduces_extra_accesses_vs_naive():
+    naive = run_app("calculix",
+                    ooo_system(replace(SIPT, variant=SiptVariant.NAIVE)),
+                    n_accesses=N, cache=CACHE)
+    bypass = run_app("calculix",
+                     ooo_system(replace(SIPT, variant=SiptVariant.BYPASS)),
+                     n_accesses=N, cache=CACHE)
+    assert bypass.extra_access_fraction < 0.1 * naive.extra_access_fraction
+
+
+def test_bypass_saves_energy_but_not_time():
+    """Section V's conclusion: the filter fixes energy, not latency."""
+    naive = run_app("calculix",
+                    ooo_system(replace(SIPT, variant=SiptVariant.NAIVE)),
+                    n_accesses=N, cache=CACHE)
+    bypass = run_app("calculix",
+                     ooo_system(replace(SIPT, variant=SiptVariant.BYPASS)),
+                     n_accesses=N, cache=CACHE)
+    assert bypass.energy.total < naive.energy.total
+    # Performance barely moves: bypassed accesses are still slow.
+    assert bypass.ipc == pytest.approx(naive.ipc, rel=0.05)
+
+
+def test_energy_decomposition_consistency():
+    result = run_app("perlbench", ooo_system(SIPT), n_accesses=N,
+                     cache=CACHE)
+    e = result.energy
+    assert e.total == pytest.approx(e.dynamic + e.static)
+    assert e.dynamic == pytest.approx(
+        e.l1_dynamic + e.l2_dynamic + e.llc_dynamic + e.predictor_dynamic)
+    assert all(v >= 0 for v in (e.l1_dynamic, e.l1_static, e.l2_dynamic,
+                                e.l2_static, e.llc_dynamic, e.llc_static,
+                                e.predictor_dynamic))
+
+
+def test_extra_accesses_show_up_in_energy():
+    """A wasted L1 array read must cost exactly one L1 access energy."""
+    naive_cfg = replace(SIPT, variant=SiptVariant.NAIVE)
+    result = run_app("calculix", ooo_system(naive_cfg), n_accesses=N,
+                     cache=CACHE)
+    assert result.l1_accesses_with_extra == (
+        result.l1_stats.accesses + result.outcomes.extra_access)
+
+
+def test_inorder_and_ooo_agree_on_cache_behaviour():
+    """Core model choice must not change functional cache statistics."""
+    ooo = run_app("gobmk", ooo_system(SIPT), n_accesses=N, cache=CACHE)
+    ino = run_app("gobmk", inorder_system(SIPT), n_accesses=N, cache=CACHE)
+    assert ooo.l1_stats.hits == ino.l1_stats.hits
+    assert ooo.fast_fraction == ino.fast_fraction
+
+
+def test_multicore_contention_hurts_shared_llc():
+    """Four co-runners on one LLC must not beat four private runs."""
+    apps = ["perlbench", "sjeng", "gobmk", "leela_17"]
+    traces = [CACHE.get(app, N, seed=i) for i, app in enumerate(apps)]
+    shared = simulate_multicore(traces, ooo_system(BASELINE_L1))
+    for trace, shared_result in zip(traces, shared):
+        private = simulate(trace, ooo_system(BASELINE_L1))
+        assert shared_result.ipc <= private.ipc * 1.01
+
+
+def test_trace_cache_reuse_is_safe():
+    """Replaying a cached trace twice gives identical results."""
+    first = run_app("hmmer", ooo_system(SIPT), n_accesses=N, cache=CACHE)
+    second = run_app("hmmer", ooo_system(SIPT), n_accesses=N, cache=CACHE)
+    assert first.cycles == second.cycles
+    assert first.outcomes.as_fractions() == second.outcomes.as_fractions()
+    assert first.energy.total == second.energy.total
+
+
+def test_page_bound_idb_only_degrades():
+    normal = run_app("calculix", ooo_system(SIPT), n_accesses=N,
+                     cache=CACHE)
+    bound = run_app("calculix",
+                    ooo_system(replace(SIPT, page_bound_idb=True)),
+                    n_accesses=N, cache=CACHE)
+    assert bound.fast_fraction <= normal.fast_fraction + 1e-9
+    assert bound.ipc <= normal.ipc * 1.001

@@ -1,0 +1,89 @@
+"""Unit tests for address arithmetic helpers."""
+
+import pytest
+
+from repro.mem import (
+    HUGE_PAGE_SIZE,
+    PAGE_SIZE,
+    apply_index_delta,
+    huge_page_number,
+    huge_page_offset,
+    index_bits,
+    index_delta,
+    line_address,
+    line_number,
+    make_address,
+    page_number,
+    page_offset,
+)
+
+
+def test_page_number_and_offset_roundtrip():
+    addr = make_address(0x1234, 0xABC)
+    assert page_number(addr) == 0x1234
+    assert page_offset(addr) == 0xABC
+
+
+def test_make_address_rejects_oversized_offset():
+    with pytest.raises(ValueError):
+        make_address(1, PAGE_SIZE)
+
+
+def test_huge_page_helpers():
+    addr = 3 * HUGE_PAGE_SIZE + 0x1555
+    assert huge_page_number(addr) == 3
+    assert huge_page_offset(addr) == 0x1555
+
+
+def test_line_address_alignment():
+    assert line_address(0x1000) == 0x1000
+    assert line_address(0x103F) == 0x1000
+    assert line_address(0x1040) == 0x1040
+    assert line_number(0x1040) == 0x41
+
+
+def test_index_bits_extracts_bits_above_page_offset():
+    # Bits 12 and 13 set -> two index bits are 0b11.
+    addr = (0b11 << 12) | 0x7FF
+    assert index_bits(addr, 2) == 0b11
+    assert index_bits(addr, 1) == 0b1
+    assert index_bits(addr, 3) == 0b011
+
+
+def test_index_bits_zero_bits_is_zero():
+    assert index_bits(0xDEADBEEF, 0) == 0
+
+
+def test_index_bits_rejects_negative():
+    with pytest.raises(ValueError):
+        index_bits(0, -1)
+
+
+def test_index_delta_is_constant_within_contiguous_block():
+    # VA block starting at page 0x100 maps to PA block at page 0x205.
+    n_bits = 3
+    deltas = set()
+    for page in range(16):
+        va = make_address(0x100 + page)
+        pa = make_address(0x205 + page)
+        deltas.add(index_delta(va, pa, n_bits))
+    assert len(deltas) == 1
+
+
+def test_apply_index_delta_inverts_index_delta():
+    n_bits = 3
+    va = make_address(0x1F7, 0x10)
+    pa = make_address(0x33A, 0x10)
+    delta = index_delta(va, pa, n_bits)
+    assert apply_index_delta(va, delta, n_bits) == index_bits(pa, n_bits)
+
+
+def test_apply_index_delta_truncates_without_carry():
+    n_bits = 2
+    va = make_address(0b11)  # VA index bits = 0b11
+    assert apply_index_delta(va, 0b01, n_bits) == 0b00
+
+
+def test_index_delta_zero_bits():
+    assert index_delta(0x1000, 0x2000, 0) == 0
+    assert apply_index_delta(0x1000, 0, 0) == 0

@@ -1,0 +1,130 @@
+"""Unit and property tests for the buddy allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import (
+    HUGE_PAGE_ORDER,
+    MAX_ORDER,
+    BuddyAllocator,
+    OutOfMemoryError,
+)
+
+
+def test_initial_state_all_free():
+    buddy = BuddyAllocator(4096)
+    assert buddy.free_frames() == 4096
+    assert buddy.allocated_frames() == 0
+    buddy.check_invariants()
+
+
+def test_allocate_returns_aligned_base():
+    buddy = BuddyAllocator(4096)
+    for order in range(MAX_ORDER + 1):
+        base = buddy.allocate(order)
+        assert base % (1 << order) == 0
+
+
+def test_allocate_and_free_restore_all_frames():
+    buddy = BuddyAllocator(4096)
+    blocks = [(buddy.allocate(order), order) for order in (0, 3, 5, 0, 9)]
+    assert buddy.allocated_frames() == sum(1 << o for _, o in blocks)
+    for base, order in blocks:
+        buddy.free(base, order)
+    assert buddy.free_frames() == 4096
+    assert buddy.largest_free_order() == MAX_ORDER
+    buddy.check_invariants()
+
+
+def test_coalescing_restores_max_order_block():
+    buddy = BuddyAllocator(1024)
+    frames = [buddy.allocate(0) for _ in range(1024)]
+    assert buddy.free_frames() == 0
+    for frame in frames:
+        buddy.free(frame, 0)
+    assert buddy.largest_free_order() == MAX_ORDER
+    assert buddy.free_blocks_by_order()[MAX_ORDER] == 1
+
+
+def test_out_of_memory_raises():
+    buddy = BuddyAllocator(8)
+    buddy.allocate(3)
+    with pytest.raises(OutOfMemoryError):
+        buddy.allocate(0)
+    assert buddy.try_allocate(0) is None
+    assert buddy.stats.failed_allocations == 2
+
+
+def test_double_free_rejected():
+    buddy = BuddyAllocator(16)
+    base = buddy.allocate(2)
+    buddy.free(base, 2)
+    with pytest.raises(ValueError):
+        buddy.free(base, 2)
+
+
+def test_free_with_wrong_order_rejected():
+    buddy = BuddyAllocator(16)
+    base = buddy.allocate(2)
+    with pytest.raises(ValueError):
+        buddy.free(base, 1)
+
+
+def test_lowest_address_first_allocation():
+    buddy = BuddyAllocator(1024)
+    first = buddy.allocate(0)
+    second = buddy.allocate(0)
+    assert first == 0
+    assert second == 1
+
+
+def test_sequential_order0_allocations_are_contiguous():
+    # The property Section VI relies on: a burst of single-page requests
+    # served from one large block yields physically contiguous frames.
+    buddy = BuddyAllocator(2048)
+    frames = [buddy.allocate(0) for _ in range(512)]
+    assert frames == list(range(512))
+
+
+def test_unusable_free_space_index_bounds():
+    buddy = BuddyAllocator(4096)
+    assert buddy.unusable_free_space_index(HUGE_PAGE_ORDER) == 0.0
+    # Allocate everything as single pages, then free every other page:
+    # free space exists but nothing of order >= 1 can be satisfied.
+    frames = [buddy.allocate(0) for _ in range(4096)]
+    for frame in frames[::2]:
+        buddy.free(frame, 0)
+    assert buddy.unusable_free_space_index(1) == 1.0
+    assert buddy.unusable_free_space_index(HUGE_PAGE_ORDER) == 1.0
+
+
+def test_non_power_of_two_memory_size():
+    buddy = BuddyAllocator(1000)
+    assert buddy.free_frames() == 1000
+    buddy.check_invariants()
+    frames = [buddy.allocate(0) for _ in range(1000)]
+    assert sorted(frames) == list(range(1000))
+    with pytest.raises(OutOfMemoryError):
+        buddy.allocate(0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=6), max_size=40),
+       st.randoms(use_true_random=False))
+def test_property_alloc_free_never_corrupts(orders, rnd):
+    """Random allocate/free interleavings preserve allocator invariants."""
+    buddy = BuddyAllocator(1 << 12)
+    live = []
+    for order in orders:
+        if live and rnd.random() < 0.4:
+            base, o = live.pop(rnd.randrange(len(live)))
+            buddy.free(base, o)
+        block = buddy.try_allocate(order)
+        if block is not None:
+            live.append((block, order))
+        buddy.check_invariants()
+    for base, order in live:
+        buddy.free(base, order)
+    buddy.check_invariants()
+    assert buddy.free_frames() == 1 << 12

@@ -1,0 +1,77 @@
+"""Tests for the PC-indexed way predictor variant (Section VII-A)."""
+
+import pytest
+
+from repro.cache import SetAssociativeCache
+from repro.core import PcWayPredictor, WayPredictor
+
+
+def make_cache(ways=8):
+    return SetAssociativeCache(32 * 1024, 64, ways)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PcWayPredictor(make_cache(), n_entries=0)
+
+
+def test_falls_back_to_mru_when_cold():
+    cache = make_cache()
+    wp = PcWayPredictor(cache)
+    cache.access(0x1000, False)
+    mru = cache.policy.mru_way(cache.set_index(0x1000))
+    assert wp.predict_pc(0x400, cache.set_index(0x1000)) == mru
+
+
+def test_learns_per_pc_way():
+    cache = make_cache()
+    wp = PcWayPredictor(cache)
+    set_stride = cache.n_sets * 64
+    # Two loads alternate over two lines in the same set; MRU would
+    # mispredict every time, a per-PC table nails both.
+    addr_a, addr_b = 0x1000, 0x1000 + set_stride
+    cache.access(addr_a, False)
+    cache.access(addr_b, False)
+    set_index = cache.set_index(addr_a)
+    for _ in range(4):  # warm the table
+        for pc, addr in ((0x400, addr_a), (0x500, addr_b)):
+            predicted = wp.predict_pc(pc, set_index)
+            result = cache.access(addr, False)
+            wp.observe(predicted, result.way, result.hit)
+    correct_before = wp.stats.correct
+    predictions_before = wp.stats.predictions
+    for _ in range(20):
+        for pc, addr in ((0x400, addr_a), (0x500, addr_b)):
+            predicted = wp.predict_pc(pc, set_index)
+            result = cache.access(addr, False)
+            wp.observe(predicted, result.way, result.hit)
+    accuracy = ((wp.stats.correct - correct_before)
+                / (wp.stats.predictions - predictions_before))
+    assert accuracy == 1.0
+
+
+def test_mru_fails_on_the_same_alternation():
+    cache = make_cache()
+    wp = WayPredictor(cache)
+    set_stride = cache.n_sets * 64
+    addr_a, addr_b = 0x1000, 0x1000 + set_stride
+    cache.access(addr_a, False)
+    cache.access(addr_b, False)
+    set_index = cache.set_index(addr_a)
+    for _ in range(20):
+        for addr in (addr_a, addr_b):
+            predicted = wp.predict(set_index)
+            result = cache.access(addr, False)
+            wp.observe(predicted, result.way, result.hit)
+    assert wp.stats.accuracy < 0.2  # MRU alternation pathology
+
+
+def test_pc_predictor_inherits_energy_model():
+    cache = make_cache(ways=4)
+    wp = PcWayPredictor(cache)
+    cache.access(0x1000, False)
+    for _ in range(50):
+        predicted = wp.predict_pc(0x400, cache.set_index(0x1000))
+        result = cache.access(0x1000, False)
+        wp.observe(predicted, result.way, result.hit)
+    assert wp.dynamic_energy_factor() == pytest.approx(1 / 4, abs=0.05)

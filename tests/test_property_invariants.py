@@ -1,0 +1,105 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import SetAssociativeCache, TlbHierarchy
+from repro.core import (
+    IndexingScheme,
+    PerceptronPredictor,
+    SiptL1Cache,
+    SiptVariant,
+)
+from repro.mem import (
+    PAGE_SIZE,
+    PhysicalMemory,
+    Process,
+    index_bits,
+    index_delta,
+    apply_index_delta,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=0, max_value=(1 << 48) - 1),
+       st.integers(min_value=0, max_value=(1 << 48) - 1),
+       st.integers(min_value=1, max_value=6))
+def test_property_delta_roundtrip(va, pa, n_bits):
+    """apply(delta(va, pa)) always recovers the PA index bits."""
+    delta = index_delta(va, pa, n_bits)
+    assert apply_index_delta(va, delta, n_bits) == index_bits(pa, n_bits)
+    assert 0 <= delta < (1 << n_bits)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 63), st.booleans()),
+                min_size=1, max_size=300))
+def test_property_perceptron_prediction_is_pure(ops):
+    """predict() must not change state: same PC twice -> same answer."""
+    p = PerceptronPredictor()
+    for pc_index, truth in ops:
+        pc = 0x400 + 4 * pc_index
+        first = p.predict(pc)
+        second = p.predict(pc)
+        assert first == second
+        p.update(pc, truth)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_property_sipt_never_false_hits(seed):
+    """Random traffic through SIPT: behaviour equals a plain PA cache."""
+    rng = np.random.default_rng(seed)
+    memory = PhysicalMemory(32 * 1024 * 1024, thp_enabled=False)
+    proc = Process(memory)
+    region = proc.mmap(32 * PAGE_SIZE)
+    proc.populate(region)
+    sipt = SiptL1Cache(SetAssociativeCache(16 * 1024, 64, 2),
+                       TlbHierarchy(), scheme=IndexingScheme.SIPT,
+                       variant=SiptVariant.NAIVE)
+    shadow = SetAssociativeCache(16 * 1024, 64, 2)
+    for _ in range(300):
+        va = region.start + int(rng.integers(32 * PAGE_SIZE)) & ~0x7
+        is_write = bool(rng.random() < 0.3)
+        pa = proc.translate(va)
+        assert (sipt.access(0x400, va, is_write, proc.page_table).hit
+                == shadow.access(pa, is_write).hit)
+    sipt.cache.check_invariants()
+    assert sorted(sipt.cache.resident_lines()) == \
+        sorted(shadow.resident_lines())
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=255),
+                min_size=1, max_size=200),
+       st.sampled_from([1, 2, 4, 8]))
+def test_property_tlb_translations_always_correct(page_picks, ways):
+    """Whatever the TLB state, translations match the page table."""
+    memory = PhysicalMemory(32 * 1024 * 1024, thp_enabled=False)
+    proc = Process(memory)
+    region = proc.mmap(256 * PAGE_SIZE)
+    proc.populate(region)
+    tlb = TlbHierarchy(l1_4k_entries=16, l1_4k_ways=ways,
+                       l2_entries=64, l2_ways=ways)
+    for pick in page_picks:
+        va = region.start + pick * PAGE_SIZE + (pick % 64) * 8
+        assert tlb.translate(va, proc.page_table).pa == proc.translate(va)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 16) - 1),
+                min_size=1, max_size=200))
+def test_property_writeback_only_after_write(addresses):
+    """A cache that never sees writes never writes back."""
+    cache = SetAssociativeCache(2 * 1024, 64, 2)
+    for addr in addresses:
+        cache.access(addr, is_write=False)
+    assert cache.stats.writebacks == 0
+    # And with writes, write-backs never exceed write count.
+    wcache = SetAssociativeCache(2 * 1024, 64, 2)
+    for addr in addresses:
+        wcache.access(addr, is_write=True)
+        wcache.access(addr ^ 0x8000, is_write=False)
+    assert wcache.stats.writebacks <= len(addresses)

@@ -1,0 +1,63 @@
+"""Tests for the plain-text reporting helpers."""
+
+import pytest
+
+from repro.report import bar_chart, format_table, speedup_summary, stacked_bars
+
+
+def test_format_table_alignment():
+    out = format_table(["app", "ipc"], [["sjeng", "1.00"],
+                                        ["libquantum", "2.0"]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("app")
+    # Columns align: 'ipc' starts at the same offset in every row.
+    offset = lines[0].index("ipc")
+    assert lines[2][offset:].startswith("1.00")
+
+
+def test_format_table_empty_rows():
+    out = format_table(["a"], [])
+    assert "a" in out
+
+
+def test_bar_chart_scales_to_peak():
+    out = bar_chart({"a": 1.0, "b": 2.0}, width=20)
+    lines = out.splitlines()
+    assert lines[1].count("#") == 20      # peak fills the width
+    assert 9 <= lines[0].count("#") <= 11  # half fills ~half
+
+
+def test_bar_chart_baseline_mark():
+    out = bar_chart({"a": 0.5, "b": 2.0}, width=20, baseline=1.0)
+    assert "|" in out.splitlines()[0]  # mark visible past the short bar
+
+
+def test_bar_chart_title_and_validation():
+    out = bar_chart({"x": 1.0}, title="Fig")
+    assert out.startswith("Fig")
+    with pytest.raises(ValueError):
+        bar_chart({})
+    with pytest.raises(ValueError):
+        bar_chart({"x": 1.0}, width=5)
+
+
+def test_stacked_bars_fills_by_fraction():
+    out = stacked_bars({"app": {"fast": 0.5, "slow": 0.5}},
+                       order=["fast", "slow"], width=20)
+    row = out.splitlines()[1]
+    assert row.count("#") == 10
+    assert row.count("=") == 10
+
+
+def test_stacked_bars_legend():
+    out = stacked_bars({"a": {"x": 1.0}}, order=["x"])
+    assert out.splitlines()[0].startswith("legend:")
+
+
+def test_speedup_summary():
+    out = speedup_summary({"a": 1.0, "b": 2.0})
+    assert "best b" in out
+    assert "worst a" in out
+    with pytest.raises(ValueError):
+        speedup_summary({})

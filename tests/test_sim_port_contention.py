@@ -1,0 +1,47 @@
+"""Tests for L1 port contention caused by SIPT extra accesses."""
+
+from dataclasses import replace
+
+from repro.core import IndexingScheme, SiptVariant
+from repro.sim import SIPT_GEOMETRIES, TraceCache, ooo_system
+from repro.sim.driver import _CoreContext, simulate
+
+CACHE = TraceCache()
+N = 4000
+
+
+def run_ctx(app, cfg):
+    trace = CACHE.get(app, N)
+    ctx = _CoreContext(ooo_system(cfg), trace)
+    for _ in range(len(trace)):
+        ctx.step()
+    return ctx
+
+
+def test_misspeculation_heavy_app_suffers_port_conflicts():
+    naive = replace(SIPT_GEOMETRIES["32K_2w"], variant=SiptVariant.NAIVE)
+    ctx = run_ctx("calculix", naive)  # ~every access misspeculates
+    assert ctx.port_conflicts > 0
+    # A sizable share of back-to-back accesses queue behind the retry.
+    assert ctx.port_conflicts > 0.1 * N
+
+
+def test_ideal_cache_has_no_port_conflicts():
+    ideal = SIPT_GEOMETRIES["32K_2w"].with_scheme(IndexingScheme.IDEAL)
+    ctx = run_ctx("calculix", ideal)
+    assert ctx.port_conflicts == 0
+
+
+def test_combined_predictor_removes_contention():
+    combined = SIPT_GEOMETRIES["32K_2w"]
+    naive = replace(combined, variant=SiptVariant.NAIVE)
+    assert (run_ctx("calculix", combined).port_conflicts
+            < 0.1 * run_ctx("calculix", naive).port_conflicts)
+
+
+def test_port_contention_costs_performance():
+    naive = replace(SIPT_GEOMETRIES["32K_2w"], variant=SiptVariant.NAIVE)
+    ideal = SIPT_GEOMETRIES["32K_2w"].with_scheme(IndexingScheme.IDEAL)
+    trace = CACHE.get("calculix", N)
+    assert simulate(trace, ooo_system(naive)).ipc < \
+        simulate(trace, ooo_system(ideal)).ipc

@@ -1,0 +1,140 @@
+"""Synonym and homonym correctness — the heart of SIPT's safety story.
+
+Section II-B: VIVT caches struggle because the OS maps multiple VAs to
+one PA (synonyms) and one VA to different PAs across processes
+(homonyms). Section IV: SIPT has neither problem — fills always use the
+physical index and tags are full physical line addresses, so all
+synonyms resolve to a single cached copy. These tests exercise exactly
+those scenarios through real shared mappings.
+"""
+
+import pytest
+
+from repro.cache import SetAssociativeCache, TlbHierarchy
+from repro.core import IndexingScheme, SiptL1Cache, SiptVariant
+from repro.mem import PAGE_SIZE, PhysicalMemory, Process
+
+
+def make_memory():
+    return PhysicalMemory(64 * 1024 * 1024, thp_enabled=False)
+
+
+def make_l1(variant=SiptVariant.NAIVE):
+    cache = SetAssociativeCache(32 * 1024, 64, 2)
+    return SiptL1Cache(cache, TlbHierarchy(), scheme=IndexingScheme.SIPT,
+                       variant=variant, hit_latency=2)
+
+
+def test_shared_segment_creates_synonyms():
+    memory = make_memory()
+    proc = Process(memory)
+    segment = memory.create_shared_segment(4 * PAGE_SIZE)
+    r1 = proc.map_shared(segment)
+    r2 = proc.map_shared(segment)
+    assert r1.start != r2.start
+    for offset in (0, PAGE_SIZE + 5, 4 * PAGE_SIZE - 1):
+        assert proc.translate(r1.start + offset) == \
+            proc.translate(r2.start + offset)
+
+
+def test_synonyms_share_one_cache_line():
+    """Filling through one synonym must hit through the other."""
+    memory = make_memory()
+    proc = Process(memory)
+    segment = memory.create_shared_segment(PAGE_SIZE)
+    r1 = proc.map_shared(segment)
+    r2 = proc.map_shared(segment)
+    l1 = make_l1()
+    miss = l1.access(0x400, r1.start, False, proc.page_table)
+    assert not miss.hit
+    hit = l1.access(0x404, r2.start, False, proc.page_table)
+    assert hit.hit  # same physical line, one copy
+    assert len(l1.cache.resident_lines()) == 1
+    l1.cache.check_invariants()
+
+
+def test_synonyms_never_duplicate_even_with_misspeculation():
+    """Even when index bits differ between the synonym VAs, the line
+    lives at its physical index only."""
+    memory = make_memory()
+    proc = Process(memory)
+    segment = memory.create_shared_segment(PAGE_SIZE)
+    # Force the two mappings to different speculative index bits by
+    # 2 MiB-aligning one and page-aligning the other offset by a page.
+    r1 = proc.map_shared(segment)
+    proc.mmap(PAGE_SIZE, align=PAGE_SIZE)  # skew the next VA
+    r2 = proc.map_shared(segment, align=PAGE_SIZE)
+    l1 = make_l1()
+    pa = proc.translate(r1.start)
+    for rep in range(4):
+        l1.access(0x400, r1.start, rep % 2 == 0, proc.page_table)
+        l1.access(0x404, r2.start, False, proc.page_table)
+    resident = l1.cache.resident_lines()
+    assert resident.count(pa >> 6) == 1
+    assert len(resident) == 1
+
+
+def test_synonym_write_visible_through_other_mapping():
+    """A dirty line written via one synonym is the same line the other
+    synonym reads (no stale duplicate to write back separately)."""
+    memory = make_memory()
+    proc = Process(memory)
+    segment = memory.create_shared_segment(PAGE_SIZE)
+    r1 = proc.map_shared(segment)
+    r2 = proc.map_shared(segment)
+    l1 = make_l1()
+    l1.access(0x400, r1.start, True, proc.page_table)   # write, dirty
+    result = l1.access(0x404, r2.start, False, proc.page_table)
+    assert result.hit
+    # Evicting produces exactly one write-back for the one dirty copy.
+    set_stride = l1.cache.n_sets * 64
+    pa = proc.translate(r1.start)
+    evictions = 0
+    probe = pa + set_stride
+    while l1.cache.contains(pa):
+        l1.cache.access(probe, False)
+        probe += set_stride
+        evictions += 1
+        assert evictions < 10
+    assert l1.cache.stats.writebacks == 1
+
+
+def test_homonyms_separated_by_asid():
+    """Same VA in two processes -> different PAs, disambiguated by the
+    ASID-tagged TLB and the physical tags."""
+    memory = make_memory()
+    p1, p2 = Process(memory, asid=1), Process(memory, asid=2)
+    r1 = p1.mmap(PAGE_SIZE, align=PAGE_SIZE)
+    r2 = p2.mmap(PAGE_SIZE, align=PAGE_SIZE)
+    p1.populate(r1)
+    p2.populate(r2)
+    assert r1.start == r2.start  # a true homonym
+    assert p1.translate(r1.start) != p2.translate(r2.start)
+    l1 = make_l1()
+    l1.access(0x400, r1.start, False, p1.page_table)
+    result = l1.access(0x400, r2.start, False, p2.page_table)
+    assert not result.hit  # different physical line: no false hit
+    assert len(l1.cache.resident_lines()) == 2
+
+
+def test_munmap_shared_keeps_frames():
+    memory = make_memory()
+    proc = Process(memory)
+    free_before = memory.buddy.free_frames()
+    segment = memory.create_shared_segment(8 * PAGE_SIZE)
+    region = proc.map_shared(segment)
+    proc.munmap(region)
+    # Frames still held by the segment...
+    assert memory.buddy.free_frames() == free_before - 8
+    memory.destroy_shared_segment(segment)
+    assert memory.buddy.free_frames() == free_before
+    memory.buddy.check_invariants()
+
+
+def test_segment_allocation_failures_roll_back():
+    memory = PhysicalMemory(16 * PAGE_SIZE, thp_enabled=False)
+    with pytest.raises(MemoryError):
+        memory.create_shared_segment(64 * PAGE_SIZE)
+    assert memory.buddy.free_frames() == 16
+    with pytest.raises(ValueError):
+        memory.create_shared_segment(0)

@@ -1,0 +1,91 @@
+"""Tests for the CACTI-substitute latency/energy model."""
+
+import pytest
+
+from repro.timing import CactiModel, TABLE2_ANCHORS
+
+KiB = 1024
+
+
+@pytest.fixture
+def model():
+    return CactiModel()
+
+
+def test_table2_anchor_latencies(model):
+    assert model.latency_cycles(32 * KiB, 8) == 4  # baseline
+    assert model.latency_cycles(32 * KiB, 2) == 2
+    assert model.latency_cycles(32 * KiB, 4) == 3
+    assert model.latency_cycles(64 * KiB, 4) == 3
+    assert model.latency_cycles(128 * KiB, 4) == 4
+    assert model.latency_cycles(16 * KiB, 4) == 2
+
+
+def test_table2_anchor_energies(model):
+    assert model.dynamic_nj(32 * KiB, 8) == 0.38
+    assert model.dynamic_nj(32 * KiB, 2) == 0.10
+    assert model.static_mw(128 * KiB, 4) == 69.0
+
+
+def test_associativity_dominates_latency(model):
+    """Fig. 1's key trend: associativity impacts latency more than size."""
+    # 8x the associativity at fixed capacity...
+    assoc_delta = (model.latency_ns(32 * KiB, 16)
+                   - model.latency_ns(32 * KiB, 2))
+    # ...versus 8x the capacity at fixed associativity.
+    cap_delta = (model.latency_ns(128 * KiB, 2)
+                 - model.latency_ns(16 * KiB, 2))
+    assert assoc_delta > cap_delta
+
+
+def test_latency_monotone_in_ways_and_capacity(model):
+    for ways in (2, 4, 8, 16):
+        assert (model.latency_ns(32 * KiB, ways)
+                < model.latency_ns(32 * KiB, ways * 2))
+    for cap in (16 * KiB, 32 * KiB, 64 * KiB):
+        assert (model.latency_ns(cap, 4)
+                < model.latency_ns(cap * 2, 4))
+
+
+def test_second_port_increases_latency(model):
+    assert (model.latency_ns(32 * KiB, 8, read_ports=2)
+            > model.latency_ns(32 * KiB, 8, read_ports=1))
+
+
+def test_banking_can_reduce_latency_of_large_caches(model):
+    # Splitting a big array into banks shortens bitlines.
+    assert (model.latency_ns(128 * KiB, 4, n_banks=4)
+            < model.latency_ns(128 * KiB, 4, n_banks=1))
+
+
+def test_energy_grows_with_ways(model):
+    assert model.dynamic_nj(32 * KiB, 4) > model.dynamic_nj(32 * KiB, 2)
+    assert model.dynamic_nj(32 * KiB, 8) > model.dynamic_nj(32 * KiB, 4)
+
+
+def test_interpolated_assoc(model):
+    ns_4 = model.latency_ns(32 * KiB, 4)
+    ns_8 = model.latency_ns(32 * KiB, 8)
+    # Non-anchored associativities interpolate and stay monotone.
+    ns_6 = model._assoc_ns(6) + model._capacity_ns(32 * KiB)
+    assert ns_4 < ns_6 < ns_8
+
+
+def test_sweep_covers_table1_space(model):
+    results = list(model.sweep())
+    configs = {(r.capacity_bytes, r.n_ways, r.read_ports, r.n_banks)
+               for r in results}
+    assert len(configs) == len(results)  # no duplicates
+    assert (32 * KiB, 8, 1, 1) in configs
+    # Range of normalized latencies reaches well above baseline (Fig. 1
+    # reports up to ~7.4x for the worst port/bank combination).
+    baseline = model.latency_ns(32 * KiB, 8)
+    worst = max(r.latency_ns for r in results)
+    assert worst / baseline > 2.0
+
+
+def test_invalid_geometry_rejected(model):
+    with pytest.raises(ValueError):
+        model.latency_ns(32 * KiB, 8, read_ports=0)
+    with pytest.raises(ValueError):
+        model.latency_ns(64, 2)

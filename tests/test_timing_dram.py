@@ -1,0 +1,65 @@
+"""Focused tests for the DDR3 DRAM model."""
+
+import pytest
+
+from repro.timing import DramModel
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DramModel(n_channels=0)
+    with pytest.raises(ValueError):
+        DramModel(n_banks=0)
+
+
+def test_cold_access_is_activate_plus_cas():
+    dram = DramModel()
+    latency = dram.read(0)
+    assert latency == dram.cas_cycles + dram.rcd_cycles
+
+
+def test_row_conflict_pays_precharge():
+    dram = DramModel()
+    dram.read(0)
+    # Same channel+bank, different row: stride by
+    # row_bytes * channels * banks.
+    conflict_addr = dram.row_bytes * dram.n_channels * dram.n_banks
+    assert dram._map(conflict_addr)[:2] == dram._map(0)[:2]
+    latency = dram.read(conflict_addr)
+    assert latency >= (dram.cas_cycles + dram.rcd_cycles
+                       + dram.rp_cycles)
+
+
+def test_row_hit_is_cas_only():
+    dram = DramModel()
+    dram.read(0)
+    dram.read(4096)  # elsewhere, then come back? stays same row if < row
+    latency = dram.read(64)
+    # 64 bytes into row 0 of the same bank: row hit (+ possible queue).
+    assert latency <= dram.cas_cycles + dram.queue_cycles
+
+
+def test_back_to_back_same_bank_queues():
+    dram = DramModel()
+    first = dram.read(0)
+    second = dram.read(128)  # same row, same bank, immediately after
+    assert second == dram.cas_cycles + dram.queue_cycles
+    assert first > second
+
+
+def test_channel_mapping_spreads_consecutive_rows():
+    dram = DramModel(n_channels=4)
+    channels = {dram._map(i * dram.row_bytes)[0] for i in range(4)}
+    assert channels == {0, 1, 2, 3}
+
+
+def test_row_hit_rate_statistic():
+    dram = DramModel()
+    for i in range(16):
+        dram.read(i * 64)  # one row, sequential
+    assert dram.stats.row_hit_rate > 0.9
+    assert dram.stats.reads == 16
+
+
+def test_empty_stats():
+    assert DramModel().stats.row_hit_rate == 0.0

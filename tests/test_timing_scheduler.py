@@ -1,0 +1,97 @@
+"""Tests for the Section VII-C scheduler replay model."""
+
+import pytest
+
+from repro.core import SpeculationOutcome
+from repro.core.outcomes import OutcomeCounts
+from repro.timing import (
+    ReplayCosts,
+    ReplayPolicy,
+    ReplayReport,
+    SchedulerReplayModel,
+)
+
+
+def make_counts(correct=80, bypass=5, loss=2, extra=10, idb=3,
+                extra_via_idb=4):
+    counts = OutcomeCounts()
+    for _ in range(correct):
+        counts.record(SpeculationOutcome.CORRECT_SPECULATION)
+    for _ in range(bypass):
+        counts.record(SpeculationOutcome.CORRECT_BYPASS)
+    for _ in range(loss):
+        counts.record(SpeculationOutcome.OPPORTUNITY_LOSS)
+    for i in range(extra):
+        counts.record(SpeculationOutcome.EXTRA_ACCESS,
+                      via_idb=i < extra_via_idb)
+    for _ in range(idb):
+        counts.record(SpeculationOutcome.IDB_HIT)
+    return counts
+
+
+def test_replay_events_are_extra_accesses():
+    model = SchedulerReplayModel()
+    counts = make_counts(extra=7, extra_via_idb=2)
+    assert model.replay_events(counts) == 7
+    assert counts.extra_access_after_idb == 2
+
+
+def test_selective_policy_costs():
+    model = SchedulerReplayModel(ReplayCosts(selective_cycles=3,
+                                             flush_cycles=12))
+    counts = make_counts(extra=10)
+    report = model.report(counts, instructions=1000, cycles=500,
+                          policy=ReplayPolicy.SELECTIVE)
+    assert report.replay_cycles == 30
+    assert report.added_cpi == pytest.approx(0.03)
+    assert report.selective_fraction == 1.0
+
+
+def test_flush_policy_costs_more_per_event():
+    model = SchedulerReplayModel()
+    counts = make_counts(extra=10)
+    selective = model.report(counts, 1000, 500, ReplayPolicy.SELECTIVE)
+    flush = model.report(counts, 1000, 500, ReplayPolicy.FLUSH)
+    assert flush.replay_cycles > selective.replay_cycles
+    assert flush.selective_fraction == 0.0
+
+
+def test_hybrid_splits_by_confidence():
+    model = SchedulerReplayModel(ReplayCosts(selective_cycles=3,
+                                             flush_cycles=12))
+    counts = make_counts(extra=10, extra_via_idb=4)
+    hybrid = model.report(counts, 1000, 500, ReplayPolicy.HYBRID)
+    # 6 endorsed failures flush (72 cycles), 4 IDB failures selective
+    # (12 cycles).
+    assert hybrid.replay_cycles == 6 * 12 + 4 * 3
+    # Selective hardware is provisioned only for low-confidence loads.
+    assert 0.0 < hybrid.selective_fraction < 1.0
+
+
+def test_confident_fraction():
+    model = SchedulerReplayModel()
+    counts = make_counts(correct=80, bypass=5, loss=2, extra=10,
+                         idb=3, extra_via_idb=4)
+    # Endorsed loads: 80 correct + 6 endorsed failures of 100 total.
+    assert model.confident_fraction(counts) == pytest.approx(0.86)
+
+
+def test_no_events_no_cost():
+    model = SchedulerReplayModel()
+    counts = make_counts(extra=0, extra_via_idb=0)
+    for policy in ReplayPolicy:
+        report = model.report(counts, 1000, 500, policy)
+        assert report.replay_cycles == 0
+        assert report.added_cpi == 0
+
+
+def test_validation():
+    model = SchedulerReplayModel()
+    with pytest.raises(ValueError):
+        model.report(make_counts(), 0, 500, ReplayPolicy.FLUSH)
+    with pytest.raises(ValueError):
+        model.report(make_counts(), 1000, 0, ReplayPolicy.FLUSH)
+
+
+def test_empty_counts_confident():
+    assert SchedulerReplayModel().confident_fraction(OutcomeCounts()) == 1.0

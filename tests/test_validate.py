@@ -1,0 +1,37 @@
+"""Tests for the headline-claims scorecard."""
+
+from repro.validate import (
+    Check,
+    SCORECARD_APPS,
+    format_scorecard,
+    run_scorecard,
+)
+
+
+def test_format_scorecard():
+    checks = [Check("a claim", "x=1", True),
+              Check("another", "y=2", False)]
+    out = format_scorecard(checks)
+    assert "[PASS] a claim" in out
+    assert "[FAIL] another" in out
+    assert out.endswith("1/2 headline claims reproduced")
+
+
+def test_scorecard_apps_span_styles():
+    from repro.workloads import PROFILES
+    styles = {PROFILES[a].alloc_style for a in SCORECARD_APPS}
+    assert styles >= {"thp_big", "chunked", "offset"}
+
+
+def test_run_scorecard_smoke():
+    """A tiny run must complete and produce every check (pass or fail —
+    small sizes are below some claims' working-set reuse thresholds)."""
+    checks = run_scorecard(n_accesses=2500)
+    assert len(checks) == 8
+    assert all(isinstance(c, Check) for c in checks)
+    # The always-robust claims hold even at tiny sizes.
+    by_claim = {c.claim: c for c in checks}
+    assert by_claim[
+        "SIPT (32K/2w + IDB) speeds up the OOO core"].passed
+    assert by_claim[
+        "combined predictor beats naive speculation"].passed

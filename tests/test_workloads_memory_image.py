@@ -1,0 +1,115 @@
+"""Tests for allocation-style mechanics in build_memory_image."""
+
+import numpy as np
+import pytest
+
+from repro.mem import PAGE_SIZE, PhysicalMemory, index_delta
+from repro.workloads import get_profile
+from repro.workloads.trace import build_memory_image
+from repro.workloads.patterns import _clustered_pages
+
+
+def image_for(app, thp=True, seed=0):
+    memory = PhysicalMemory(512 * 1024 * 1024, thp_enabled=thp)
+    profile = get_profile(app)
+    rng = np.random.default_rng(seed)
+    process, regions = build_memory_image(profile, memory, rng)
+    return profile, process, regions
+
+
+def deltas_by_page(process, regions, n_bits=3):
+    deltas = []
+    for region in regions:
+        va = region.start
+        while va < region.end:
+            deltas.append(index_delta(va, process.translate(va), n_bits))
+            va += PAGE_SIZE
+    return deltas
+
+
+def test_thp_big_single_region_fully_mapped():
+    profile, process, regions = image_for("libquantum")
+    assert len(regions) == 1
+    assert regions[0].length >= profile.footprint
+    assert process.stats.huge_page_faults > 0
+    assert process.stats.base_page_faults == 0
+
+
+def test_chunked_covers_footprint_in_chunks():
+    profile, process, regions = image_for("perlbench")
+    assert sum(r.length for r in regions) >= profile.footprint
+    assert len(regions) == -(-profile.footprint // profile.chunk_bytes)
+
+
+def test_offset_style_constant_nonzero_delta():
+    """Odd initial noise -> one constant non-zero delta everywhere
+    (until a rare noise event fires)."""
+    _, process, regions = image_for("calculix")
+    deltas = deltas_by_page(process, regions)
+    dominant = max(set(deltas), key=deltas.count)
+    assert dominant != 0
+    assert deltas.count(dominant) / len(deltas) > 0.5
+
+
+def test_chunked_style_mostly_zero_delta():
+    """Chunked apps keep delta 0 for most pages — in expectation.
+
+    Noise events are rare but can fire early in an unlucky seed, so the
+    claim is checked across seeds: the majority of runs must be
+    zero-delta dominated.
+    """
+    zero_dominated = 0
+    for seed in range(3):
+        _, process, regions = image_for("perlbench", seed=seed)
+        deltas = deltas_by_page(process, regions)
+        if deltas.count(0) / len(deltas) > 0.5:
+            zero_dominated += 1
+    assert zero_dominated >= 2
+
+
+def test_deltas_constant_within_each_chunk():
+    """Noise only fires between chunks, so per-chunk deltas are flat."""
+    _, process, regions = image_for("gcc")
+    for region in regions[:20]:
+        chunk_deltas = set()
+        va = region.start
+        while va < region.end:
+            chunk_deltas.add(index_delta(va, process.translate(va), 3))
+            va += PAGE_SIZE
+        assert len(chunk_deltas) == 1
+
+
+def test_noise_isolated_from_app_process():
+    """Noise pages must never be mapped into the app's page table."""
+    profile, process, regions = image_for("gcc")
+    mapped = sum(1 for _ in process.page_table.entries())
+    expected = sum(r.length for r in regions) // PAGE_SIZE
+    assert mapped == expected
+
+
+def test_clustered_pages_sparse():
+    rng = np.random.default_rng(0)
+    pages = _clustered_pages(total_pages=10_000, n_pages=40,
+                             n_clusters=4, rng=rng)
+    assert len(pages) == 40
+    assert len(set(int(p) for p in pages)) == 40
+    # Pages form few contiguous runs.
+    ordered = sorted(int(p) for p in pages)
+    runs = 1 + sum(1 for a, b in zip(ordered, ordered[1:]) if b != a + 1)
+    assert runs <= 8
+
+
+def test_clustered_pages_dense_terminates():
+    rng = np.random.default_rng(0)
+    pages = _clustered_pages(total_pages=64, n_pages=64, n_clusters=4,
+                             rng=rng)
+    assert sorted(int(p) for p in pages) == list(range(64))
+
+
+def test_clustered_pages_saturation_fallback():
+    rng = np.random.default_rng(0)
+    # n_pages just under the dense cutoff exercises the top-up path.
+    pages = _clustered_pages(total_pages=100, n_pages=49, n_clusters=2,
+                             rng=rng)
+    assert len(pages) == 49
+    assert len(set(int(p) for p in pages)) == 49

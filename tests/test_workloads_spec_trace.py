@@ -1,0 +1,137 @@
+"""Tests for app profiles, trace generation, and mixes."""
+
+import numpy as np
+import pytest
+
+from repro.mem import index_bits
+from repro.workloads import (
+    EVALUATED_APPS,
+    LOW_SPECULATION_APPS,
+    MIXES,
+    PROFILES,
+    MemoryCondition,
+    generate_trace,
+    get_mix,
+    get_profile,
+)
+
+
+def test_all_evaluated_apps_have_profiles():
+    assert len(EVALUATED_APPS) == 26
+    for app in EVALUATED_APPS:
+        assert app in PROFILES
+
+
+def test_profile_weights_validated():
+    from repro.workloads import AppProfile, PatternSpec
+    with pytest.raises(ValueError):
+        AppProfile("bad", 1 << 20, "chunked",
+                   (PatternSpec(0.5, "zipf"),))
+    with pytest.raises(ValueError):
+        AppProfile("bad", 1 << 20, "heap",
+                   (PatternSpec(1.0, "zipf"),))
+
+
+def test_get_profile_unknown():
+    with pytest.raises(ValueError):
+        get_profile("doom")
+
+
+def test_mix_table_matches_paper():
+    assert len(MIXES) == 11
+    assert get_mix("mix0") == ["h264ref", "hmmer", "perlbench", "povray"]
+    assert get_mix("mix10") == ["leela_17", "exchange2_17", "xz_17",
+                                "xalancbmk_17"]
+    # Every evaluated app appears at least once across the mixes.
+    used = {app for members in MIXES.values() for app in members}
+    assert set(EVALUATED_APPS) <= used
+    with pytest.raises(ValueError):
+        get_mix("mix99")
+
+
+def test_trace_basic_shape():
+    trace = generate_trace("povray", 2000, seed=1)
+    assert len(trace) == 2000
+    assert trace.total_instructions >= 2000
+    assert trace.va.dtype == np.int64
+    assert 0.0 <= trace.huge_fraction <= 1.0
+
+
+def test_trace_deterministic():
+    a = generate_trace("sjeng", 1000, seed=3)
+    b = generate_trace("sjeng", 1000, seed=3)
+    assert np.array_equal(a.va, b.va)
+    assert np.array_equal(a.pc, b.pc)
+    assert np.array_equal(a.is_write, b.is_write)
+
+
+def test_trace_seed_changes_stream():
+    a = generate_trace("sjeng", 1000, seed=3)
+    b = generate_trace("sjeng", 1000, seed=4)
+    assert not np.array_equal(a.va, b.va)
+
+
+def test_all_trace_pages_are_mapped():
+    trace = generate_trace("gcc", 3000, seed=0)
+    for va in trace.va[:500]:
+        assert trace.process.page_table.is_mapped(int(va))
+
+
+def test_thp_big_apps_run_on_huge_pages():
+    trace = generate_trace("libquantum", 2000, seed=0,
+                           condition=MemoryCondition.NORMAL)
+    assert trace.huge_fraction > 0.9
+
+
+def test_thp_off_eliminates_huge_pages():
+    trace = generate_trace("libquantum", 2000, seed=0,
+                           condition=MemoryCondition.THP_OFF)
+    assert trace.huge_fraction == 0.0
+
+
+def test_fragmentation_defeats_huge_pages():
+    trace = generate_trace("libquantum", 2000, seed=0,
+                           condition=MemoryCondition.FRAGMENTED)
+    assert trace.huge_fraction < 0.5
+
+
+def speculation_success(trace, n_bits):
+    """Fraction of accesses whose index bits survive translation."""
+    ok = 0
+    for va in trace.va:
+        pa = trace.process.translate(int(va))
+        ok += index_bits(int(va), n_bits) == index_bits(pa, n_bits)
+    return ok / len(trace.va)
+
+
+def test_chunked_apps_speculate_well():
+    trace = generate_trace("perlbench", 3000, seed=0)
+    assert speculation_success(trace, 2) > 0.6
+
+
+def test_offset_apps_speculate_poorly_at_4k():
+    """The 'offset' style produces constant-but-nonzero deltas."""
+    trace = generate_trace("calculix", 3000, seed=0)
+    assert speculation_success(trace, 2) < 0.5
+
+
+def test_low_speculation_apps_listed_in_paper():
+    assert "cactusADM" in LOW_SPECULATION_APPS
+    assert len(LOW_SPECULATION_APPS) == 7
+
+
+def test_trace_rejects_bad_access_count():
+    with pytest.raises(ValueError):
+        generate_trace("sjeng", 0)
+
+
+def test_shared_memory_for_multicore():
+    from repro.mem import PhysicalMemory
+    memory = PhysicalMemory(512 * 1024 * 1024, thp_enabled=True)
+    t1 = generate_trace("povray", 500, seed=0, memory=memory)
+    t2 = generate_trace("gamess", 500, seed=1, memory=memory)
+    pfn1 = {t1.process.page_table.lookup(int(v) >> 12).pfn
+            for v in t1.va[:100]}
+    pfn2 = {t2.process.page_table.lookup(int(v) >> 12).pfn
+            for v in t2.va[:100]}
+    assert not pfn1 & pfn2

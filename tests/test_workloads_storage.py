@@ -1,0 +1,72 @@
+"""Tests for trace save/load round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.sim import BASELINE_L1, SIPT_GEOMETRIES, ooo_system, simulate
+from repro.workloads import generate_trace, load_trace, save_trace
+
+
+@pytest.fixture
+def trace():
+    return generate_trace("povray", 2000, seed=5)
+
+
+def test_roundtrip_preserves_arrays(tmp_path, trace):
+    path = save_trace(trace, tmp_path / "povray")
+    assert path.suffix == ".npz"
+    loaded = load_trace(path)
+    assert loaded.app == trace.app
+    assert loaded.condition == trace.condition
+    assert np.array_equal(loaded.pc, trace.pc)
+    assert np.array_equal(loaded.va, trace.va)
+    assert np.array_equal(loaded.is_write, trace.is_write)
+    assert np.array_equal(loaded.inst_gap, trace.inst_gap)
+    assert np.array_equal(loaded.dep_dist, trace.dep_dist)
+    assert loaded.mlp == trace.mlp
+
+
+def test_roundtrip_preserves_translations(tmp_path, trace):
+    loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+    for va in trace.va[:300]:
+        assert loaded.process.translate(int(va)) == \
+            trace.process.translate(int(va))
+
+
+def test_roundtrip_preserves_huge_flags(tmp_path):
+    trace = generate_trace("libquantum", 1000, seed=0)
+    loaded = load_trace(save_trace(trace, tmp_path / "lq"))
+    va = int(trace.va[0])
+    _, entry = loaded.process.page_table.translate_entry(va)
+    assert entry.huge
+    assert loaded.huge_fraction == trace.huge_fraction
+
+
+def test_simulation_identical_after_reload(tmp_path, trace):
+    loaded = load_trace(save_trace(trace, tmp_path / "t"))
+    system = ooo_system(SIPT_GEOMETRIES["32K_2w"])
+    original = simulate(trace, system)
+    replayed = simulate(loaded, system)
+    assert replayed.cycles == original.cycles
+    assert replayed.energy.total == original.energy.total
+    assert (replayed.outcomes.as_fractions()
+            == original.outcomes.as_fractions())
+
+
+def test_replay_process_is_read_only(tmp_path, trace):
+    loaded = load_trace(save_trace(trace, tmp_path / "t"))
+    with pytest.raises(RuntimeError):
+        loaded.process.touch(0xDEAD000)
+
+
+def test_version_check(tmp_path, trace):
+    path = save_trace(trace, tmp_path / "t")
+    import json
+    import numpy as np
+    data = dict(np.load(path))
+    meta = json.loads(bytes(data["meta"]).decode())
+    meta["version"] = 99
+    data["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez(path, **data)
+    with pytest.raises(ValueError):
+        load_trace(path)
