@@ -29,7 +29,16 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import cache, core, mem, sim, timing, workloads
+from . import cache, core, errors, mem, sim, timing, workloads
+from .errors import (
+    CellTimeout,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    TransientError,
+)
 
-__all__ = ["cache", "core", "mem", "sim", "timing", "workloads",
-           "__version__"]
+__all__ = ["cache", "core", "errors", "mem", "sim", "timing", "workloads",
+           "CellTimeout", "ConfigError", "ReproError", "SimulationError",
+           "TraceError", "TransientError", "__version__"]

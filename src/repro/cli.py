@@ -6,8 +6,15 @@ Examples::
     python -m repro run --app perlbench --geometry 32K_2w
     python -m repro run --app calculix --variant naive --core inorder
     python -m repro suite --geometry 64K_4w --accesses 10000
+    python -m repro sweep --apps perlbench,mcf --journal sweep.jsonl
+    python -m repro sweep --resume sweep.jsonl   # continue after a crash
     python -m repro mix --name mix0
     python -m repro designspace
+    python -m repro validate --min-pass 6
+
+Exit codes: ``0`` success, ``1`` a typed error (printed to stderr) or
+failed validation, ``2`` the grid completed but degraded (error rows)
+under ``--strict``, ``3`` a simulated worker crash (fault injection).
 """
 
 from __future__ import annotations
@@ -18,17 +25,25 @@ from dataclasses import replace
 from typing import Dict, List, Optional
 
 from .core.indexing import IndexingScheme, SiptVariant
+from .errors import ConfigError, ReproError
 from .sim import (
     BASELINE_L1,
     L1_16K_4W_VIPT,
     SIPT_GEOMETRIES,
+    FaultInjector,
+    ResilientRunner,
+    RetryPolicy,
     TraceCache,
+    WorkerCrash,
     harmonic_mean,
     inorder_system,
     ooo_system,
     run_app,
+    run_sweep,
     simulate_multicore,
+    to_csv,
 )
+from .sim.sweep import SweepSpec
 from .timing.cacti import CactiModel
 from .workloads import EVALUATED_APPS, MIX_NAMES, MemoryCondition, get_mix
 
@@ -36,6 +51,11 @@ GEOMETRIES = {"baseline": BASELINE_L1, "16K_4w": L1_16K_4W_VIPT,
               **SIPT_GEOMETRIES}
 
 CONDITIONS = {c.value: c for c in MemoryCondition}
+
+#: Exit code for a grid that completed but carries error rows (--strict).
+EXIT_DEGRADED = 2
+#: Exit code for a simulated worker crash (fault injection).
+EXIT_CRASHED = 3
 
 
 def _system(args, l1):
@@ -48,8 +68,8 @@ def _system(args, l1):
     return system
 
 
-def _l1(args):
-    l1 = GEOMETRIES[args.geometry]
+def _l1(args, geometry: Optional[str] = None):
+    l1 = GEOMETRIES[geometry or args.geometry]
     if args.scheme:
         l1 = l1.with_scheme(IndexingScheme(args.scheme))
     if args.variant:
@@ -57,6 +77,32 @@ def _l1(args):
     if args.way_prediction:
         l1 = replace(l1, way_prediction=True)
     return l1
+
+
+def _runner(args) -> ResilientRunner:
+    """Build the resilience runner from the common CLI flags."""
+    journal = getattr(args, "journal", None)
+    resume = getattr(args, "resume", None)
+    faults = None
+    if getattr(args, "inject", None):
+        faults = FaultInjector(args.inject)
+    return ResilientRunner(
+        journal=journal or resume,
+        resume_from=resume,
+        timeout_s=getattr(args, "timeout", None),
+        retry=RetryPolicy(max_retries=getattr(args, "retries", 2)),
+        faults=faults)
+
+
+def _finish(args, runner: ResilientRunner) -> int:
+    """Common epilogue: report runner stats, apply --strict."""
+    runner.close()
+    stats = runner.stats
+    if stats.total:
+        print(f"[resilience] {stats.summary()}", file=sys.stderr)
+    if stats.degraded and getattr(args, "strict", False):
+        return EXIT_DEGRADED
+    return 0
 
 
 def _print_result(result, baseline=None) -> None:
@@ -90,40 +136,91 @@ def cmd_list(args) -> int:
 
 def cmd_run(args) -> int:
     traces = TraceCache()
+    runner = _runner(args)
     condition = CONDITIONS[args.condition]
     l1 = _l1(args)
-    result = run_app(args.app, _system(args, l1), condition=condition,
-                     n_accesses=args.accesses, cache=traces)
-    baseline = None
-    if args.compare_baseline:
-        baseline = run_app(args.app, _system(args, BASELINE_L1),
-                           condition=condition, n_accesses=args.accesses,
-                           cache=traces)
-    _print_result(result, baseline)
+    holder: Dict[str, object] = {}
+
+    def cell():
+        holder["result"] = run_app(args.app, _system(args, l1),
+                                   condition=condition,
+                                   n_accesses=args.accesses, cache=traces)
+        if args.compare_baseline:
+            holder["baseline"] = run_app(
+                args.app, _system(args, BASELINE_L1), condition=condition,
+                n_accesses=args.accesses, cache=traces)
+        result = holder["result"]
+        return {"app": args.app, "ipc": result.ipc}
+
+    # degrade=False: a single-cell command wants the typed error (exit 1
+    # via main's handler), not an error row — but retries/timeouts and
+    # injected faults still apply.
+    key = {"cmd": "run", "app": args.app, "geometry": args.geometry,
+           "core": args.core, "condition": args.condition}
+    runner.run_cell(key, cell, degrade=False)
+    runner.close()
+    _print_result(holder["result"], holder.get("baseline"))
     return 0
 
 
 def cmd_suite(args) -> int:
     traces = TraceCache()
+    runner = _runner(args)
     condition = CONDITIONS[args.condition]
     l1 = _l1(args)
     speedups = []
     print(f"{'app':>14s} {'IPC':>7s} {'speedup':>8s} {'fast':>6s} "
           f"{'energy':>7s}")
     for app in EVALUATED_APPS:
-        base = run_app(app, _system(args, BASELINE_L1),
-                       condition=condition, n_accesses=args.accesses,
-                       cache=traces)
-        result = run_app(app, _system(args, l1), condition=condition,
-                         n_accesses=args.accesses, cache=traces)
-        speedup = result.speedup_over(base)
-        speedups.append(speedup)
-        print(f"{app:>14s} {result.ipc:>7.3f} {speedup:>8.3f} "
-              f"{result.fast_fraction:>6.2f} "
-              f"{result.energy_over(base):>7.3f}")
-    print(f"{'hmean speedup':>14s} {'':>7s} "
-          f"{harmonic_mean(speedups):>8.3f}")
-    return 0
+        key = {"cmd": "suite", "app": app, "geometry": args.geometry,
+               "core": args.core, "condition": args.condition,
+               "accesses": args.accesses}
+
+        def cell(app=app):
+            base = run_app(app, _system(args, BASELINE_L1),
+                           condition=condition, n_accesses=args.accesses,
+                           cache=traces)
+            result = run_app(app, _system(args, l1), condition=condition,
+                             n_accesses=args.accesses, cache=traces)
+            return {"app": app, "ipc": result.ipc,
+                    "speedup": result.speedup_over(base),
+                    "fast": result.fast_fraction,
+                    "energy_ratio": result.energy_over(base)}
+
+        row = runner.run_cell(key, cell)
+        if row.get("status") != "ok":
+            print(f"{app:>14s} {'ERROR':>7s}  {row.get('error', '')}")
+            continue
+        speedups.append(row["speedup"])
+        print(f"{app:>14s} {row['ipc']:>7.3f} {row['speedup']:>8.3f} "
+              f"{row['fast']:>6.2f} {row['energy_ratio']:>7.3f}")
+    if speedups:
+        print(f"{'hmean speedup':>14s} {'':>7s} "
+              f"{harmonic_mean(speedups):>8.3f}")
+    return _finish(args, runner)
+
+
+def cmd_sweep(args) -> int:
+    apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    names = [g.strip() for g in args.geometries.split(",") if g.strip()]
+    unknown = [g for g in names if g not in GEOMETRIES]
+    if unknown:
+        raise ConfigError(f"unknown geometries {unknown}; "
+                          f"choose from {sorted(GEOMETRIES)}")
+    spec = SweepSpec(
+        apps=apps,
+        configs={name: GEOMETRIES[name] for name in names},
+        cores=[c.strip() for c in args.cores.split(",") if c.strip()],
+        conditions=[CONDITIONS[c.strip()]
+                    for c in args.conditions.split(",") if c.strip()],
+        seeds=[int(s) for s in args.seeds.split(",") if s.strip()],
+        baseline=args.baseline)
+    runner = _runner(args)
+    rows = run_sweep(spec, n_accesses=args.accesses, traces=TraceCache(),
+                     runner=runner)
+    path = to_csv(rows, args.out)
+    print(f"wrote {len(rows)} rows to {path}")
+    return _finish(args, runner)
 
 
 def cmd_mix(args) -> int:
@@ -143,25 +240,46 @@ def cmd_mix(args) -> int:
 
 def cmd_validate(args) -> int:
     from .validate import format_scorecard, run_scorecard
-    checks = run_scorecard(n_accesses=args.accesses)
+    runner = _runner(args)
+    checks = run_scorecard(n_accesses=args.accesses, runner=runner)
     print(format_scorecard(checks))
-    return 0 if all(c.passed for c in checks) else 1
+    strict_rc = _finish(args, runner)
+    if strict_rc:
+        return strict_rc
+    n_pass = sum(c.passed for c in checks)
+    required = len(checks) if args.min_pass is None else args.min_pass
+    return 0 if n_pass >= required else 1
 
 
 def cmd_designspace(args) -> int:
     model = CactiModel()
+    runner = _runner(args)
     base = model.latency_ns(32 * 1024, 8)
     print(f"{'config':>12s} {'cycles':>7s} {'vs base':>8s} "
           f"{'nJ':>7s} {'mW':>7s}")
     for capacity in (16, 32, 64, 128):
         for ways in (2, 4, 8, 16):
             c = capacity * 1024
+            key = {"cmd": "designspace", "capacity_kib": capacity,
+                   "ways": ways}
+
+            def cell(c=c, ways=ways):
+                return {"cycles": model.latency_cycles(c, ways),
+                        "ratio": model.latency_ns(c, ways) / base,
+                        "nj": model.dynamic_nj(c, ways),
+                        "mw": model.static_mw(c, ways)}
+
+            row = runner.run_cell(key, cell)
+            if row.get("status") != "ok":
+                print(f"{capacity:>9d}K/{ways:<2d} {'ERROR':>7s}  "
+                      f"{row.get('error', '')}")
+                continue
             print(f"{capacity:>9d}K/{ways:<2d} "
-                  f"{model.latency_cycles(c, ways):>7d} "
-                  f"{model.latency_ns(c, ways) / base:>8.2f} "
-                  f"{model.dynamic_nj(c, ways):>7.3f} "
-                  f"{model.static_mw(c, ways):>7.1f}")
-    return 0
+                  f"{row['cycles']:>7d} "
+                  f"{row['ratio']:>8.2f} "
+                  f"{row['nj']:>7.3f} "
+                  f"{row['mw']:>7.1f}")
+    return _finish(args, runner)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -188,23 +306,70 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--accesses", type=int, default=30_000)
         p.add_argument("--way-prediction", action="store_true")
 
+    def resilience(p, with_journal=True):
+        group = p.add_argument_group("resilience")
+        if with_journal:
+            group.add_argument(
+                "--journal", metavar="JSONL",
+                help="append one record per finished grid cell")
+            group.add_argument(
+                "--resume", metavar="JSONL",
+                help="skip cells a previous run journaled (implies "
+                     "--journal JSONL unless given separately)")
+            group.add_argument(
+                "--strict", action="store_true",
+                help=f"exit {EXIT_DEGRADED} if any cell degraded to an "
+                     "error row")
+        group.add_argument("--timeout", type=float, default=None,
+                           metavar="SECONDS", help="per-cell deadline")
+        group.add_argument("--retries", type=int, default=2,
+                           help="retry budget for transient errors")
+        group.add_argument(
+            "--inject", action="append", default=[], metavar="FAULT",
+            help="inject a deterministic fault: crash@N, "
+                 "transient@N[xK], stall@N:SECONDS (repeatable)")
+
     run_p = sub.add_parser("run", help="simulate one app")
     common(run_p, with_app=True)
+    resilience(run_p, with_journal=False)
     run_p.add_argument("--compare-baseline", action="store_true",
                        help="also run the VIPT baseline and report ratios")
 
     suite_p = sub.add_parser("suite", help="simulate the full 26-app suite")
     common(suite_p)
+    resilience(suite_p)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run an (apps x geometries x ...) grid to CSV")
+    sweep_p.add_argument("--apps", default="perlbench,mcf,libquantum",
+                         help="comma-separated benchmark names")
+    sweep_p.add_argument("--geometries", default="baseline,32K_2w",
+                         help="comma-separated geometry names")
+    sweep_p.add_argument("--baseline", default=None,
+                         help="geometry name to normalize ratios against")
+    sweep_p.add_argument("--cores", default="ooo")
+    sweep_p.add_argument("--conditions", default="normal")
+    sweep_p.add_argument("--seeds", default="0")
+    sweep_p.add_argument("--accesses", type=int, default=30_000)
+    sweep_p.add_argument("--out", default="sweep.csv",
+                         help="CSV output path")
+    resilience(sweep_p)
 
     mix_p = sub.add_parser("mix", help="simulate a Table III quad-core mix")
     common(mix_p)
     mix_p.add_argument("--name", default="mix0", choices=MIX_NAMES)
 
-    sub.add_parser("designspace", help="print the CACTI design space")
+    designspace_p = sub.add_parser(
+        "designspace", help="print the CACTI design space")
+    resilience(designspace_p)
 
     validate_p = sub.add_parser(
         "validate", help="score the paper's headline claims (smoke check)")
     validate_p.add_argument("--accesses", type=int, default=12_000)
+    validate_p.add_argument(
+        "--min-pass", type=int, default=None, metavar="N",
+        help="succeed when at least N claims pass (default: all)")
+    resilience(validate_p)
     return parser
 
 
@@ -212,6 +377,7 @@ COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
     "suite": cmd_suite,
+    "sweep": cmd_sweep,
     "mix": cmd_mix,
     "designspace": cmd_designspace,
     "validate": cmd_validate,
@@ -220,7 +386,19 @@ COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except WorkerCrash as exc:
+        print(f"crashed: {exc} (journal, if any, is preserved — "
+              "rerun with --resume)", file=sys.stderr)
+        return EXIT_CRASHED
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("interrupted (journal, if any, is preserved — rerun with "
+              "--resume)", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -66,11 +66,22 @@ class PerceptronPredictor:
         return ((pc >> 2) ^ (pc >> 9)) % self.n_entries
 
     def output(self, pc: int) -> int:
-        """The raw perceptron sum ``y`` for this PC (confidence signal)."""
+        """The raw perceptron sum ``y`` for this PC (confidence signal).
+
+        Guards against non-finite activations: hardware weights are
+        saturating integers, so a NaN/inf here means corrupted predictor
+        state (e.g. an injected fault) and ``y >= 0`` would silently
+        resolve to "bypass" forever. Surface it as a typed error instead.
+        """
         weights = self._weights[self._entry(pc)]
         y = weights[0]
         for weight, x in zip(weights[1:], self._history):
             y += weight if x > 0 else -weight
+        if y != y or y in (float("inf"), float("-inf")):
+            from ..errors import SimulationError
+            raise SimulationError(
+                f"perceptron entry {self._entry(pc)} produced a "
+                "non-finite activation; predictor state is corrupt")
         return y
 
     def predict(self, pc: int) -> bool:

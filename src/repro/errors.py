@@ -1,0 +1,91 @@
+"""Typed error taxonomy for experiment execution.
+
+Every failure the harness can recover from (or at least diagnose) is a
+:class:`ReproError` carrying the experiment context — the (app, config,
+seed) cell that failed — so sweeps can degrade a failing cell into a
+structured error row instead of discarding a half-finished grid, and so
+the CLI can print an actionable one-liner instead of a traceback.
+
+Hierarchy::
+
+    ReproError
+      ConfigError      (also ValueError)  bad experiment specification
+      TraceError       (also ValueError)  trace generation / corrupt records
+      SimulationError  (also RuntimeError) the model produced nonsense
+        CellTimeout                        a grid cell exceeded its deadline
+      TransientError   (also RuntimeError) retryable (worker hiccups,
+                                           injected transients)
+
+`ConfigError`/`TraceError` inherit from ``ValueError`` and
+`SimulationError`/`TransientError` from ``RuntimeError`` so existing
+``except ValueError`` call sites (and tests) keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base class for all typed harness errors.
+
+    ``app``/``config``/``seed`` identify the grid cell that failed, when
+    known; the formatted message appends whatever context is present.
+    """
+
+    def __init__(self, message: str, *, app: Optional[str] = None,
+                 config: Optional[str] = None, seed: Optional[int] = None):
+        super().__init__(message)
+        self.message = message
+        self.app = app
+        self.config = config
+        self.seed = seed
+
+    @property
+    def context(self) -> dict:
+        """The non-empty cell coordinates, for journals and error rows."""
+        return {k: v for k, v in (("app", self.app), ("config", self.config),
+                                  ("seed", self.seed)) if v is not None}
+
+    def with_context(self, *, app: Optional[str] = None,
+                     config: Optional[str] = None,
+                     seed: Optional[int] = None) -> "ReproError":
+        """Fill in missing cell coordinates (never overwrites)."""
+        if self.app is None:
+            self.app = app
+        if self.config is None:
+            self.config = config
+        if self.seed is None:
+            self.seed = seed
+        return self
+
+    def __str__(self) -> str:
+        ctx = self.context
+        if not ctx:
+            return self.message
+        where = ", ".join(f"{k}={v}" for k, v in ctx.items())
+        return f"{self.message} [{where}]"
+
+
+class ConfigError(ReproError, ValueError):
+    """The experiment specification itself is invalid (fail fast)."""
+
+
+class TraceError(ReproError, ValueError):
+    """Trace generation failed or a trace carries corrupt records."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation produced an impossible result (e.g. zero cycles)."""
+
+
+class CellTimeout(SimulationError):
+    """A grid cell exceeded its per-cell deadline."""
+
+    def __init__(self, message: str, *, timeout_s: float = 0.0, **kw):
+        super().__init__(message, **kw)
+        self.timeout_s = timeout_s
+
+
+class TransientError(ReproError, RuntimeError):
+    """A retryable failure: retry with backoff before giving up."""

@@ -18,6 +18,13 @@ from .experiment import (
     run_app,
     run_suite,
 )
+from .faults import FaultInjector, FaultSpec, WorkerCrash, parse_fault
+from .resilience import (
+    ResilientRunner,
+    RetryPolicy,
+    RunnerStats,
+    load_journal,
+)
 from .results import (
     Comparison,
     SimResult,
@@ -27,6 +34,14 @@ from .results import (
 from .sweep import SweepSpec, run_sweep, to_csv
 
 __all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "ResilientRunner",
+    "RetryPolicy",
+    "RunnerStats",
+    "WorkerCrash",
+    "load_journal",
+    "parse_fault",
     "BASELINE_L1",
     "CoherentRunResult",
     "Comparison",

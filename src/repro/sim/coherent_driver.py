@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..cache.coherence import SnoopBus
+from ..errors import ConfigError
 from ..cache.set_assoc import SetAssociativeCache
 from ..timing.dram import DramModel
 from ..workloads.trace import Trace
@@ -63,7 +64,7 @@ def simulate_coherent(traces: Sequence[Trace], system: SystemConfig,
     the snoop bus for coherence-traffic inspection.
     """
     if not traces:
-        raise ValueError("need at least one trace")
+        raise ConfigError("need at least one trace")
     n_cores = len(traces)
     bus = SnoopBus(hop_latency=hop_latency)
     shared_llc = SetAssociativeCache(

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
 from ..core.indexing import IndexingScheme, SiptVariant
+from ..errors import ConfigError
 from ..timing.cacti import CactiModel
 
 KiB = 1024
@@ -47,6 +48,21 @@ class L1Config:
     page_bound_idb: bool = False
 
     def __post_init__(self):
+        if self.capacity <= 0 or self.ways <= 0 or self.line_size <= 0:
+            raise ConfigError(
+                f"L1 geometry must be positive, got capacity="
+                f"{self.capacity}, ways={self.ways}, "
+                f"line_size={self.line_size}")
+        if self.line_size & (self.line_size - 1):
+            raise ConfigError(
+                f"line_size must be a power of two, got {self.line_size}")
+        if self.capacity % (self.ways * self.line_size):
+            raise ConfigError(
+                f"capacity {self.capacity} is not divisible by ways*line "
+                f"({self.ways}*{self.line_size}); sets would be "
+                "fractional")
+        if self.latency < 0:
+            raise ConfigError(f"latency must be >= 0, got {self.latency}")
         if self.latency == 0:
             object.__setattr__(self, "latency",
                                _CACTI.latency_cycles(self.capacity,
@@ -80,9 +96,14 @@ class SystemConfig:
     llc_ways: int = 16
     llc_latency: int = 25
 
+    #: The core timing models the drivers know how to build.
+    CORE_KINDS = ("ooo", "ooo-detailed", "inorder")
+
     def __post_init__(self):
-        if self.core not in ("ooo", "ooo-detailed", "inorder"):
-            raise ValueError(f"unknown core kind {self.core!r}")
+        if self.core not in self.CORE_KINDS:
+            raise ConfigError(
+                f"unknown core kind {self.core!r}; "
+                f"choose from {list(self.CORE_KINDS)}")
 
     @property
     def has_l2(self) -> bool:

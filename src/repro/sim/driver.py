@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..cache.hierarchy import CacheHierarchy
 from ..cache.set_assoc import SetAssociativeCache
+from ..errors import ConfigError
 from ..cache.tlb import TlbHierarchy
 from ..core.indexing import IndexingScheme
 from ..core.sipt_cache import SiptL1Cache
@@ -183,7 +184,13 @@ class _CoreContext:
 
 
 def simulate(trace: Trace, system: SystemConfig) -> SimResult:
-    """Run one trace through one system configuration."""
+    """Run one trace through one system configuration.
+
+    The trace is validated first (:meth:`Trace.validate`), so corrupt
+    records fail as a typed :class:`~repro.errors.TraceError` rather
+    than replaying garbage.
+    """
+    trace.validate()
     ctx = _CoreContext(system, trace)
     for _ in range(len(trace)):
         ctx.step()
@@ -201,7 +208,9 @@ def simulate_multicore(traces: Sequence[Trace], system: SystemConfig,
     alive throughout, exactly as in Section VI-B.
     """
     if not traces:
-        raise ValueError("need at least one trace")
+        raise ConfigError("need at least one trace")
+    for trace in traces:
+        trace.validate()
     n_cores = len(traces)
     shared_llc = SetAssociativeCache(
         llc_capacity or system.llc_capacity * n_cores,

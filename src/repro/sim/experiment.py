@@ -13,6 +13,7 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..errors import ReproError
 from ..workloads.spec import EVALUATED_APPS
 from ..workloads.trace import MemoryCondition, Trace, generate_trace
 from .config import SystemConfig
@@ -58,10 +59,18 @@ def run_app(app: str, system: SystemConfig,
             condition: MemoryCondition = MemoryCondition.NORMAL,
             n_accesses: Optional[int] = None, seed: int = 0,
             cache: Optional[TraceCache] = None) -> SimResult:
-    """Simulate one app on one system (trace memoized)."""
+    """Simulate one app on one system (trace memoized).
+
+    Typed errors from trace generation or simulation gain the
+    (app, seed) cell context on the way out, so sweeps can journal the
+    failing coordinates.
+    """
     cache = cache or SHARED_TRACES
-    trace = cache.get(app, n_accesses, condition, seed)
-    return simulate(trace, system)
+    try:
+        trace = cache.get(app, n_accesses, condition, seed)
+        return simulate(trace, system)
+    except ReproError as exc:
+        raise exc.with_context(app=app, seed=seed)
 
 
 def run_suite(system: SystemConfig,

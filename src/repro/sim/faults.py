@@ -1,0 +1,181 @@
+"""Deterministic fault injection for the experiment harness.
+
+Two kinds of faults, both fully seeded/deterministic so tests (and
+users probing robustness) get reproducible failure campaigns:
+
+**Attempt-level faults** fire inside :class:`ResilientRunner` before a
+cell executes, keyed on the cell's execution ordinal (0-based order of
+*non-resumed* cells within one run):
+
+* ``crash``      — raises :class:`WorkerCrash` (a ``BaseException``, so
+  the runner cannot degrade it): the whole grid aborts as if the worker
+  process died, leaving only the journal behind. Resuming from that
+  journal is the recovery path.
+* ``transient``  — raises :class:`~repro.errors.TransientError` for the
+  first ``count`` attempts of the cell, then lets it through: exercises
+  the retry/backoff budget.
+* ``stall``      — sleeps ``seconds`` before the cell body, modelling a
+  hung backend (e.g. a DRAM model waiting on a dead queue): exercises
+  the per-cell timeout.
+
+**Data-level faults** corrupt model state directly:
+
+* :func:`corrupt_trace`  — flips a deterministic subset of trace
+  records to impossible values (negative / out-of-48-bit-range VAs);
+  ``Trace.validate()`` (run by the driver) reports these as
+  :class:`~repro.errors.TraceError`.
+* :func:`poison_predictor` — overwrites perceptron weights with NaN;
+  the predictor's finite-activation guard reports
+  :class:`~repro.errors.SimulationError` at first use.
+
+Fault specs parse from compact strings (CLI ``--inject``)::
+
+    crash@3           crash before executing the 4th fresh cell
+    transient@2       cell 2 fails once, then succeeds
+    transient@2x3     cell 2 fails three attempts, then succeeds
+    stall@1:0.5       cell 1 stalls 0.5 s before running
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, TransientError
+
+
+class WorkerCrash(BaseException):
+    """Simulated worker death.
+
+    Deliberately a ``BaseException`` (like ``KeyboardInterrupt``) so the
+    runner's degradation machinery cannot catch it: the grid aborts with
+    completed cells preserved in the journal, exactly like a real crash.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault, bound to a cell execution ordinal."""
+
+    kind: str            # "crash" | "transient" | "stall"
+    at_cell: int         # 0-based execution ordinal within the run
+    count: int = 1       # transient: failing attempts before success
+    seconds: float = 0.0  # stall: sleep before the cell body
+
+    KINDS = ("crash", "transient", "stall")
+
+    def __post_init__(self):
+        if self.kind not in self.KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}; "
+                              f"choose from {list(self.KINDS)}")
+        if self.at_cell < 0:
+            raise ConfigError("fault cell ordinal must be >= 0")
+
+
+_FAULT_RE = re.compile(
+    r"^(?P<kind>[a-z]+)@(?P<cell>\d+)"
+    r"(?:x(?P<count>\d+))?(?::(?P<seconds>[0-9.]+))?$")
+
+
+def parse_fault(text: str) -> FaultSpec:
+    """Parse a compact fault spec (see module docstring for the forms)."""
+    match = _FAULT_RE.match(text.strip())
+    if not match:
+        raise ConfigError(
+            f"bad fault spec {text!r}; expected forms: crash@N, "
+            "transient@N[xK], stall@N:SECONDS")
+    kind = match.group("kind")
+    spec = FaultSpec(kind=kind, at_cell=int(match.group("cell")),
+                     count=int(match.group("count") or 1),
+                     seconds=float(match.group("seconds") or 0.0))
+    if kind == "stall" and spec.seconds <= 0:
+        raise ConfigError(f"stall fault {text!r} needs a positive "
+                          "duration, e.g. stall@1:0.5")
+    return spec
+
+
+class FaultInjector:
+    """Attempt-level fault source for :class:`ResilientRunner`.
+
+    Pass ``FaultSpec`` objects or their string forms. The injector is
+    stateless apart from nothing at all — which fault fires is a pure
+    function of (ordinal, attempt), so replaying a run replays its
+    faults.
+    """
+
+    def __init__(self, faults: Iterable[Any] = (), sleep=time.sleep):
+        self.faults: List[FaultSpec] = [
+            f if isinstance(f, FaultSpec) else parse_fault(f)
+            for f in faults]
+        self._sleep = sleep
+        self.fired: List[Tuple[str, int, int]] = []  # (kind, ordinal, attempt)
+
+    def on_attempt(self, ordinal: int, key: Dict[str, Any],
+                   attempt: int) -> None:
+        for fault in self.faults:
+            if fault.at_cell != ordinal:
+                continue
+            if fault.kind == "crash":
+                self.fired.append(("crash", ordinal, attempt))
+                raise WorkerCrash(
+                    f"injected worker crash at cell {ordinal}")
+            if fault.kind == "transient" and attempt < fault.count:
+                self.fired.append(("transient", ordinal, attempt))
+                raise TransientError(
+                    f"injected transient fault at cell {ordinal} "
+                    f"(attempt {attempt + 1}/{fault.count})",
+                    app=key.get("app"), config=key.get("config"),
+                    seed=key.get("seed"))
+            if fault.kind == "stall":
+                self.fired.append(("stall", ordinal, attempt))
+                self._sleep(fault.seconds)
+
+
+# ---------------------------------------------------------------------
+# Data-level faults
+# ---------------------------------------------------------------------
+
+def corrupt_trace(trace, n_records: int = 16, seed: int = 0):
+    """Return a copy of ``trace`` with ``n_records`` impossible VAs.
+
+    Alternating records get a negative VA and a VA beyond the 48-bit
+    canonical range — both rejected by ``Trace.validate()``. The record
+    choice is deterministic in ``seed``.
+    """
+    from dataclasses import replace
+    rng = np.random.default_rng(seed)
+    n = min(n_records, len(trace))
+    if n <= 0:
+        raise ConfigError("corrupt_trace needs a non-empty trace")
+    picks = rng.choice(len(trace), size=n, replace=False)
+    va = trace.va.copy()
+    for i, idx in enumerate(sorted(int(p) for p in picks)):
+        va[idx] = -1 - idx if i % 2 == 0 else (1 << 52) + idx
+    return replace(trace, va=va)
+
+
+def poison_predictor(predictor, n_entries: int = 0, seed: int = 0) -> int:
+    """Overwrite perceptron weights with NaN; returns entries poisoned.
+
+    ``n_entries == 0`` poisons every entry; otherwise a deterministic
+    ``seed``-chosen subset. The predictor's finite-activation guard
+    turns the first use of a poisoned entry into a
+    :class:`~repro.errors.SimulationError`.
+    """
+    rng = np.random.default_rng(seed)
+    weights = predictor._weights
+    if n_entries <= 0 or n_entries >= len(weights):
+        entries = range(len(weights))
+    else:
+        entries = sorted(int(i) for i in
+                         rng.choice(len(weights), size=n_entries,
+                                    replace=False))
+    count = 0
+    for entry in entries:
+        weights[entry] = [float("nan")] * len(weights[entry])
+        count += 1
+    return count

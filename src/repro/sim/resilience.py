@@ -1,0 +1,287 @@
+"""Resilient grid execution: journaling, resume, retries, timeouts.
+
+Sweeps and scorecards are grids of independent cells — one (app, config,
+core, condition, seed) simulation each. Before this module, the first
+failing cell raised out of the grid loop and discarded every completed
+row. :class:`ResilientRunner` executes grids cell-by-cell instead:
+
+* a failing cell **degrades** into a structured error row (``status`` /
+  ``error`` keys) and the rest of the grid still runs;
+* :class:`~repro.errors.TransientError` is retried with bounded
+  exponential backoff before degrading;
+* an optional per-cell **timeout** turns a hung cell into a ``timeout``
+  row instead of hanging the whole campaign;
+* every finished cell is appended to a **JSONL journal**, and a new run
+  pointed at that journal (``resume_from``) replays the recorded rows
+  instead of recomputing them — an interrupted sweep continues from
+  exactly the cells it was missing.
+
+Journal format (one JSON object per line)::
+
+    {"key": {...cell coordinates...}, "status": "ok", "row": {...}}
+
+``key`` is canonicalized with sorted keys, so the same cell always maps
+to the same journal entry; on load, the last record for a key wins.
+The runner is simulation-agnostic: a *cell* is any callable returning a
+JSON-serializable dict, so the sweep, the scorecard, and the CLI's
+suite/designspace tables all share it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+from ..errors import CellTimeout, ReproError, TransientError
+
+#: Keys the runner adds to every row it returns.
+STATUS_FIELDS = ["status", "error"]
+
+#: Row statuses the runner can produce.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+def cell_id(key: Dict[str, Any]) -> str:
+    """Canonical journal identity of a cell key."""
+    return json.dumps(key, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for :class:`TransientError` cells."""
+
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        return self.backoff_s * (self.backoff_factor ** (attempt - 1))
+
+
+@dataclass
+class RunnerStats:
+    """What happened across one grid execution."""
+
+    total: int = 0
+    ok: int = 0
+    resumed: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    retries: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        return self.errors > 0 or self.timeouts > 0
+
+    def summary(self) -> str:
+        return (f"{self.total} cells: {self.ok} ok"
+                f" ({self.resumed} resumed), {self.errors} errors,"
+                f" {self.timeouts} timeouts, {self.retries} retries")
+
+
+def load_journal(path: Union[str, Path]) -> Dict[str, dict]:
+    """Read a JSONL journal; returns {cell_id: record}, last record wins.
+
+    Truncated trailing lines (a run killed mid-write) are skipped — the
+    cell simply reruns on resume.
+    """
+    records: Dict[str, dict] = {}
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "key" in record:
+                records[cell_id(record["key"])] = record
+    return records
+
+
+class ResilientRunner:
+    """Execute grid cells with journaling, resume, retries and timeouts.
+
+    Parameters
+    ----------
+    journal:
+        Path to append one JSONL record per finished cell (created on
+        first write). ``None`` disables checkpointing.
+    resume_from:
+        Path of a journal from a previous (interrupted) run; cells
+        recorded there return their journaled rows without re-executing.
+        Commonly the same path as ``journal``, in which case records are
+        not re-appended.
+    timeout_s:
+        Per-cell deadline. The cell runs in a worker thread; on expiry
+        the runner abandons the thread (daemonized) and degrades the
+        cell to a ``timeout`` row. ``None`` disables the deadline.
+    retry:
+        :class:`RetryPolicy` for :class:`TransientError`.
+    faults:
+        Optional fault injector (see :mod:`repro.sim.faults`); its
+        ``on_attempt(ordinal, key, attempt)`` hook runs before every
+        execution attempt.
+    sleep:
+        Injection point for the backoff sleep (tests pass a recorder).
+    """
+
+    def __init__(self, journal: Optional[Union[str, Path]] = None,
+                 resume_from: Optional[Union[str, Path]] = None,
+                 timeout_s: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 faults: Optional[Any] = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        self.journal_path = Path(journal) if journal else None
+        self.timeout_s = timeout_s
+        self.retry = retry or RetryPolicy()
+        self.faults = faults
+        self.stats = RunnerStats()
+        self._sleep = sleep
+        self._handle = None
+        self._ordinal = 0  # execution order of non-resumed cells
+        self._completed: Dict[str, dict] = {}
+        self._resume_path = Path(resume_from) if resume_from else None
+        if self._resume_path:
+            if self._resume_path.exists():
+                self._completed = load_journal(self._resume_path)
+            else:
+                # Starting fresh is the right recovery, but a typo'd
+                # path must not silently rerun an entire campaign.
+                print(f"[resilience] resume journal {self._resume_path}"
+                      " not found; starting fresh", file=sys.stderr)
+
+    # -- journal ------------------------------------------------------
+
+    def _record(self, key: Dict[str, Any], status: str,
+                row: Dict[str, Any]) -> None:
+        if self.journal_path is None:
+            return
+        if self._handle is None:
+            self._handle = self.journal_path.open("a")
+        json.dump({"key": key, "status": status, "row": row}, self._handle)
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResilientRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution ----------------------------------------------------
+
+    def _call_with_timeout(self, fn: Callable[[], Dict[str, Any]],
+                           key: Dict[str, Any]) -> Dict[str, Any]:
+        if not self.timeout_s:
+            return fn()
+        box: Dict[str, Any] = {}
+
+        def target():
+            try:
+                box["row"] = fn()
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                box["exc"] = exc
+
+        worker = threading.Thread(target=target, daemon=True,
+                                  name=f"cell-{self._ordinal}")
+        worker.start()
+        worker.join(self.timeout_s)
+        if worker.is_alive():
+            raise CellTimeout(
+                f"cell exceeded {self.timeout_s:g}s deadline",
+                timeout_s=self.timeout_s,
+                app=key.get("app"), config=key.get("config"),
+                seed=key.get("seed"))
+        if "exc" in box:
+            raise box["exc"]
+        return box["row"]
+
+    def run_cell(self, key: Dict[str, Any],
+                 fn: Callable[[], Dict[str, Any]],
+                 degrade: bool = True) -> Dict[str, Any]:
+        """Execute one cell; returns its row.
+
+        On success the row gains ``status="ok"``/``error=""``. With
+        ``degrade=True`` (the default) a failure returns
+        ``{**key, "status": ..., "error": ...}`` instead of raising; with
+        ``degrade=False`` the final exception propagates (single-cell
+        commands want the typed error, not a row). A cell recorded as
+        ``ok`` in the resume journal returns its journaled row verbatim
+        without re-executing; error/timeout records re-execute.
+        """
+        self.stats.total += 1
+        cid = cell_id(key)
+        record = self._completed.get(cid)
+        if record is not None and record.get("status") == STATUS_OK:
+            # Only successful rows are trusted on resume; error/timeout
+            # cells re-execute (resuming IS the retry for those).
+            self.stats.resumed += 1
+            self.stats.ok += 1
+            if self.journal_path and self.journal_path != self._resume_path:
+                self._record(key, STATUS_OK, record.get("row", {}))
+            return dict(record.get("row", {}))
+
+        ordinal = self._ordinal
+        self._ordinal += 1
+        attempt = 0
+        while True:
+            try:
+                if self.faults is not None:
+                    # Injected inside the timed region so stall faults
+                    # exercise the deadline like a real hung backend.
+                    def attempt_fn(attempt=attempt):
+                        self.faults.on_attempt(ordinal, key, attempt)
+                        return fn()
+                else:
+                    attempt_fn = fn
+                row = self._call_with_timeout(attempt_fn, key)
+                if not isinstance(row, dict):
+                    raise TypeError(
+                        f"cell {cid} returned {type(row).__name__}, "
+                        "expected dict")
+                row = {**row, "status": STATUS_OK, "error": ""}
+                self.stats.ok += 1
+                self._record(key, STATUS_OK, row)
+                return row
+            except TransientError as exc:
+                if attempt < self.retry.max_retries:
+                    attempt += 1
+                    self.stats.retries += 1
+                    self._sleep(self.retry.delay(attempt))
+                    continue
+                return self._degrade(key, STATUS_ERROR, exc, degrade)
+            except CellTimeout as exc:
+                return self._degrade(key, STATUS_TIMEOUT, exc, degrade)
+            except ReproError as exc:
+                return self._degrade(key, STATUS_ERROR, exc, degrade)
+            except Exception as exc:  # noqa: BLE001 — degrade unknowns too
+                return self._degrade(key, STATUS_ERROR, exc, degrade)
+
+    def _degrade(self, key: Dict[str, Any], status: str,
+                 exc: BaseException, degrade: bool) -> Dict[str, Any]:
+        if status == STATUS_TIMEOUT:
+            self.stats.timeouts += 1
+        else:
+            self.stats.errors += 1
+        if not degrade:
+            self.close()
+            raise exc
+        row = {**key, "status": status,
+               "error": f"{type(exc).__name__}: {exc}"}
+        self._record(key, status, row)
+        return row

@@ -8,6 +8,7 @@ from typing import Dict, Iterable, List, Optional
 from ..cache.set_assoc import CacheStats
 from ..cache.tlb import TlbStats
 from ..core.outcomes import OutcomeCounts
+from ..errors import SimulationError
 from ..timing.energy import EnergyBreakdown
 
 
@@ -30,18 +31,30 @@ class SimResult:
 
     @property
     def ipc(self) -> float:
-        return self.instructions / self.cycles if self.cycles else 0.0
+        """Instructions per cycle.
+
+        A run that retired work in zero cycles is a broken simulation,
+        not an infinitely fast one — raising here keeps the sentinel
+        ``0.0`` out of sweep CSVs where it silently poisoned means.
+        """
+        if self.cycles <= 0:
+            raise SimulationError(
+                f"run retired {self.instructions} instructions in "
+                f"{self.cycles} cycles on {self.system!r}; IPC undefined "
+                "(broken simulation)", app=self.app)
+        return self.instructions / self.cycles
 
     def speedup_over(self, baseline: "SimResult") -> float:
         """IPC relative to a baseline run of the same trace."""
-        if baseline.ipc == 0:
-            raise ValueError("baseline IPC is zero")
-        return self.ipc / baseline.ipc
+        base_ipc = baseline.ipc
+        if base_ipc == 0:
+            raise SimulationError("baseline IPC is zero", app=self.app)
+        return self.ipc / base_ipc
 
     def energy_over(self, baseline: "SimResult") -> float:
         """Total cache-hierarchy energy relative to a baseline run."""
         if baseline.energy.total == 0:
-            raise ValueError("baseline energy is zero")
+            raise SimulationError("baseline energy is zero", app=self.app)
         return self.energy.total / baseline.energy.total
 
     def dynamic_energy_over(self, baseline: "SimResult") -> float:
@@ -51,13 +64,14 @@ class SimResult:
         Figs. 7 and 14 (dynamic over baseline total).
         """
         if baseline.energy.total == 0:
-            raise ValueError("baseline energy is zero")
+            raise SimulationError("baseline energy is zero", app=self.app)
         return self.energy.dynamic / baseline.energy.total
 
     def additional_accesses_over(self, baseline: "SimResult") -> float:
         """Relative extra L1 accesses: accesses_SIPT/accesses_base - 1."""
         if baseline.l1_accesses_with_extra == 0:
-            raise ValueError("baseline has no L1 accesses")
+            raise SimulationError("baseline has no L1 accesses",
+                                  app=self.app)
         return (self.l1_accesses_with_extra
                 / baseline.l1_accesses_with_extra) - 1.0
 

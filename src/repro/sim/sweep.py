@@ -5,6 +5,12 @@ general tool behind ad-hoc studies: sweep (app x L1 config x condition)
 grids, collect the standard metrics, and write them as CSV for external
 plotting.
 
+Grids execute through :class:`~repro.sim.resilience.ResilientRunner`:
+a failing cell degrades into a ``status="error"`` row instead of
+discarding the completed part of the grid, transient faults retry with
+backoff, and (with a journal) an interrupted sweep resumes from the
+cells it already finished.
+
 Example::
 
     from repro.sim.sweep import SweepSpec, run_sweep, to_csv
@@ -22,14 +28,31 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
+from ..errors import ConfigError, ReproError
 from ..workloads.trace import MemoryCondition
 from .config import L1Config, SystemConfig, inorder_system, ooo_system
 from .experiment import TraceCache, run_app
+from .resilience import ResilientRunner
 
-#: The columns every sweep row carries, in CSV order.
+#: The columns every sweep row carries, in CSV order. ``status`` is
+#: "ok" for a completed cell, "error"/"timeout" for a degraded one
+#: (metric columns then stay blank and ``error`` holds the typed error).
 FIELDS = ["app", "config", "core", "condition", "seed", "ipc",
           "speedup", "l1_miss_rate", "fast_fraction",
-          "extra_access_fraction", "energy_j", "energy_ratio"]
+          "extra_access_fraction", "energy_j", "energy_ratio",
+          "status", "error"]
+
+#: Core timing models a sweep may request.
+VALID_CORES = frozenset(SystemConfig.CORE_KINDS)
+
+
+def _duplicates(values) -> list:
+    seen, dupes = set(), []
+    for value in values:
+        if value in seen and value not in dupes:
+            dupes.append(value)
+        seen.add(value)
+    return dupes
 
 
 @dataclass
@@ -48,9 +71,24 @@ class SweepSpec:
 
     def __post_init__(self):
         if not self.apps or not self.configs:
-            raise ValueError("apps and configs must be non-empty")
+            raise ConfigError("apps and configs must be non-empty")
+        dupes = _duplicates(self.apps)
+        if dupes:
+            raise ConfigError(
+                f"duplicate apps in sweep: {dupes}; each app already "
+                "runs once per grid cell — deduplicate the list")
+        dupes = _duplicates(self.seeds)
+        if dupes:
+            raise ConfigError(
+                f"duplicate seeds in sweep: {dupes}; repeated seeds "
+                "replay identical traces — deduplicate the list")
+        unknown = [c for c in self.cores if c not in VALID_CORES]
+        if unknown:
+            raise ConfigError(
+                f"unknown cores {unknown}; choose from "
+                f"{sorted(VALID_CORES)}")
         if self.baseline is not None and self.baseline not in self.configs:
-            raise ValueError(f"baseline {self.baseline!r} not in configs")
+            raise ConfigError(f"baseline {self.baseline!r} not in configs")
 
 
 def _system_for(core: str, l1: L1Config) -> SystemConfig:
@@ -63,46 +101,83 @@ def _system_for(core: str, l1: L1Config) -> SystemConfig:
     return system
 
 
+def cell_key(app: str, config: str, core: str,
+             condition: MemoryCondition, seed: int) -> Dict[str, object]:
+    """The journal identity of one sweep cell."""
+    return {"app": app, "config": config, "core": core,
+            "condition": condition.value, "seed": seed}
+
+
 def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
-              traces: Optional[TraceCache] = None) -> List[dict]:
-    """Run the grid; returns one dict per (combination), FIELDS keys."""
+              traces: Optional[TraceCache] = None,
+              runner: Optional[ResilientRunner] = None) -> List[dict]:
+    """Run the grid; returns one dict per combination, FIELDS keys.
+
+    Cells execute through ``runner`` (a default, journal-less
+    :class:`ResilientRunner` if omitted): a failing cell contributes an
+    error row instead of aborting the grid. Pass a runner with a
+    ``journal`` to checkpoint, and one with ``resume_from`` to skip the
+    cells a previous run completed. Baseline runs are computed lazily
+    per (core, condition, seed) group, so fully-resumed groups skip
+    them entirely.
+    """
     traces = traces or TraceCache()
+    runner = runner or ResilientRunner()
+    blank = {name: "" for name in FIELDS}
     rows: List[dict] = []
     for core in spec.cores:
         for condition in spec.conditions:
             for seed in spec.seeds:
-                baselines = {}
-                if spec.baseline is not None:
-                    for app in spec.apps:
+                baselines: Dict[str, object] = {}
+
+                def baseline_for(app, core=core, condition=condition,
+                                 seed=seed, baselines=baselines):
+                    if spec.baseline is None:
+                        return None
+                    if app not in baselines:
                         baselines[app] = run_app(
-                            app, _system_for(core,
-                                             spec.configs[spec.baseline]),
+                            app,
+                            _system_for(core, spec.configs[spec.baseline]),
                             condition=condition, n_accesses=n_accesses,
                             seed=seed, cache=traces)
+                    return baselines[app]
+
                 for name, cfg in spec.configs.items():
                     for app in spec.apps:
-                        result = run_app(app, _system_for(core, cfg),
-                                         condition=condition,
-                                         n_accesses=n_accesses,
-                                         seed=seed, cache=traces)
-                        base = baselines.get(app)
-                        rows.append({
-                            "app": app,
-                            "config": name,
-                            "core": core,
-                            "condition": condition.value,
-                            "seed": seed,
-                            "ipc": result.ipc,
-                            "speedup": (result.speedup_over(base)
-                                        if base else ""),
-                            "l1_miss_rate": result.l1_stats.miss_rate,
-                            "fast_fraction": result.fast_fraction,
-                            "extra_access_fraction":
-                                result.extra_access_fraction,
-                            "energy_j": result.energy.total,
-                            "energy_ratio": (result.energy_over(base)
-                                             if base else ""),
-                        })
+                        key = cell_key(app, name, core, condition, seed)
+
+                        def cell(app=app, name=name, cfg=cfg, core=core,
+                                 condition=condition, seed=seed,
+                                 baseline_for=baseline_for):
+                            try:
+                                result = run_app(
+                                    app, _system_for(core, cfg),
+                                    condition=condition,
+                                    n_accesses=n_accesses, seed=seed,
+                                    cache=traces)
+                                base = baseline_for(app)
+                            except ReproError as exc:
+                                raise exc.with_context(app=app, config=name,
+                                                       seed=seed)
+                            return {
+                                "app": app,
+                                "config": name,
+                                "core": core,
+                                "condition": condition.value,
+                                "seed": seed,
+                                "ipc": result.ipc,
+                                "speedup": (result.speedup_over(base)
+                                            if base else ""),
+                                "l1_miss_rate": result.l1_stats.miss_rate,
+                                "fast_fraction": result.fast_fraction,
+                                "extra_access_fraction":
+                                    result.extra_access_fraction,
+                                "energy_j": result.energy.total,
+                                "energy_ratio": (result.energy_over(base)
+                                                 if base else ""),
+                            }
+
+                        rows.append({**blank, **runner.run_cell(key, cell)})
     return rows
 
 

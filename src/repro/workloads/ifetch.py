@@ -25,7 +25,7 @@ import numpy as np
 from ..mem.address import PAGE_SIZE
 from ..mem.address_space import PhysicalMemory, Process
 from .trace import DEFAULT_PHYS_BYTES, MemoryCondition, Trace, \
-    _condition_memory
+    _condition_memory, stable_hash
 
 
 @dataclass(frozen=True)
@@ -69,7 +69,7 @@ def generate_ifetch_trace(profile_name: str, n_fetches: int,
         raise ValueError(f"unknown code profile {profile_name!r}; "
                          f"known: {sorted(CODE_PROFILES)}") from None
     rng = np.random.default_rng(
-        np.random.SeedSequence([seed, hash(profile_name) & 0x7FFFFFFF]))
+        np.random.SeedSequence([seed, stable_hash(profile_name)]))
     memory = _condition_memory(condition, phys_bytes, rng)
     process = Process(memory, asid=1)
     # Text is mapped in one contiguous pass by the loader; file-backed

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..errors import ConfigError
+
 #: Table III, verbatim.
 MIXES: Dict[str, List[str]] = {
     "mix0": ["h264ref", "hmmer", "perlbench", "povray"],
@@ -32,5 +34,5 @@ def get_mix(name: str) -> List[str]:
     try:
         return list(MIXES[name])
     except KeyError:
-        raise ValueError(
+        raise ConfigError(
             f"unknown mix {name!r}; known: {MIX_NAMES}") from None

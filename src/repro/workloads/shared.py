@@ -26,7 +26,7 @@ import numpy as np
 from ..mem.address import PAGE_SIZE
 from ..mem.address_space import PhysicalMemory, Process
 from .trace import DEFAULT_PHYS_BYTES, MemoryCondition, Trace, \
-    _condition_memory
+    _condition_memory, stable_hash
 
 SHARING_KINDS = ("partitioned", "producer_consumer", "contended")
 
@@ -61,7 +61,7 @@ def generate_shared_traces(workload: SharedWorkload, n_accesses: int,
     if n_accesses <= 0:
         raise ValueError("n_accesses must be positive")
     rng = np.random.default_rng(
-        np.random.SeedSequence([seed, hash(workload.kind) & 0x7FFFFFFF]))
+        np.random.SeedSequence([seed, stable_hash(workload.kind)]))
     memory = _condition_memory(condition, phys_bytes, rng)
     process = Process(memory, asid=1)
     shared = process.mmap(workload.shared_bytes, thp_eligible=False,

@@ -36,6 +36,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from ..errors import ConfigError, TraceError
+
 MiB = 1024 * 1024
 KiB = 1024
 
@@ -83,11 +85,13 @@ class AppProfile:
     def __post_init__(self):
         total = sum(p.weight for p in self.patterns)
         if abs(total - 1.0) > 1e-6:
-            raise ValueError(
-                f"{self.name}: pattern weights sum to {total}, not 1")
+            raise ConfigError(
+                f"{self.name}: pattern weights sum to {total}, not 1",
+                app=self.name)
         if self.alloc_style not in ("thp_big", "chunked", "offset",
                                     "scattered"):
-            raise ValueError(f"{self.name}: bad alloc_style")
+            raise ConfigError(f"{self.name}: bad alloc_style "
+                              f"{self.alloc_style!r}", app=self.name)
 
 
 def _p(weight, kind, ws=0, stride=0, dep=6.0, alpha=0.0):
@@ -306,6 +310,7 @@ def get_profile(name: str) -> AppProfile:
     try:
         return PROFILES[name]
     except KeyError:
-        raise ValueError(
-            f"unknown benchmark {name!r}; known: {sorted(PROFILES)}"
+        raise TraceError(
+            f"unknown benchmark {name!r}; known: {sorted(PROFILES)}",
+            app=name,
         ) from None

@@ -16,16 +16,32 @@ model rather than being scripted.
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..errors import TraceError
 from ..mem.address import PAGE_SIZE
 from ..mem.address_space import PhysicalMemory, Process, VmRegion
 from ..mem.fragmentation import fragment_memory
 from .patterns import make_pattern
 from .spec import AppProfile, get_profile
+
+#: Canonical virtual addresses fit in 48 bits on the modelled machine.
+VA_BITS = 48
+
+
+def stable_hash(text: str) -> int:
+    """Process-independent 32-bit hash for RNG seeding.
+
+    Python's ``hash(str)`` varies with ``PYTHONHASHSEED``, which made
+    traces differ between processes — fatal for journal/resume, where
+    cells recomputed after a crash must match the rows the dead run
+    journaled. CRC32 is stable everywhere.
+    """
+    return zlib.crc32(text.encode("utf-8")) & 0x7FFFFFFF
 
 #: Default modelled physical memory; small enough to simulate quickly,
 #: large enough that no experiment approaches out-of-memory.
@@ -61,6 +77,38 @@ class Trace:
     @property
     def total_instructions(self) -> int:
         return int(self.inst_gap.sum()) + len(self.va)
+
+    def validate(self) -> None:
+        """Reject corrupt records before replay.
+
+        Raises :class:`TraceError` on impossible values — negative or
+        non-canonical VAs/PCs, negative instruction gaps, or arrays of
+        mismatched length. Cheap (a few vectorized reductions), so the
+        driver runs it on every ``simulate`` call; corrupted trace
+        files or injected faults surface as a typed, per-cell error
+        instead of garbage IPC.
+        """
+        n = len(self.va)
+        lengths = {"pc": len(self.pc), "is_write": len(self.is_write),
+                   "inst_gap": len(self.inst_gap),
+                   "dep_dist": len(self.dep_dist)}
+        bad = {name: ln for name, ln in lengths.items() if ln != n}
+        if bad:
+            raise TraceError(
+                f"trace arrays of mismatched length vs {n} accesses: "
+                f"{bad}", app=self.app)
+        if n == 0:
+            raise TraceError("trace is empty", app=self.app)
+        if int(self.va.min()) < 0 or int(self.va.max()) >= (1 << VA_BITS):
+            raise TraceError(
+                "trace contains non-canonical virtual addresses "
+                f"(min {int(self.va.min())}, max {int(self.va.max())}); "
+                "corrupt records?", app=self.app)
+        if int(self.pc.min()) < 0:
+            raise TraceError("trace contains negative PCs", app=self.app)
+        if int(self.inst_gap.min()) < 0:
+            raise TraceError("trace contains negative instruction gaps",
+                             app=self.app)
 
 
 def _condition_memory(condition: MemoryCondition,
@@ -168,11 +216,12 @@ def generate_trace(app: str, n_accesses: int,
     allocate several apps in one shared physical memory (multicore runs).
     """
     if n_accesses <= 0:
-        raise ValueError("n_accesses must be positive")
+        raise TraceError(f"n_accesses must be positive, got {n_accesses}",
+                         app=app)
     profile = get_profile(app)
     rng = np.random.default_rng(
-        np.random.SeedSequence([seed, hash(app) & 0x7FFFFFFF,
-                                hash(condition.value) & 0x7FFFFFFF]))
+        np.random.SeedSequence([seed, stable_hash(app),
+                                stable_hash(condition.value)]))
     if memory is None:
         memory = _condition_memory(condition, phys_bytes, rng)
     process, regions = build_memory_image(profile, memory, rng)

@@ -73,3 +73,79 @@ def test_parser_requires_command():
 def test_geometry_table_complete():
     assert set(GEOMETRIES) == {"baseline", "16K_4w", "32K_2w", "32K_4w",
                                "64K_4w", "128K_4w"}
+
+
+# ---------------------------------------------------------------------
+# Resilience surface
+# ---------------------------------------------------------------------
+
+def test_run_unknown_app_exits_1_with_typed_error(capsys):
+    rc = main(["run", "--app", "nosuchapp", "--accesses", "1000"])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "TraceError" in captured.err
+    assert "nosuchapp" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_sweep_command_writes_csv_with_status(tmp_path, capsys):
+    out = tmp_path / "sweep.csv"
+    rc = main(["sweep", "--apps", "povray", "--geometries",
+               "baseline,32K_2w", "--baseline", "baseline",
+               "--accesses", "1200", "--out", str(out)])
+    assert rc == 0
+    import csv as csv_mod
+    with out.open() as handle:
+        rows = list(csv_mod.DictReader(handle))
+    assert len(rows) == 2
+    assert all(r["status"] == "ok" for r in rows)
+
+
+def test_sweep_strict_degraded_exits_2(tmp_path, capsys):
+    out = tmp_path / "sweep.csv"
+    rc = main(["sweep", "--apps", "povray,nosuchapp", "--geometries",
+               "baseline", "--accesses", "1200", "--out", str(out),
+               "--strict"])
+    assert rc == 2
+    content = out.read_text()
+    assert "error" in content and "povray" in content
+
+
+def test_sweep_unknown_geometry_exits_1(capsys):
+    rc = main(["sweep", "--apps", "povray", "--geometries", "1M_2w"])
+    assert rc == 1
+    assert "unknown geometries" in capsys.readouterr().err
+
+
+def test_sweep_crash_and_resume(tmp_path, capsys):
+    journal = tmp_path / "j.jsonl"
+    out = tmp_path / "sweep.csv"
+    args = ["sweep", "--apps", "povray,gamess", "--geometries",
+            "baseline", "--accesses", "1200", "--out", str(out),
+            "--journal", str(journal)]
+    rc = main(args + ["--inject", "crash@1"])
+    assert rc == 3                         # simulated worker crash
+    assert not out.exists()                # grid aborted before CSV
+    rc = main(["sweep", "--apps", "povray,gamess", "--geometries",
+               "baseline", "--accesses", "1200", "--out", str(out),
+               "--resume", str(journal)])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "1 resumed" in captured.err
+    assert len(out.read_text().strip().splitlines()) == 3  # header + 2
+
+
+def test_suite_reports_error_rows(tmp_path, capsys):
+    # A transient that never clears degrades one app; suite continues.
+    rc = main(["suite", "--accesses", "800", "--inject",
+               "transient@0x99", "--retries", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ERROR" in out
+    assert "hmean speedup" in out
+
+
+def test_designspace_through_runner(capsys):
+    assert main(["designspace"]) == 0
+    out = capsys.readouterr().out
+    assert "128K/4" in out

@@ -1,0 +1,89 @@
+"""Tests for the typed error taxonomy."""
+
+import pytest
+
+from repro.errors import (
+    CellTimeout,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    TransientError,
+)
+
+
+def test_hierarchy():
+    assert issubclass(ConfigError, ReproError)
+    assert issubclass(TraceError, ReproError)
+    assert issubclass(SimulationError, ReproError)
+    assert issubclass(TransientError, ReproError)
+    assert issubclass(CellTimeout, SimulationError)
+    # Back-compat: spec/trace errors still satisfy `except ValueError`.
+    assert issubclass(ConfigError, ValueError)
+    assert issubclass(TraceError, ValueError)
+    assert issubclass(SimulationError, RuntimeError)
+    assert issubclass(TransientError, RuntimeError)
+
+
+def test_context_in_message():
+    exc = TraceError("corrupt record", app="mcf", config="sipt", seed=3)
+    assert "corrupt record" in str(exc)
+    assert "app=mcf" in str(exc)
+    assert "config=sipt" in str(exc)
+    assert "seed=3" in str(exc)
+    assert exc.context == {"app": "mcf", "config": "sipt", "seed": 3}
+
+
+def test_no_context_no_brackets():
+    assert str(ConfigError("bad spec")) == "bad spec"
+    assert ConfigError("bad spec").context == {}
+
+
+def test_with_context_fills_only_missing():
+    exc = SimulationError("boom", app="mcf")
+    exc.with_context(app="other", config="base", seed=1)
+    assert exc.app == "mcf"          # never overwritten
+    assert exc.config == "base"
+    assert exc.seed == 1
+
+
+def test_celltimeout_carries_deadline():
+    exc = CellTimeout("too slow", timeout_s=1.5, app="mcf")
+    assert exc.timeout_s == 1.5
+    assert isinstance(exc, SimulationError)
+
+
+def test_simresult_ipc_raises_on_zero_cycles():
+    """The old silent `0.0` sentinel masked broken runs in sweep CSVs."""
+    from repro.sim.results import SimResult
+    broken = SimResult(app="mcf", system="ooo/x", instructions=100,
+                       cycles=0, l1_stats=None, tlb_stats=None,
+                       outcomes=None, energy=None,
+                       l1_accesses_with_extra=0, fast_fraction=0.0,
+                       extra_access_fraction=0.0)
+    with pytest.raises(SimulationError, match="IPC undefined"):
+        broken.ipc
+
+
+def test_typed_errors_from_entry_points():
+    from repro.sim.config import SystemConfig, BASELINE_L1
+    from repro.workloads.spec import get_profile
+    from repro.workloads.trace import generate_trace
+    with pytest.raises(ConfigError):
+        SystemConfig(name="x", core="vliw", l1=BASELINE_L1)
+    with pytest.raises(TraceError) as info:
+        get_profile("doom")
+    assert info.value.app == "doom"
+    with pytest.raises(TraceError) as info:
+        generate_trace("sjeng", 0)
+    assert info.value.app == "sjeng"
+
+
+def test_l1config_geometry_validation():
+    from repro.sim.config import L1Config
+    with pytest.raises(ConfigError):
+        L1Config(0, 8)
+    with pytest.raises(ConfigError):
+        L1Config(32 * 1024, 8, line_size=48)
+    with pytest.raises(ConfigError):
+        L1Config(1000, 3)

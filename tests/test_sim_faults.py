@@ -1,0 +1,100 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    SimulationError,
+    TraceError,
+    TransientError,
+)
+from repro.sim import BASELINE_L1, TraceCache, ooo_system, simulate
+from repro.sim.faults import (
+    FaultInjector,
+    FaultSpec,
+    WorkerCrash,
+    corrupt_trace,
+    parse_fault,
+    poison_predictor,
+)
+
+CACHE = TraceCache()
+
+
+def test_parse_fault_forms():
+    assert parse_fault("crash@3") == FaultSpec("crash", 3)
+    assert parse_fault("transient@2") == FaultSpec("transient", 2, count=1)
+    assert parse_fault("transient@2x3") == FaultSpec("transient", 2,
+                                                     count=3)
+    assert parse_fault("stall@1:0.5") == FaultSpec("stall", 1,
+                                                   seconds=0.5)
+
+
+def test_parse_fault_rejects_garbage():
+    for bad in ("crash", "crash@", "meteor@1", "stall@1", "crash@-1"):
+        with pytest.raises(ConfigError):
+            parse_fault(bad)
+
+
+def test_crash_is_base_exception():
+    """Degradation machinery must not be able to swallow a crash."""
+    assert issubclass(WorkerCrash, BaseException)
+    assert not issubclass(WorkerCrash, Exception)
+
+
+def test_injector_fires_only_at_ordinal():
+    injector = FaultInjector(["transient@1"])
+    injector.on_attempt(0, {}, 0)                      # no fault
+    with pytest.raises(TransientError):
+        injector.on_attempt(1, {}, 0)
+    injector.on_attempt(1, {}, 1)                      # attempt past count
+    assert [f[0] for f in injector.fired] == ["transient"]
+
+
+def test_injector_crash():
+    injector = FaultInjector(["crash@0"])
+    with pytest.raises(WorkerCrash):
+        injector.on_attempt(0, {}, 0)
+
+
+def test_injector_stall_sleeps():
+    naps = []
+    injector = FaultInjector(["stall@0:0.25"], sleep=naps.append)
+    injector.on_attempt(0, {}, 0)
+    assert naps == [0.25]
+
+
+def test_corrupt_trace_is_deterministic_and_detected():
+    trace = CACHE.get("povray", 1200)
+    bad1 = corrupt_trace(trace, n_records=8, seed=7)
+    bad2 = corrupt_trace(trace, n_records=8, seed=7)
+    assert (bad1.va == bad2.va).all()
+    assert (bad1.va != trace.va).sum() == 8
+    assert (trace.va == CACHE.get("povray", 1200).va).all()  # original safe
+    with pytest.raises(TraceError, match="non-canonical"):
+        bad1.validate()
+    with pytest.raises(TraceError):
+        simulate(bad1, ooo_system(BASELINE_L1))
+
+
+def test_valid_trace_passes_validate():
+    CACHE.get("povray", 1200).validate()
+
+
+def test_poison_predictor_surfaces_as_simulation_error():
+    from repro.core.perceptron import PerceptronPredictor
+    predictor = PerceptronPredictor()
+    predictor.predict(0x400000)                        # healthy
+    assert poison_predictor(predictor) == 64
+    with pytest.raises(SimulationError, match="non-finite"):
+        predictor.predict(0x400000)
+
+
+def test_poison_predictor_partial_deterministic():
+    from repro.core.perceptron import PerceptronPredictor
+    a, b = PerceptronPredictor(), PerceptronPredictor()
+    assert poison_predictor(a, n_entries=4, seed=3) == 4
+    poison_predictor(b, n_entries=4, seed=3)
+    poisoned_a = [i for i, w in enumerate(a._weights) if w[0] != w[0]]
+    poisoned_b = [i for i, w in enumerate(b._weights) if w[0] != w[0]]
+    assert poisoned_a == poisoned_b and len(poisoned_a) == 4

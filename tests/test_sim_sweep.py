@@ -30,12 +30,27 @@ def test_spec_validation():
                   baseline="missing")
 
 
+def test_spec_rejects_duplicates_and_unknown_cores():
+    from repro.errors import ConfigError
+    with pytest.raises(ConfigError, match="duplicate apps.*povray"):
+        SweepSpec(apps=["povray", "gamess", "povray"],
+                  configs={"a": BASELINE_L1})
+    with pytest.raises(ConfigError, match="duplicate seeds"):
+        SweepSpec(apps=["povray"], configs={"a": BASELINE_L1},
+                  seeds=[0, 1, 0])
+    with pytest.raises(ConfigError, match="unknown cores.*'vliw'"):
+        SweepSpec(apps=["povray"], configs={"a": BASELINE_L1},
+                  cores=["ooo", "vliw"])
+
+
 def test_grid_size_and_fields():
     rows = run_sweep(small_spec(), n_accesses=1200, traces=CACHE)
     assert len(rows) == 2 * 2  # apps x configs
     for row in rows:
         assert set(row) == set(FIELDS)
         assert row["ipc"] > 0
+        assert row["status"] == "ok"
+        assert row["error"] == ""
 
 
 def test_baseline_ratios():
