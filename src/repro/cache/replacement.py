@@ -54,6 +54,10 @@ class LruPolicy(ReplacementPolicy):
 
     def touch(self, set_index: int, way: int) -> None:
         stack = self._stacks[set_index]
+        # Re-touching the MRU way is the common case (streaming and
+        # tight loops); skip the remove/insert churn entirely.
+        if stack[0] == way:
+            return
         stack.remove(way)
         stack.insert(0, way)
 

@@ -43,14 +43,28 @@ class CacheStats:
         return self.misses / self.accesses if self.accesses else 0.0
 
 
-@dataclass
 class AccessResult:
-    """Outcome of a single cache access."""
+    """Outcome of a single cache access.
 
-    hit: bool
-    way: int = -1
-    writeback_line: Optional[int] = None  # line address written back, if any
-    victim_line: Optional[int] = None     # line address evicted, if any
+    A plain ``__slots__`` class rather than a dataclass: one is
+    allocated per cache access at every level, and slot storage avoids
+    the per-object ``__dict__`` on the hot path.
+    """
+
+    __slots__ = ("hit", "way", "writeback_line", "victim_line")
+
+    def __init__(self, hit: bool, way: int = -1,
+                 writeback_line: Optional[int] = None,
+                 victim_line: Optional[int] = None):
+        self.hit = hit
+        self.way = way
+        self.writeback_line = writeback_line   # line written back, if any
+        self.victim_line = victim_line         # line evicted, if any
+
+    def __repr__(self) -> str:
+        return (f"AccessResult(hit={self.hit}, way={self.way}, "
+                f"writeback_line={self.writeback_line}, "
+                f"victim_line={self.victim_line})")
 
 
 class SetAssociativeCache:
@@ -93,6 +107,12 @@ class SetAssociativeCache:
         self._tags: List[List[int]] = [[-1] * n_ways for _ in range(n_sets)]
         self._dirty: List[List[bool]] = [[False] * n_ways
                                          for _ in range(n_sets)]
+        # Per-set line -> way map mirroring ``_tags``: an associative
+        # lookup is O(1) instead of an O(ways) list scan on every probe.
+        # ``_tags`` stays authoritative (tests inspect it); the dict is
+        # maintained alongside and cross-checked by check_invariants().
+        self._where: List[dict] = [{} for _ in range(n_sets)]
+        self._touch = self.policy.touch
 
     # ------------------------------------------------------------------
     # address helpers
@@ -114,10 +134,7 @@ class SetAssociativeCache:
         Returns the matching way, or -1. Used for SIPT speculative lookups
         where the index may be wrong.
         """
-        try:
-            return self._tags[set_index].index(line)
-        except ValueError:
-            return -1
+        return self._where[set_index].get(line, -1)
 
     def access(self, pa: int, is_write: bool) -> AccessResult:
         """Reference ``pa``; on a miss, fill it (allocate-on-write).
@@ -125,17 +142,18 @@ class SetAssociativeCache:
         Returns an :class:`AccessResult`; a write-back line address is
         reported when a dirty victim is evicted.
         """
-        self.stats.accesses += 1
-        set_index = self.set_index(pa)
-        line = self.line_of(pa)
-        way = self.probe(set_index, line)
+        stats = self.stats
+        stats.accesses += 1
+        line = pa >> self.line_shift
+        set_index = line & self.index_mask
+        way = self._where[set_index].get(line, -1)
         if way >= 0:
-            self.stats.hits += 1
-            self.policy.touch(set_index, way)
+            stats.hits += 1
+            self._touch(set_index, way)
             if is_write:
                 self._dirty[set_index][way] = True
-            return AccessResult(hit=True, way=way)
-        self.stats.misses += 1
+            return AccessResult(True, way)
+        stats.misses += 1
         result = self._fill(set_index, line, dirty=is_write)
         result.hit = False
         return result
@@ -156,18 +174,22 @@ class SetAssociativeCache:
 
     def _fill(self, set_index: int, line: int, dirty: bool) -> AccessResult:
         ways = self._tags[set_index]
-        if -1 in ways:
+        where = self._where[set_index]
+        try:
+            # Single scan: index() both finds and tests for a free way.
             way = ways.index(-1)
             victim_line = None
             writeback = None
-        else:
+        except ValueError:
             way = self.policy.victim(set_index)
             victim_line = ways[way]
             writeback = victim_line if self._dirty[set_index][way] else None
             self.stats.evictions += 1
             if writeback is not None:
                 self.stats.writebacks += 1
+            del where[victim_line]
         ways[way] = line
+        where[line] = way
         self._dirty[set_index][way] = dirty
         self.policy.touch(set_index, way)
         self.stats.fills += 1
@@ -180,6 +202,7 @@ class SetAssociativeCache:
         way = self.probe(set_index, self.line_of(pa))
         if way < 0:
             return False
+        del self._where[set_index][self._tags[set_index][way]]
         self._tags[set_index][way] = -1
         self._dirty[set_index][way] = False
         self.policy.invalidate(set_index, way)
@@ -194,17 +217,27 @@ class SetAssociativeCache:
         return [line for ways in self._tags for line in ways if line != -1]
 
     def check_invariants(self) -> None:
-        """Each line appears at most once, and at its true set index."""
+        """Each line appears at most once, and at its true set index.
+
+        Also cross-checks the ``_where`` acceleration map against the
+        authoritative tag array — they must describe the same contents.
+        """
         seen = set()
         for set_index, ways in enumerate(self._tags):
-            for line in ways:
+            expected = {}
+            for way, line in enumerate(ways):
                 if line == -1:
                     continue
                 if line in seen:
                     raise AssertionError(f"line {line:#x} duplicated")
                 seen.add(line)
+                expected[line] = way
                 home = (line & self.index_mask)
                 if home != set_index:
                     raise AssertionError(
                         f"line {line:#x} resident in set {set_index}, "
                         f"home is {home}")
+            if self._where[set_index] != expected:
+                raise AssertionError(
+                    f"set {set_index}: lookup map {self._where[set_index]} "
+                    f"out of sync with tags {expected}")

@@ -19,6 +19,8 @@ from ..mem.address import HUGE_PAGE_SHIFT, PAGE_SHIFT
 from ..mem.page_table import PageTable, PageTableEntry, TranslationFault
 from .replacement import LruPolicy
 
+_PAGE_OFF_MASK = (1 << PAGE_SHIFT) - 1
+
 
 @dataclass
 class TlbStats:
@@ -50,26 +52,33 @@ class _TlbArray:
         self._tags = [[None] * n_ways for _ in range(self.n_sets)]
         self._entries = [[None] * n_ways for _ in range(self.n_sets)]
         self._policy = LruPolicy(self.n_sets, n_ways)
+        # key -> (set_index, way) accelerator over the way arrays: the
+        # hot lookup becomes one dict probe instead of an O(ways) scan.
+        self._where = {}
 
     def _set_of(self, key: Tuple[int, int]) -> int:
         return key[1] % self.n_sets
 
     def lookup(self, key: Tuple[int, int]) -> Optional[PageTableEntry]:
-        set_index = self._set_of(key)
-        tags = self._tags[set_index]
-        for way, tag in enumerate(tags):
-            if tag == key:
-                self._policy.touch(set_index, way)
-                return self._entries[set_index][way]
-        return None
+        loc = self._where.get(key)
+        if loc is None:
+            return None
+        set_index, way = loc
+        self._policy.touch(set_index, way)
+        return self._entries[set_index][way]
 
     def fill(self, key: Tuple[int, int], entry: PageTableEntry) -> None:
-        set_index = self._set_of(key)
+        set_index = key[1] % self.n_sets
         tags = self._tags[set_index]
-        way = tags.index(None) if None in tags else \
-            self._policy.victim(set_index)
+        try:
+            # Single scan: index() both finds and tests for a free way.
+            way = tags.index(None)
+        except ValueError:
+            way = self._policy.victim(set_index)
+            del self._where[tags[way]]
         tags[way] = key
         self._entries[set_index][way] = entry
+        self._where[key] = (set_index, way)
         self._policy.touch(set_index, way)
 
     def flush(self) -> None:
@@ -77,17 +86,31 @@ class _TlbArray:
             for way in range(self.n_ways):
                 self._tags[set_index][way] = None
                 self._entries[set_index][way] = None
+        self._where.clear()
 
 
-@dataclass
 class TranslationResult:
-    """Outcome of one translation through the TLB hierarchy."""
+    """Outcome of one translation through the TLB hierarchy.
 
-    pa: int
-    entry: PageTableEntry
-    latency: int
-    l1_hit: bool
-    walked: bool
+    A plain ``__slots__`` class rather than a dataclass: one is
+    allocated per memory access, and slot storage avoids the per-object
+    ``__dict__`` on the hot path.
+    """
+
+    __slots__ = ("pa", "entry", "latency", "l1_hit", "walked")
+
+    def __init__(self, pa: int, entry: PageTableEntry, latency: int,
+                 l1_hit: bool, walked: bool):
+        self.pa = pa
+        self.entry = entry
+        self.latency = latency
+        self.l1_hit = l1_hit
+        self.walked = walked
+
+    def __repr__(self) -> str:
+        return (f"TranslationResult(pa={self.pa:#x}, entry={self.entry!r}, "
+                f"latency={self.latency}, l1_hit={self.l1_hit}, "
+                f"walked={self.walked})")
 
 
 class TlbHierarchy:
@@ -110,6 +133,19 @@ class TlbHierarchy:
         self._l1_4k = _TlbArray(l1_4k_entries, l1_4k_ways, PAGE_SHIFT)
         self._l1_2m = _TlbArray(l1_2m_entries, l1_2m_ways, HUGE_PAGE_SHIFT)
         self._l2 = _TlbArray(l2_entries, l2_ways, PAGE_SHIFT)
+        # translate() runs once per memory access, so the L1 hit paths
+        # reach straight into the arrays' lookup state (all three
+        # _TlbArray internals are module-private): one dict probe plus
+        # one LRU touch, with no intermediate method call. The bound
+        # objects below are stable — _where/_entries are mutated in
+        # place, never reassigned.
+        self._l1_4k_where = self._l1_4k._where
+        self._l1_4k_entries = self._l1_4k._entries
+        self._l1_4k_touch = self._l1_4k._policy.touch
+        self._l1_2m_where = self._l1_2m._where
+        self._l1_2m_entries = self._l1_2m._entries
+        self._l1_2m_touch = self._l1_2m._policy.touch
+        self._l2_lookup = self._l2.lookup
 
     def translate(self, va: int, page_table: PageTable) -> TranslationResult:
         """Translate ``va``; fills TLBs on the way back up.
@@ -117,27 +153,34 @@ class TlbHierarchy:
         Raises :class:`TranslationFault` for unmapped addresses — the
         driver is expected to have pre-touched all trace pages.
         """
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         asid = page_table.asid
         vpn_4k = va >> PAGE_SHIFT
         vpn_2m = va >> HUGE_PAGE_SHIFT
 
-        entry = self._l1_2m.lookup((asid, vpn_2m))
-        if entry is not None:
+        loc = self._l1_2m_where.get((asid, vpn_2m))
+        if loc is not None:
+            set_index, way = loc
+            self._l1_2m_touch(set_index, way)
+            entry = self._l1_2m_entries[set_index][way]
             # A 2M entry stores the translation of its first 4 KiB page;
             # reconstruct this page's pfn from the in-huge-page offset.
             pa = self._huge_pa(entry, va)
-            self.stats.l1_hits += 1
+            stats.l1_hits += 1
             return TranslationResult(pa, entry, self.l1_latency, True, False)
-        entry = self._l1_4k.lookup((asid, vpn_4k))
-        if entry is not None:
-            pa = (entry.pfn << PAGE_SHIFT) | (va & ((1 << PAGE_SHIFT) - 1))
-            self.stats.l1_hits += 1
+        loc = self._l1_4k_where.get((asid, vpn_4k))
+        if loc is not None:
+            set_index, way = loc
+            self._l1_4k_touch(set_index, way)
+            entry = self._l1_4k_entries[set_index][way]
+            pa = (entry.pfn << PAGE_SHIFT) | (va & _PAGE_OFF_MASK)
+            stats.l1_hits += 1
             return TranslationResult(pa, entry, self.l1_latency, True, False)
 
-        entry = self._l2.lookup((asid, vpn_4k))
+        entry = self._l2_lookup((asid, vpn_4k))
         if entry is not None:
-            self.stats.l2_hits += 1
+            stats.l2_hits += 1
             latency = self.l1_latency + self.l2_latency
             walked = False
         else:
@@ -145,7 +188,7 @@ class TlbHierarchy:
             if pa_entry is None:
                 raise TranslationFault(va)
             entry = pa_entry
-            self.stats.walks += 1
+            stats.walks += 1
             if self.walker is not None:
                 walk_cycles = self.walker.walk(va, asid)
             else:
@@ -160,7 +203,7 @@ class TlbHierarchy:
             pa = self._huge_pa(base_entry, va)
         else:
             self._l1_4k.fill((asid, vpn_4k), entry)
-            pa = (entry.pfn << PAGE_SHIFT) | (va & ((1 << PAGE_SHIFT) - 1))
+            pa = (entry.pfn << PAGE_SHIFT) | (va & _PAGE_OFF_MASK)
         return TranslationResult(pa, entry, latency, False, walked)
 
     @staticmethod

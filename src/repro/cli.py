@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import replace
+from functools import partial
 from typing import Dict, List, Optional
 
 from .core.indexing import IndexingScheme, SiptVariant
@@ -91,7 +92,8 @@ def _runner(args) -> ResilientRunner:
         resume_from=resume,
         timeout_s=getattr(args, "timeout", None),
         retry=RetryPolicy(max_retries=getattr(args, "retries", 2)),
-        faults=faults)
+        faults=faults,
+        jobs=getattr(args, "jobs", 1))
 
 
 def _finish(args, runner: ResilientRunner) -> int:
@@ -163,31 +165,41 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _suite_cell(app: str, base_system, sipt_system, condition,
+                n_accesses: int) -> dict:
+    """One suite row as a picklable task (module-level for ``--jobs``).
+
+    Traces come from the process-local shared cache (``cache=None``),
+    so the same function serves both the serial runner path and pool
+    workers; the simulations are seeded, so the rows are identical.
+    """
+    base = run_app(app, base_system, condition=condition,
+                   n_accesses=n_accesses, cache=None)
+    result = run_app(app, sipt_system, condition=condition,
+                     n_accesses=n_accesses, cache=None)
+    return {"app": app, "ipc": result.ipc,
+            "speedup": result.speedup_over(base),
+            "fast": result.fast_fraction,
+            "energy_ratio": result.energy_over(base)}
+
+
 def cmd_suite(args) -> int:
-    traces = TraceCache()
     runner = _runner(args)
     condition = CONDITIONS[args.condition]
-    l1 = _l1(args)
-    speedups = []
-    print(f"{'app':>14s} {'IPC':>7s} {'speedup':>8s} {'fast':>6s} "
-          f"{'energy':>7s}")
+    base_system = _system(args, BASELINE_L1)
+    sipt_system = _system(args, _l1(args))
+    cells = []
     for app in EVALUATED_APPS:
         key = {"cmd": "suite", "app": app, "geometry": args.geometry,
                "core": args.core, "condition": args.condition,
                "accesses": args.accesses}
-
-        def cell(app=app):
-            base = run_app(app, _system(args, BASELINE_L1),
-                           condition=condition, n_accesses=args.accesses,
-                           cache=traces)
-            result = run_app(app, _system(args, l1), condition=condition,
-                             n_accesses=args.accesses, cache=traces)
-            return {"app": app, "ipc": result.ipc,
-                    "speedup": result.speedup_over(base),
-                    "fast": result.fast_fraction,
-                    "energy_ratio": result.energy_over(base)}
-
-        row = runner.run_cell(key, cell)
+        cells.append((key, partial(_suite_cell, app, base_system,
+                                   sipt_system, condition, args.accesses)))
+    rows = runner.run_cells(cells)
+    speedups = []
+    print(f"{'app':>14s} {'IPC':>7s} {'speedup':>8s} {'fast':>6s} "
+          f"{'energy':>7s}")
+    for app, row in zip(EVALUATED_APPS, rows):
         if row.get("status") != "ok":
             print(f"{app:>14s} {'ERROR':>7s}  {row.get('error', '')}")
             continue
@@ -238,6 +250,37 @@ def cmd_mix(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .sim.bench import check_regression, run_bench, write_report
+    apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    unknown = [a for a in apps if a not in EVALUATED_APPS]
+    if unknown:
+        raise ConfigError(f"unknown apps {unknown}; see `repro list`")
+    report = run_bench(apps=apps, n_accesses=args.accesses,
+                       l1=_l1(args), repeats=args.repeats,
+                       profile=args.profile, label=args.label)
+    path = write_report(report, args.out)
+    agg = report["aggregate_accesses_per_s"]
+    print(f"aggregate throughput : {agg:,.0f} accesses/s")
+    for app, point in report["apps"].items():
+        print(f"  {app:>14s}     : {point['accesses_per_s']:,.0f} "
+              f"accesses/s ({point['best_s']:.3f}s best of "
+              f"{report['repeats']})")
+    if args.profile:
+        print("hottest functions (cumulative):")
+        for row in report["profile_top"][:12]:
+            print(f"  {row['cumtime_s']:8.3f}s {row['calls']:>9d}x "
+                  f"{row['function']}")
+    print(f"wrote {path}")
+    if args.check:
+        ok, message = check_regression(report, args.check,
+                                       tolerance=args.tolerance)
+        print(("OK: " if ok else "REGRESSION: ") + message)
+        if not ok:
+            return 1
+    return 0
+
+
 def cmd_validate(args) -> int:
     from .validate import format_scorecard, run_scorecard
     runner = _runner(args)
@@ -251,34 +294,41 @@ def cmd_validate(args) -> int:
     return 0 if n_pass >= required else 1
 
 
-def cmd_designspace(args) -> int:
+def _designspace_cell(capacity_b: int, ways: int) -> dict:
+    """One CACTI design point as a picklable task (for ``--jobs``).
+
+    The model is analytic and deterministic, so rebuilding it per cell
+    is cheap and keeps the task self-contained for pool workers.
+    """
     model = CactiModel()
-    runner = _runner(args)
     base = model.latency_ns(32 * 1024, 8)
+    return {"cycles": model.latency_cycles(capacity_b, ways),
+            "ratio": model.latency_ns(capacity_b, ways) / base,
+            "nj": model.dynamic_nj(capacity_b, ways),
+            "mw": model.static_mw(capacity_b, ways)}
+
+
+def cmd_designspace(args) -> int:
+    runner = _runner(args)
+    points = [(capacity, ways) for capacity in (16, 32, 64, 128)
+              for ways in (2, 4, 8, 16)]
+    cells = [({"cmd": "designspace", "capacity_kib": capacity,
+               "ways": ways},
+              partial(_designspace_cell, capacity * 1024, ways))
+             for capacity, ways in points]
+    rows = runner.run_cells(cells)
     print(f"{'config':>12s} {'cycles':>7s} {'vs base':>8s} "
           f"{'nJ':>7s} {'mW':>7s}")
-    for capacity in (16, 32, 64, 128):
-        for ways in (2, 4, 8, 16):
-            c = capacity * 1024
-            key = {"cmd": "designspace", "capacity_kib": capacity,
-                   "ways": ways}
-
-            def cell(c=c, ways=ways):
-                return {"cycles": model.latency_cycles(c, ways),
-                        "ratio": model.latency_ns(c, ways) / base,
-                        "nj": model.dynamic_nj(c, ways),
-                        "mw": model.static_mw(c, ways)}
-
-            row = runner.run_cell(key, cell)
-            if row.get("status") != "ok":
-                print(f"{capacity:>9d}K/{ways:<2d} {'ERROR':>7s}  "
-                      f"{row.get('error', '')}")
-                continue
-            print(f"{capacity:>9d}K/{ways:<2d} "
-                  f"{row['cycles']:>7d} "
-                  f"{row['ratio']:>8.2f} "
-                  f"{row['nj']:>7.3f} "
-                  f"{row['mw']:>7.1f}")
+    for (capacity, ways), row in zip(points, rows):
+        if row.get("status") != "ok":
+            print(f"{capacity:>9d}K/{ways:<2d} {'ERROR':>7s}  "
+                  f"{row.get('error', '')}")
+            continue
+        print(f"{capacity:>9d}K/{ways:<2d} "
+              f"{row['cycles']:>7d} "
+              f"{row['ratio']:>8.2f} "
+              f"{row['nj']:>7.3f} "
+              f"{row['mw']:>7.1f}")
     return _finish(args, runner)
 
 
@@ -320,6 +370,11 @@ def build_parser() -> argparse.ArgumentParser:
                 "--strict", action="store_true",
                 help=f"exit {EXIT_DEGRADED} if any cell degraded to an "
                      "error row")
+            group.add_argument(
+                "--jobs", type=int, default=1, metavar="N",
+                help="run grid cells in N worker processes (rows, "
+                     "journal, and --resume stay identical to serial; "
+                     "incompatible with --inject)")
         group.add_argument("--timeout", type=float, default=None,
                            metavar="SECONDS", help="per-cell deadline")
         group.add_argument("--retries", type=int, default=2,
@@ -363,6 +418,34 @@ def build_parser() -> argparse.ArgumentParser:
         "designspace", help="print the CACTI design space")
     resilience(designspace_p)
 
+    bench_p = sub.add_parser(
+        "bench", help="measure simulate() throughput, emit BENCH_*.json")
+    bench_p.add_argument("--apps", default=",".join(
+        ("perlbench", "calculix", "libquantum")),
+        help="comma-separated benchmark names")
+    bench_p.add_argument("--geometry", default="32K_2w",
+                         choices=sorted(GEOMETRIES))
+    bench_p.add_argument("--scheme", default=None,
+                         choices=[s.value for s in IndexingScheme])
+    bench_p.add_argument("--variant", default=None,
+                         choices=[v.value for v in SiptVariant])
+    bench_p.add_argument("--way-prediction", action="store_true")
+    bench_p.add_argument("--accesses", type=int, default=20_000)
+    bench_p.add_argument("--repeats", type=int, default=3,
+                         help="timed replays per app; best is kept")
+    bench_p.add_argument("--profile", action="store_true",
+                         help="include a cProfile hot-function table")
+    bench_p.add_argument("--label", default=None,
+                         help="trajectory-point label (file name suffix)")
+    bench_p.add_argument("--out", default=".",
+                         help="output file or directory for BENCH_*.json")
+    bench_p.add_argument("--check", metavar="BASELINE_JSON", default=None,
+                         help="fail (exit 1) if aggregate throughput "
+                              "regresses past --tolerance vs this point")
+    bench_p.add_argument("--tolerance", type=float, default=0.30,
+                         help="allowed fractional throughput loss for "
+                              "--check (default 0.30)")
+
     validate_p = sub.add_parser(
         "validate", help="score the paper's headline claims (smoke check)")
     validate_p.add_argument("--accesses", type=int, default=12_000)
@@ -379,6 +462,7 @@ COMMANDS = {
     "suite": cmd_suite,
     "sweep": cmd_sweep,
     "mix": cmd_mix,
+    "bench": cmd_bench,
     "designspace": cmd_designspace,
     "validate": cmd_validate,
 }

@@ -26,7 +26,13 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..mem.address import apply_index_delta, index_bits, index_delta, page_number
+from ..mem.address import (
+    PAGE_SHIFT,
+    apply_index_delta,
+    index_bits,
+    index_delta,
+    page_number,
+)
 
 
 @dataclass
@@ -91,6 +97,34 @@ class IndexDeltaBuffer:
         self._deltas[entry] = index_delta(va, pa, self.n_bits)
         self._last_page[entry] = page_number(va)
         self.stats.updates += 1
+
+    def predict_update(self, pc: int, va: int, pa: int) -> bool:
+        """Fused predict + record_outcome + update for the hot path.
+
+        The simulator resolves the PA in the same call as the
+        prediction, so one pass computes the index bits, scores the
+        prediction, and learns the new delta. Equivalent to
+        ``p = predict(pc, va); hit = record_outcome(p, pa);
+        update(pc, va, pa); return hit`` — identical stats and table
+        evolution.
+        """
+        stats = self.stats
+        stats.predictions += 1
+        stats.updates += 1
+        entry = ((pc >> 2) ^ (pc >> 9)) % self.n_entries
+        mask = (1 << self.n_bits) - 1
+        page = va >> PAGE_SHIFT
+        va_bits = page & mask
+        pa_bits = (pa >> PAGE_SHIFT) & mask
+        delta = self._deltas[entry]
+        if self.page_bound and self._last_page[entry] != page:
+            delta = int(self._rng.integers(1 << self.n_bits))
+        hit = ((va_bits + delta) & mask) == pa_bits
+        if hit:
+            stats.hits += 1
+        self._deltas[entry] = (pa_bits - va_bits) & mask
+        self._last_page[entry] = page
+        return hit
 
     @property
     def storage_bits(self) -> int:

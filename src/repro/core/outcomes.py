@@ -58,10 +58,23 @@ class OutcomeCounts:
 
     def record(self, outcome: SpeculationOutcome,
                via_idb: bool = False) -> None:
-        name = outcome.value
-        setattr(self, name, getattr(self, name) + 1)
-        if outcome is SpeculationOutcome.EXTRA_ACCESS and via_idb:
-            self.extra_access_after_idb += 1
+        # Identity dispatch instead of getattr/setattr-by-name: this
+        # runs once per SIPT access and the string indirection showed
+        # up in profiles.
+        if outcome is SpeculationOutcome.CORRECT_SPECULATION:
+            self.correct_speculation += 1
+        elif outcome is SpeculationOutcome.EXTRA_ACCESS:
+            self.extra_access += 1
+            if via_idb:
+                self.extra_access_after_idb += 1
+        elif outcome is SpeculationOutcome.CORRECT_BYPASS:
+            self.correct_bypass += 1
+        elif outcome is SpeculationOutcome.OPPORTUNITY_LOSS:
+            self.opportunity_loss += 1
+        elif outcome is SpeculationOutcome.IDB_HIT:
+            self.idb_hit += 1
+        else:
+            raise ValueError(f"unknown outcome {outcome!r}")
 
     @property
     def total(self) -> int:

@@ -109,6 +109,51 @@ class PerceptronPredictor:
         self._history.insert(0, target)
         self._history.pop()
 
+    def predict_train(self, pc: int, bits_unchanged: bool) -> bool:
+        """Fused :meth:`predict` + :meth:`update` for the hot path.
+
+        The simulator resolves the ground truth in the same call as the
+        prediction (translation is functionally instantaneous here), so
+        computing the dot product once and reusing ``y`` for both the
+        decision and the training threshold halves the predictor cost.
+        Equivalent to ``p = predict(pc); update(pc, bits_unchanged);
+        return p`` — the same stats, weights, and history evolution.
+        """
+        entry = ((pc >> 2) ^ (pc >> 9)) % self.n_entries
+        weights = self._weights[entry]
+        history = self._history
+        y = weights[0]
+        i = 1
+        for x in history:
+            w = weights[i]
+            y += w if x > 0 else -w
+            i += 1
+        if y != y or y in (float("inf"), float("-inf")):
+            from ..errors import SimulationError
+            raise SimulationError(
+                f"perceptron entry {entry} produced a "
+                "non-finite activation; predictor state is corrupt")
+        predicted_unchanged = y >= 0
+        stats = self.stats
+        stats.predictions += 1
+        if predicted_unchanged == bits_unchanged:
+            stats.correct += 1
+        target = 1 if bits_unchanged else -1
+        if predicted_unchanged != bits_unchanged or (
+                y if y >= 0 else -y) <= self.theta:
+            clip_max = self.weight_max
+            clip_min = self.weight_min
+            w = weights[0] + target
+            weights[0] = clip_max if w > clip_max else (
+                clip_min if w < clip_min else w)
+            for i, x in enumerate(history, start=1):
+                w = weights[i] + (target if x > 0 else -target)
+                weights[i] = clip_max if w > clip_max else (
+                    clip_min if w < clip_min else w)
+        history.insert(0, target)
+        history.pop()
+        return predicted_unchanged
+
     def _clip(self, w: int) -> int:
         return max(self.weight_min, min(self.weight_max, w))
 

@@ -27,7 +27,7 @@ from typing import Optional
 
 from ..cache.set_assoc import SetAssociativeCache
 from ..cache.tlb import TlbHierarchy, TranslationResult
-from ..mem.address import index_bits
+from ..mem.address import PAGE_SHIFT
 from ..mem.page_table import PageTable
 from .idb import IndexDeltaBuffer
 from .indexing import (
@@ -41,18 +41,37 @@ from .perceptron import PerceptronPredictor
 from .way_prediction import WayPredictor
 
 
-@dataclass
 class L1AccessResult:
-    """Everything the timing model needs about one L1 access."""
+    """Everything the timing model needs about one L1 access.
 
-    hit: bool
-    fast: bool                 # completed at speculative-access latency
-    latency: int               # cycles until data available (L1 only)
-    extra_l1_access: bool      # a wasted array read occurred
-    outcome: Optional[SpeculationOutcome]
-    translation: TranslationResult
-    writeback_line: Optional[int] = None
-    way_penalty: int = 0
+    A plain ``__slots__`` class rather than a dataclass: one is
+    allocated per memory access, and slot storage avoids the per-object
+    ``__dict__`` on the hot path.
+    """
+
+    __slots__ = ("hit", "fast", "latency", "extra_l1_access", "outcome",
+                 "translation", "writeback_line", "way_penalty")
+
+    def __init__(self, hit: bool, fast: bool, latency: int,
+                 extra_l1_access: bool,
+                 outcome: Optional[SpeculationOutcome],
+                 translation: TranslationResult,
+                 writeback_line: Optional[int] = None,
+                 way_penalty: int = 0):
+        self.hit = hit
+        self.fast = fast               # completed at speculative latency
+        self.latency = latency         # cycles until data available (L1)
+        self.extra_l1_access = extra_l1_access  # wasted array read
+        self.outcome = outcome
+        self.translation = translation
+        self.writeback_line = writeback_line
+        self.way_penalty = way_penalty
+
+    def __repr__(self) -> str:
+        return (f"L1AccessResult(hit={self.hit}, fast={self.fast}, "
+                f"latency={self.latency}, "
+                f"extra_l1_access={self.extra_l1_access}, "
+                f"outcome={self.outcome}, way_penalty={self.way_penalty})")
 
 
 @dataclass
@@ -63,6 +82,11 @@ class SiptL1Stats:
     fast_accesses: int = 0
     slow_accesses: int = 0
     extra_l1_accesses: int = 0
+    #: Accesses that actually probed the array with a speculated index.
+    #: NAIVE and COMBINED probe on every access; BYPASS only probes when
+    #: the perceptron endorses speculation (a bypassed access waits for
+    #: the PA and reads the array exactly once, non-speculatively), so
+    #: ``speculative_probes <= accesses`` always holds.
     speculative_probes: int = 0
 
     @property
@@ -123,6 +147,21 @@ class SiptL1Cache:
                 self.idb = IndexDeltaBuffer(self.n_spec_bits,
                                             page_bound=page_bound_idb)
         self.way_predictor = WayPredictor(cache) if way_prediction else None
+        # Hot-path constants and pre-bound callables, resolved once
+        # instead of per access.
+        self._is_sipt = (scheme is IndexingScheme.SIPT
+                         and self.n_spec_bits > 0)
+        self._default_fast = scheme is not IndexingScheme.PIPT
+        self._spec_mask = (1 << self.n_spec_bits) - 1
+        self._translate = tlb.translate
+        self._cache_access = cache.access
+        self._record = self.outcomes.record
+        self._is_naive = variant is SiptVariant.NAIVE
+        self._is_bypass = variant is SiptVariant.BYPASS
+        self._predict_train = (self.perceptron.predict_train
+                               if self.perceptron is not None else None)
+        self._idb_predict_update = (self.idb.predict_update
+                                    if self.idb is not None else None)
 
     # ------------------------------------------------------------------
     def front_end(self, pc: int, va: int, page_table: PageTable):
@@ -130,51 +169,88 @@ class SiptL1Cache:
 
         Returns ``(translation, fast, extra, outcome, latency)``. Used
         directly by the coherent multicore driver, where the array
-        content is managed by the snoop bus; :meth:`access` composes it
-        with the private array access.
+        content is managed by the snoop bus. :meth:`access` inlines a
+        mirror of this logic for the single-core hot path — keep the
+        two in sync.
         """
-        self.stats.accesses += 1
-        translation = self.tlb.translate(va, page_table)
-        pa = translation.pa
-        if self.scheme is IndexingScheme.SIPT and self.n_spec_bits > 0:
-            fast, extra, outcome, via_idb = self._speculate(pc, va, pa)
+        stats = self.stats
+        stats.accesses += 1
+        translation = self._translate(va, page_table)
+        if self._is_sipt:
+            fast, extra, outcome, via_idb = self._speculate(
+                pc, va, translation.pa)
+            if outcome is not None:
+                self._record(outcome, via_idb)
         else:
-            fast, extra, outcome = self._non_sipt_timing()
-            via_idb = False
-        latency = self._latency(fast, translation, extra)
+            # VIPT, IDEAL, and SIPT with zero speculative bits overlap
+            # translation with the array access; PIPT serializes.
+            fast = self._default_fast
+            extra = False
+            outcome = None
+        # Fast path: the array access overlaps translation; data is
+        # gated by the later of array latency and TLB latency. Slow
+        # path: the (repeated or delayed) array read starts only when
+        # the PA is available, i.e. after the full translation latency.
+        t_lat = translation.latency
         if fast:
-            self.stats.fast_accesses += 1
+            stats.fast_accesses += 1
+            hit_lat = self.hit_latency
+            latency = hit_lat if hit_lat > t_lat else t_lat
         else:
-            self.stats.slow_accesses += 1
+            stats.slow_accesses += 1
+            latency = t_lat + self.hit_latency
         if extra:
-            self.stats.extra_l1_accesses += 1
-        if outcome is not None:
-            self.outcomes.record(outcome, via_idb=via_idb)
+            stats.extra_l1_accesses += 1
         return translation, fast, extra, outcome, latency
 
     def access(self, pc: int, va: int, is_write: bool,
                page_table: PageTable) -> L1AccessResult:
-        """Perform one load/store through the SIPT front end."""
-        translation, fast, extra, outcome, latency = self.front_end(
-            pc, va, page_table)
+        """Perform one load/store through the SIPT front end.
+
+        The translation/speculation/latency block below mirrors
+        :meth:`front_end` (keep the two in sync): this method runs once
+        per simulated access and the extra call frame was measurable.
+        """
+        stats = self.stats
+        stats.accesses += 1
+        translation = self._translate(va, page_table)
         pa = translation.pa
-        predicted_way = -1
-        if self.way_predictor is not None:
-            # The MRU metadata is read before the arrays are accessed.
-            predicted_way = self.way_predictor.predict(
-                self.cache.set_index(pa))
-        cache_result = self.cache.access(pa, is_write)
+        if self._is_sipt:
+            fast, extra, outcome, via_idb = self._speculate(pc, va, pa)
+            if outcome is not None:
+                self._record(outcome, via_idb)
+        else:
+            fast = self._default_fast
+            extra = False
+            outcome = None
+        t_lat = translation.latency
+        if fast:
+            stats.fast_accesses += 1
+            hit_lat = self.hit_latency
+            latency = hit_lat if hit_lat > t_lat else t_lat
+        else:
+            stats.slow_accesses += 1
+            latency = t_lat + self.hit_latency
+        if extra:
+            stats.extra_l1_accesses += 1
         way_penalty = 0
-        if self.way_predictor is not None:
-            way_penalty = self.way_predictor.observe(
+        way_predictor = self.way_predictor
+        if way_predictor is not None and fast:
+            # The MRU metadata is read before the arrays are accessed —
+            # but only a fast (speculatively indexed) access consults
+            # it: a slow or bypassed access already waited for the PA,
+            # so all ways are read in parallel with no serial penalty
+            # and the predictor is neither queried nor trained.
+            predicted_way = way_predictor.predict(self.cache.set_index(pa))
+            cache_result = self._cache_access(pa, is_write)
+            way_penalty = way_predictor.observe(
                 predicted_way, cache_result.way, cache_result.hit)
+        else:
+            cache_result = self._cache_access(pa, is_write)
         return L1AccessResult(
-            hit=cache_result.hit, fast=fast,
-            latency=latency + way_penalty,
-            extra_l1_access=extra, outcome=outcome,
-            translation=translation,
-            writeback_line=cache_result.writeback_line,
-            way_penalty=way_penalty)
+            cache_result.hit, fast, latency + way_penalty, extra,
+            outcome, translation, cache_result.writeback_line,
+            way_penalty)
 
     # ------------------------------------------------------------------
     # speculation policy per variant
@@ -186,81 +262,57 @@ class SiptL1Cache:
         prediction (a low-confidence load), as opposed to an endorsed
         perceptron speculation that failed.
         """
-        n = self.n_spec_bits
-        va_bits = index_bits(va, n)
-        pa_bits = index_bits(pa, n)
+        mask = self._spec_mask
+        va_bits = (va >> PAGE_SHIFT) & mask
+        pa_bits = (pa >> PAGE_SHIFT) & mask
         unchanged = va_bits == pa_bits
-        self.stats.speculative_probes += 1
+        stats = self.stats
 
-        if self.variant is SiptVariant.NAIVE:
+        if self._is_naive:
+            # NAIVE always probes with the speculated index.
+            stats.speculative_probes += 1
             if unchanged:
                 return (True, False,
                         SpeculationOutcome.CORRECT_SPECULATION, False)
             return False, True, SpeculationOutcome.EXTRA_ACCESS, False
 
-        speculate = self.perceptron.predict(pc)
-        self.perceptron.update(pc, unchanged)
+        speculate = self._predict_train(pc, unchanged)
 
-        if self.variant is SiptVariant.BYPASS:
-            if speculate and unchanged:
-                outcome = SpeculationOutcome.CORRECT_SPECULATION
-                fast, extra = True, False
-            elif speculate and not unchanged:
-                outcome = SpeculationOutcome.EXTRA_ACCESS
-                fast, extra = False, True
-            elif not speculate and unchanged:
-                outcome = SpeculationOutcome.OPPORTUNITY_LOSS
-                fast, extra = False, False
-            else:
-                outcome = SpeculationOutcome.CORRECT_BYPASS
-                fast, extra = False, False
-            return fast, extra, outcome, False
+        if self._is_bypass:
+            if speculate:
+                # Only an endorsed speculation reads the array with the
+                # VA-derived index; a bypass waits for the PA and reads
+                # the array exactly once, non-speculatively.
+                stats.speculative_probes += 1
+                if unchanged:
+                    return (True, False,
+                            SpeculationOutcome.CORRECT_SPECULATION, False)
+                return False, True, SpeculationOutcome.EXTRA_ACCESS, False
+            if unchanged:
+                return (False, False,
+                        SpeculationOutcome.OPPORTUNITY_LOSS, False)
+            return False, False, SpeculationOutcome.CORRECT_BYPASS, False
 
-        # COMBINED: perceptron gates the IDB; always access speculatively.
+        # COMBINED always accesses speculatively: the perceptron only
+        # chooses between the VA bits and the IDB's value prediction.
+        stats.speculative_probes += 1
+
+        # Perceptron gates the IDB in COMBINED mode.
         if speculate:
             if unchanged:
                 return (True, False,
                         SpeculationOutcome.CORRECT_SPECULATION, False)
             return False, True, SpeculationOutcome.EXTRA_ACCESS, False
         # Perceptron says "bits will change": predict their value.
-        if n == 1:
-            # Reversed-prediction shortcut (Section VI-A): flipping the
-            # single bit is the value prediction.
-            predicted = va_bits ^ 1
+        if self._idb_predict_update is None:
+            # Reversed-prediction shortcut (Section VI-A): with a single
+            # speculative bit, flipping it is the value prediction.
+            hit = (va_bits ^ 1) == pa_bits
         else:
-            predicted = self.idb.predict(pc, va)
-        if self.idb is not None:
-            hit = self.idb.record_outcome(predicted, pa)
-            self.idb.update(pc, va, pa)
-        else:
-            hit = predicted == pa_bits
+            hit = self._idb_predict_update(pc, va, pa)
         if hit:
             return True, False, SpeculationOutcome.IDB_HIT, True
         return False, True, SpeculationOutcome.EXTRA_ACCESS, True
-
-    def _non_sipt_timing(self):
-        """Timing class for PIPT / VIPT / IDEAL / trivially-VIPT SIPT."""
-        if self.scheme is IndexingScheme.PIPT:
-            return False, False, None
-        # VIPT, IDEAL, and SIPT with zero speculative bits all overlap
-        # translation with the array access.
-        return True, False, None
-
-    # ------------------------------------------------------------------
-    def _latency(self, fast: bool, translation: TranslationResult,
-                 extra: bool) -> int:
-        """L1-visible latency for this access.
-
-        Fast path: the array access overlaps translation; data is gated by
-        the later of array latency and TLB latency (TLB L1 hits are fully
-        hidden; TLB misses expose their latency for any scheme).
-
-        Slow path: the (repeated or delayed) array access starts only when
-        the PA is available, i.e. after the full translation latency.
-        """
-        if fast:
-            return max(self.hit_latency, translation.latency)
-        return translation.latency + self.hit_latency
 
     def predictor_overhead_fraction(self) -> float:
         """Predictor storage relative to the L1 array (paper: < 2%)."""

@@ -9,6 +9,7 @@ from .config import (
     inorder_system,
     ooo_system,
 )
+from .bench import check_regression, profile_simulate, run_bench, write_report
 from .coherent_driver import CoherentRunResult, simulate_coherent
 from .driver import simulate, simulate_multicore
 from .experiment import (
@@ -54,7 +55,11 @@ __all__ = [
     "SystemConfig",
     "TraceCache",
     "arithmetic_mean",
+    "check_regression",
     "default_accesses",
+    "profile_simulate",
+    "run_bench",
+    "write_report",
     "harmonic_mean",
     "inorder_system",
     "ooo_system",

@@ -1,0 +1,189 @@
+"""Performance harness for the per-access simulation hot path.
+
+``python -m repro bench`` measures single-core :func:`~repro.sim.driver.
+simulate` throughput (trace accesses replayed per second) over a small
+app set, optionally under ``cProfile``, and emits one ``BENCH_*.json``
+*perf trajectory point*. Committing these points over time gives the
+repo a throughput history the CI perf-smoke job can gate on: a change
+that silently slows the per-access loop fails the
+:func:`check_regression` comparison against the committed baseline.
+
+Methodology:
+
+* Traces are generated (and validated) *before* the clock starts — the
+  harness times replay only, which is what sweeps repeat hundreds of
+  times per campaign.
+* Each app is replayed ``repeats`` times and the best wall time is
+  kept, the standard way to suppress scheduler noise on shared
+  machines.
+* The aggregate figure is total accesses over total best-time — the
+  throughput a serial sweep would see on this machine.
+
+Throughput is machine-dependent; regenerate the committed baseline
+(``repro bench --out benchmarks/perf``) when the reference hardware
+changes, and keep comparisons (``--check``) on the same machine class.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import platform
+import pstats
+import sys
+import time
+from dataclasses import replace
+from datetime import datetime
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..errors import ConfigError
+from .config import SIPT_GEOMETRIES, L1Config, ooo_system
+from .driver import simulate
+from .experiment import TraceCache
+
+#: JSON schema tag so future harness versions can migrate old points.
+SCHEMA = "repro-bench-1"
+
+#: Default app set: one predictable-delta app, one misspeculation-heavy
+#: app, and one hugepage app — together they exercise every front-end
+#: path (perceptron, IDB, bypass, TLB 2M array).
+DEFAULT_APPS = ("perlbench", "calculix", "libquantum")
+
+
+def _time_simulate(trace, system, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of one simulate() call."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        simulate(trace, system)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def profile_simulate(trace, system, top: int = 20) -> List[dict]:
+    """One profiled simulate() run; returns the ``top`` hot functions.
+
+    Entries are ordered by cumulative time and carry the fields the
+    bench JSON stores: function, calls, total time (inside the function
+    itself) and cumulative time (including callees).
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    simulate(trace, system)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    stats.sort_stats("cumulative")
+    rows: List[dict] = []
+    for func, (cc, nc, tt, ct, callers) in sorted(
+            stats.stats.items(), key=lambda kv: kv[1][3], reverse=True):
+        filename, line, name = func
+        if "~" in filename and name == "<built-in method builtins.exec>":
+            continue
+        rows.append({
+            "function": f"{Path(filename).name}:{line}:{name}",
+            "calls": nc,
+            "tottime_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+        })
+        if len(rows) >= top:
+            break
+    return rows
+
+
+def run_bench(apps: Optional[Iterable[str]] = None,
+              n_accesses: int = 20_000,
+              geometry: str = "32K_2w",
+              l1: Optional[L1Config] = None,
+              repeats: int = 3,
+              profile: bool = False,
+              traces: Optional[TraceCache] = None,
+              label: Optional[str] = None) -> dict:
+    """Measure simulate() throughput; returns the trajectory-point dict.
+
+    ``l1`` overrides ``geometry`` when given (the CLI passes a resolved
+    config so ``--scheme``/``--variant`` compose). Trace generation is
+    excluded from the timed region.
+    """
+    if n_accesses <= 0:
+        raise ConfigError(f"n_accesses must be positive, got {n_accesses}")
+    if repeats <= 0:
+        raise ConfigError(f"repeats must be positive, got {repeats}")
+    apps = list(apps) if apps else list(DEFAULT_APPS)
+    if l1 is None:
+        if geometry not in SIPT_GEOMETRIES:
+            raise ConfigError(f"unknown geometry {geometry!r}; choose "
+                              f"from {sorted(SIPT_GEOMETRIES)}")
+        l1 = SIPT_GEOMETRIES[geometry]
+    system = ooo_system(l1)
+    traces = traces or TraceCache()
+
+    per_app: Dict[str, dict] = {}
+    total_time = 0.0
+    for app in apps:
+        trace = traces.get(app, n_accesses)
+        # Warm-up replay (outside the clock): JIT-free Python still
+        # benefits from warm allocator arenas and branch-predictable
+        # dict sizes.
+        simulate(trace, system)
+        best = _time_simulate(trace, system, repeats)
+        total_time += best
+        per_app[app] = {
+            "best_s": round(best, 6),
+            "accesses_per_s": round(n_accesses / best, 1),
+        }
+
+    report = {
+        "schema": SCHEMA,
+        "label": label or f"{l1.label}-{n_accesses}",
+        "created": datetime.now().isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "n_accesses": n_accesses,
+        "repeats": repeats,
+        "geometry": l1.label,
+        "apps": per_app,
+        "aggregate_accesses_per_s": round(
+            n_accesses * len(apps) / total_time, 1),
+    }
+    if profile:
+        report["profile_top"] = profile_simulate(
+            traces.get(apps[0], n_accesses), system)
+    return report
+
+
+def write_report(report: dict, out: Union[str, Path] = ".") -> Path:
+    """Write the trajectory point; returns the file path.
+
+    ``out`` may be a directory (the file is named
+    ``BENCH_<label>.json``) or an explicit file path.
+    """
+    out = Path(out)
+    if out.is_dir():
+        safe = "".join(c if c.isalnum() or c in "._-" else "_"
+                       for c in report["label"])
+        out = out / f"BENCH_{safe}.json"
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def check_regression(report: dict, baseline: Union[str, Path, dict],
+                     tolerance: float = 0.30) -> Tuple[bool, str]:
+    """Compare a fresh report against a committed baseline point.
+
+    Returns ``(ok, message)``; ``ok`` is False when aggregate throughput
+    fell more than ``tolerance`` (fractional) below the baseline.
+    Speedups and small fluctuations pass. Comparisons are only
+    meaningful on the same machine class as the committed baseline.
+    """
+    if not isinstance(baseline, dict):
+        baseline = json.loads(Path(baseline).read_text())
+    base = float(baseline["aggregate_accesses_per_s"])
+    now = float(report["aggregate_accesses_per_s"])
+    if base <= 0:
+        raise ConfigError("baseline has non-positive throughput")
+    ratio = now / base
+    message = (f"throughput {now:,.0f} acc/s vs baseline {base:,.0f} "
+               f"acc/s ({ratio:.2f}x, tolerance -{tolerance:.0%})")
+    return ratio >= (1.0 - tolerance), message

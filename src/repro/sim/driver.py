@@ -119,31 +119,47 @@ class _CoreContext:
         self.completed_once = False
         self.port_conflicts = 0
         self._port_busy = False
+        # Convert the trace columns to plain Python lists once: indexing
+        # a numpy array returns numpy scalars whose int()/bool()
+        # conversion dominates the per-access cost in the hot loop.
+        self._pc = trace.pc.tolist()
+        self._va = trace.va.tolist()
+        self._is_write = trace.is_write.tolist()
+        self._gap = trace.inst_gap.tolist()
+        self._dep = trace.dep_dist.tolist()
+        self._len = len(trace)
+        self._page_table = trace.process.page_table
+        # Pre-bound hot-loop callables and constants: step() runs once
+        # per access, so every attribute chain it avoids is a win.
+        self._l1_access = self.l1.access
+        self._miss_access = self.miss_path.access
+        self._miss_writeback = self.miss_path.writeback
+        self._retire = self.core.retire_instructions
+        self._memory_access = self.core.memory_access
+        self._line_shift = self.l1.cache.line_shift
+        self._conflict_window = self.PORT_CONFLICT_WINDOW
+        self._conflict_cycles = self.PORT_CONFLICT_CYCLES
 
     def step(self) -> None:
         """Replay one trace record (recycling at the end)."""
-        trace = self.trace
         i = self.position
-        gap = int(trace.inst_gap[i])
-        self.core.retire_instructions(gap)
-        result = self.l1.access(int(trace.pc[i]), int(trace.va[i]),
-                                bool(trace.is_write[i]),
-                                trace.process.page_table)
+        gap = self._gap[i]
+        is_write = self._is_write[i]
+        self._retire(gap)
+        result = self._l1_access(self._pc[i], self._va[i], is_write,
+                                 self._page_table)
         latency = result.latency
-        if self._port_busy and gap < self.PORT_CONFLICT_WINDOW:
-            latency += self.PORT_CONFLICT_CYCLES
+        if self._port_busy and gap < self._conflict_window:
+            latency += self._conflict_cycles
             self.port_conflicts += 1
         self._port_busy = result.extra_l1_access
         if not result.hit:
-            latency += self.miss_path.access(result.translation.pa,
-                                             bool(trace.is_write[i]))
+            latency += self._miss_access(result.translation.pa, is_write)
         if result.writeback_line is not None:
-            self.miss_path.writeback(result.writeback_line,
-                                     self.l1.cache.line_shift)
-        self.core.memory_access(latency, bool(trace.is_write[i]),
-                                int(trace.dep_dist[i]))
-        self.position += 1
-        if self.position == len(trace):
+            self._miss_writeback(result.writeback_line, self._line_shift)
+        self._memory_access(latency, is_write, self._dep[i])
+        self.position = i + 1
+        if self.position == self._len:
             self.position = 0
             self.completed_once = True
 
@@ -192,8 +208,41 @@ def simulate(trace: Trace, system: SystemConfig) -> SimResult:
     """
     trace.validate()
     ctx = _CoreContext(system, trace)
-    for _ in range(len(trace)):
-        ctx.step()
+    # Fused replay loop: a mirror of _CoreContext.step() (keep the two
+    # in sync) with every per-access attribute access hoisted into
+    # locals and the trace columns driven by one zip iterator. The
+    # multicore driver interleaves cores and must keep per-core state
+    # in the context, so it stays on step(); a single-core replay owns
+    # the whole loop and this form is measurably faster.
+    retire = ctx._retire
+    l1_access = ctx._l1_access
+    miss_access = ctx._miss_access
+    miss_writeback = ctx._miss_writeback
+    memory_access = ctx._memory_access
+    page_table = ctx._page_table
+    line_shift = ctx._line_shift
+    window = ctx._conflict_window
+    conflict_cycles = ctx._conflict_cycles
+    port_busy = False
+    port_conflicts = 0
+    for gap, pc, va, is_write, dep in zip(ctx._gap, ctx._pc, ctx._va,
+                                          ctx._is_write, ctx._dep):
+        retire(gap)
+        result = l1_access(pc, va, is_write, page_table)
+        latency = result.latency
+        if port_busy and gap < window:
+            latency += conflict_cycles
+            port_conflicts += 1
+        port_busy = result.extra_l1_access
+        if not result.hit:
+            latency += miss_access(result.translation.pa, is_write)
+        writeback = result.writeback_line
+        if writeback is not None:
+            miss_writeback(writeback, line_shift)
+        memory_access(latency, is_write, dep)
+    ctx.port_conflicts = port_conflicts
+    ctx._port_busy = port_busy
+    ctx.completed_once = True
     return ctx.result()
 
 

@@ -14,7 +14,12 @@ row. :class:`ResilientRunner` executes grids cell-by-cell instead:
 * every finished cell is appended to a **JSONL journal**, and a new run
   pointed at that journal (``resume_from``) replays the recorded rows
   instead of recomputing them — an interrupted sweep continues from
-  exactly the cells it was missing.
+  exactly the cells it was missing;
+* with ``jobs > 1``, :meth:`ResilientRunner.run_cells` fans independent
+  cells out to a ``concurrent.futures.ProcessPoolExecutor``. Retries
+  and the per-cell timeout run *inside* each worker; journaling, resume
+  and stats stay in the parent, and rows come back in submission order,
+  so the resulting CSV is byte-identical to a serial run.
 
 Journal format (one JSON object per line)::
 
@@ -33,11 +38,12 @@ import json
 import sys
 import threading
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import CellTimeout, ReproError, TransientError
+from ..errors import CellTimeout, ConfigError, ReproError, TransientError
 
 #: Keys the runner adds to every row it returns.
 STATUS_FIELDS = ["status", "error"]
@@ -87,6 +93,75 @@ class RunnerStats:
                 f" {self.timeouts} timeouts, {self.retries} retries")
 
 
+def call_with_timeout(fn: Callable[[], Dict[str, Any]],
+                      key: Dict[str, Any],
+                      timeout_s: Optional[float],
+                      name: str = "cell") -> Dict[str, Any]:
+    """Run ``fn`` with an optional deadline; raises :class:`CellTimeout`.
+
+    The cell runs in a daemon worker thread; on expiry the thread is
+    abandoned (it cannot be killed) and the caller degrades the cell.
+    Used by the serial runner in the parent process and by pool workers
+    in parallel mode, so both enforce the same per-cell deadline.
+    """
+    if not timeout_s:
+        return fn()
+    box: Dict[str, Any] = {}
+
+    def target():
+        try:
+            box["row"] = fn()
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            box["exc"] = exc
+
+    worker = threading.Thread(target=target, daemon=True, name=name)
+    worker.start()
+    worker.join(timeout_s)
+    if worker.is_alive():
+        raise CellTimeout(
+            f"cell exceeded {timeout_s:g}s deadline",
+            timeout_s=timeout_s,
+            app=key.get("app"), config=key.get("config"),
+            seed=key.get("seed"))
+    if "exc" in box:
+        raise box["exc"]
+    return box["row"]
+
+
+def _execute_cell(fn: Callable[[], Dict[str, Any]],
+                  key: Dict[str, Any],
+                  timeout_s: Optional[float],
+                  retry: RetryPolicy) -> Tuple[str, Any, int]:
+    """One cell's full retry/timeout lifecycle, inside a pool worker.
+
+    Returns a picklable ``(status, payload, retries)`` triple: payload
+    is the raw row dict on success, or the formatted error string on
+    failure. The parent turns it into the same row a serial
+    :meth:`ResilientRunner.run_cell` would have produced.
+    """
+    attempt = 0
+    retries = 0
+    while True:
+        try:
+            row = call_with_timeout(fn, key, timeout_s)
+            if not isinstance(row, dict):
+                raise TypeError(
+                    f"cell {cell_id(key)} returned {type(row).__name__}, "
+                    "expected dict")
+            return STATUS_OK, row, retries
+        except TransientError as exc:
+            if attempt < retry.max_retries:
+                attempt += 1
+                retries += 1
+                time.sleep(retry.delay(attempt))
+                continue
+            return STATUS_ERROR, f"{type(exc).__name__}: {exc}", retries
+        except CellTimeout as exc:
+            return STATUS_TIMEOUT, f"{type(exc).__name__}: {exc}", retries
+        except Exception as exc:  # noqa: BLE001 — degrade unknowns too
+            return STATUS_ERROR, f"{type(exc).__name__}: {exc}", retries
+
+
 def load_journal(path: Union[str, Path]) -> Dict[str, dict]:
     """Read a JSONL journal; returns {cell_id: record}, last record wins.
 
@@ -130,9 +205,16 @@ class ResilientRunner:
     faults:
         Optional fault injector (see :mod:`repro.sim.faults`); its
         ``on_attempt(ordinal, key, attempt)`` hook runs before every
-        execution attempt.
+        execution attempt. Fault ordinals are execution-order based, so
+        injection requires serial execution (``jobs=1``).
     sleep:
         Injection point for the backoff sleep (tests pass a recorder).
+        Serial-mode only: pool workers always use ``time.sleep``.
+    jobs:
+        Default worker-process count for :meth:`run_cells`. ``1`` (the
+        default) runs cells serially in-process; ``N > 1`` fans them
+        out to a process pool. Cell callables must then be picklable
+        (module-level functions or ``functools.partial`` of them).
     """
 
     def __init__(self, journal: Optional[Union[str, Path]] = None,
@@ -140,11 +222,19 @@ class ResilientRunner:
                  timeout_s: Optional[float] = None,
                  retry: Optional[RetryPolicy] = None,
                  faults: Optional[Any] = None,
-                 sleep: Callable[[float], None] = time.sleep):
+                 sleep: Callable[[float], None] = time.sleep,
+                 jobs: int = 1):
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if faults is not None and jobs > 1:
+            raise ConfigError(
+                "fault injection is keyed on serial execution ordinals; "
+                "use jobs=1 when injecting faults")
         self.journal_path = Path(journal) if journal else None
         self.timeout_s = timeout_s
         self.retry = retry or RetryPolicy()
         self.faults = faults
+        self.jobs = jobs
         self.stats = RunnerStats()
         self._sleep = sleep
         self._handle = None
@@ -187,29 +277,8 @@ class ResilientRunner:
 
     def _call_with_timeout(self, fn: Callable[[], Dict[str, Any]],
                            key: Dict[str, Any]) -> Dict[str, Any]:
-        if not self.timeout_s:
-            return fn()
-        box: Dict[str, Any] = {}
-
-        def target():
-            try:
-                box["row"] = fn()
-            except BaseException as exc:  # noqa: BLE001 — re-raised below
-                box["exc"] = exc
-
-        worker = threading.Thread(target=target, daemon=True,
-                                  name=f"cell-{self._ordinal}")
-        worker.start()
-        worker.join(self.timeout_s)
-        if worker.is_alive():
-            raise CellTimeout(
-                f"cell exceeded {self.timeout_s:g}s deadline",
-                timeout_s=self.timeout_s,
-                app=key.get("app"), config=key.get("config"),
-                seed=key.get("seed"))
-        if "exc" in box:
-            raise box["exc"]
-        return box["row"]
+        return call_with_timeout(fn, key, self.timeout_s,
+                                 name=f"cell-{self._ordinal}")
 
     def run_cell(self, key: Dict[str, Any],
                  fn: Callable[[], Dict[str, Any]],
@@ -271,6 +340,75 @@ class ResilientRunner:
                 return self._degrade(key, STATUS_ERROR, exc, degrade)
             except Exception as exc:  # noqa: BLE001 — degrade unknowns too
                 return self._degrade(key, STATUS_ERROR, exc, degrade)
+
+    def run_cells(self, cells: Sequence[Tuple[Dict[str, Any],
+                                              Callable[[], Dict[str, Any]]]],
+                  jobs: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Execute a batch of ``(key, fn)`` cells; rows in input order.
+
+        With ``jobs == 1`` this is exactly ``[run_cell(k, f) for ...]``.
+        With ``jobs > 1`` the non-resumed cells run in a process pool:
+        each worker handles its own retries and per-cell timeout (via
+        :func:`_execute_cell`), while resume checks, journaling, and
+        stats stay in this process. Journal records are appended in
+        completion order — resume semantics only depend on the set of
+        records, not their order — and the returned list preserves the
+        submission order, so downstream CSVs are byte-identical to a
+        serial run. Cell callables must be picklable in parallel mode.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if jobs == 1:
+            return [self.run_cell(key, fn) for key, fn in cells]
+        if self.faults is not None:
+            raise ConfigError(
+                "fault injection is keyed on serial execution ordinals; "
+                "use jobs=1 when injecting faults")
+        rows: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+        pending: List[Tuple[int, Dict[str, Any], Callable]] = []
+        for index, (key, fn) in enumerate(cells):
+            self.stats.total += 1
+            record = self._completed.get(cell_id(key))
+            if record is not None and record.get("status") == STATUS_OK:
+                self.stats.resumed += 1
+                self.stats.ok += 1
+                if (self.journal_path
+                        and self.journal_path != self._resume_path):
+                    self._record(key, STATUS_OK, record.get("row", {}))
+                rows[index] = dict(record.get("row", {}))
+            else:
+                pending.append((index, key, fn))
+        if pending:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = {
+                    pool.submit(_execute_cell, fn, key, self.timeout_s,
+                                self.retry): (index, key)
+                    for index, key, fn in pending
+                }
+                for future in as_completed(futures):
+                    index, key = futures[future]
+                    try:
+                        status, payload, retries = future.result()
+                    except Exception as exc:  # noqa: BLE001 — e.g. a
+                        # crashed worker process (BrokenProcessPool) or
+                        # an unpicklable result; degrade just this cell.
+                        status = STATUS_ERROR
+                        payload = f"{type(exc).__name__}: {exc}"
+                        retries = 0
+                    self.stats.retries += retries
+                    if status == STATUS_OK:
+                        row = {**payload, "status": STATUS_OK, "error": ""}
+                        self.stats.ok += 1
+                    else:
+                        row = {**key, "status": status, "error": payload}
+                        if status == STATUS_TIMEOUT:
+                            self.stats.timeouts += 1
+                        else:
+                            self.stats.errors += 1
+                    self._record(key, status, row)
+                    rows[index] = row
+        return rows  # type: ignore[return-value]
 
     def _degrade(self, key: Dict[str, Any], status: str,
                  exc: BaseException, degrade: bool) -> Dict[str, Any]:

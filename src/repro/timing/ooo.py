@@ -53,8 +53,9 @@ class OooCore:
         """Account for non-memory instructions."""
         if count < 0:
             raise ValueError("count must be non-negative")
-        self.stats.instructions += count
-        self.stats.cycles += count / self.width
+        stats = self.stats
+        stats.instructions += count
+        stats.cycles += count / self.width
 
     def memory_access(self, latency: int, is_write: bool,
                       dep_dist: int) -> None:
@@ -63,8 +64,9 @@ class OooCore:
         ``dep_dist`` is the instruction distance to the first consumer;
         loads with a distant consumer behave as independent.
         """
-        self.stats.instructions += 1
-        self.stats.cycles += 1.0 / self.width
+        stats = self.stats
+        stats.instructions += 1
+        stats.cycles += 1.0 / self.width
         if is_write:
             return  # stores retire through the store buffer, off-path
         if latency <= self.PIPELINE_HIDE:
@@ -87,8 +89,8 @@ class OooCore:
             per_miss = exposed / self.mlp
             absorbed = min(per_miss, self._rob_cover * 0.5)
             stall = max(per_miss - absorbed * 0.4, exposed * 0.04)
-        self.stats.load_stall_cycles += stall
-        self.stats.cycles += stall
+        stats.load_stall_cycles += stall
+        stats.cycles += stall
 
     @staticmethod
     def _dep_factor(dep_dist: int) -> float:

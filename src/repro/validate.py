@@ -18,6 +18,7 @@ check).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import partial
 from typing import Dict, List, Optional
 
 from .core.indexing import IndexingScheme, SiptVariant
@@ -49,17 +50,42 @@ class Check:
     passed: bool
 
 
+def _suite_cell(app: str, system_factory, cfg, condition, n: int) -> dict:
+    """One scorecard cell as a picklable worker task (``jobs > 1``).
+
+    ``system_factory`` is a module-level function (``ooo_system`` /
+    ``inorder_system``) and ``cfg`` a frozen L1Config, so the partial
+    pickles cleanly; traces come from the worker's shared cache.
+    """
+    result = run_app(app, system_factory(cfg), condition=condition,
+                     n_accesses=n, cache=None)
+    return {"ipc": result.ipc,
+            "energy_total": result.energy.total,
+            "fast_fraction": result.fast_fraction}
+
+
 def _suite(label: str, system_factory, cfg, traces, n, runner,
            condition=MemoryCondition.NORMAL) -> Dict[str, dict]:
     """One scorecard suite as runner cells; returns {app: metrics}.
 
     Failed cells are simply absent from the returned mapping — the
-    caller computes claims over the apps every suite completed.
+    caller computes claims over the apps every suite completed. With a
+    ``jobs > 1`` runner the suite's apps run concurrently in the
+    process pool; the simulations are seeded, so the metrics are
+    identical to a serial run.
     """
+    keys = [{"grid": "scorecard", "suite": label, "app": app,
+             "condition": condition.value, "accesses": n}
+            for app in SCORECARD_APPS]
+    if runner.jobs > 1:
+        cells = [(key, partial(_suite_cell, app, system_factory, cfg,
+                               condition, n))
+                 for key, app in zip(keys, SCORECARD_APPS)]
+        rows = runner.run_cells(cells)
+        return {app: row for app, row in zip(SCORECARD_APPS, rows)
+                if row.get("status") == "ok"}
     out: Dict[str, dict] = {}
-    for app in SCORECARD_APPS:
-        key = {"grid": "scorecard", "suite": label, "app": app,
-               "condition": condition.value, "accesses": n}
+    for key, app in zip(keys, SCORECARD_APPS):
 
         def cell(app=app, condition=condition):
             result = run_app(app, system_factory(cfg), condition=condition,

@@ -126,6 +126,46 @@ def test_invalidate_line():
     assert not cache.invalidate_line(0x4000)
 
 
+def test_fill_takes_lowest_free_way_in_one_scan():
+    """The allocator finds the free way with a single tags.index scan;
+    invalid ways must fill lowest-first before any eviction."""
+    cache = make_l1(capacity=8 * 1024, ways=2)  # 64 sets, 2 ways
+    set_stride = cache.n_sets * cache.line_size
+    cache.access(0, is_write=False)
+    cache.access(set_stride, is_write=False)
+    set_index = cache.set_index(0)
+    assert cache.probe(set_index, cache.line_of(0)) == 0
+    assert cache.probe(set_index, cache.line_of(set_stride)) == 1
+    assert cache.stats.evictions == 0
+    cache.check_invariants()
+
+
+def test_eviction_unmaps_victim_from_probe_index():
+    cache = make_l1(capacity=8 * 1024, ways=2)
+    set_stride = cache.n_sets * cache.line_size
+    addrs = [i * set_stride for i in range(3)]
+    for addr in addrs:
+        cache.access(addr, is_write=False)
+    set_index = cache.set_index(addrs[0])
+    # The victim's probe entry is gone; its way now maps the new line.
+    assert cache.probe(set_index, cache.line_of(addrs[0])) == -1
+    assert cache.probe(set_index, cache.line_of(addrs[2])) == 0
+    cache.check_invariants()
+
+
+def test_invalidate_keeps_probe_index_consistent():
+    cache = make_l1(capacity=8 * 1024, ways=2)
+    cache.access(0x4000, is_write=False)
+    cache.invalidate_line(0x4000)
+    set_index = cache.set_index(0x4000)
+    assert cache.probe(set_index, cache.line_of(0x4000)) == -1
+    cache.check_invariants()
+    # The freed way is reallocated by the next fill in that set.
+    cache.access(0x4000, is_write=False)
+    assert cache.probe(set_index, cache.line_of(0x4000)) >= 0
+    cache.check_invariants()
+
+
 def test_invariants_hold_after_traffic():
     cache = make_l1(capacity=4 * 1024, ways=4)
     for i in range(1000):

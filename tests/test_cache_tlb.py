@@ -108,3 +108,48 @@ def test_asid_separates_processes():
     result = tlb.translate(r2.start, p2.page_table)
     assert result.pa == p2.translate(r2.start)
     assert result.pa != p1.translate(r1.start)
+
+
+def test_tlb_array_single_scan_fill_and_eviction():
+    """_TlbArray.fill finds a free way with one scan and unmaps the
+    victim from the lookup accelerator when the set is full."""
+    from repro.cache.tlb import _TlbArray
+    from repro.mem.page_table import PageTableEntry
+
+    array = _TlbArray(n_entries=8, n_ways=2, page_shift=12)  # 4 sets
+    same_set = [(0, vpn) for vpn in (0, 4, 8)]  # all map to set 0
+    for i, key in enumerate(same_set):
+        array.fill(key, PageTableEntry(pfn=100 + i))
+    # LRU victim (vpn 0) evicted; the two newest keys still resolve.
+    assert array.lookup(same_set[0]) is None
+    assert array.lookup(same_set[1]).pfn == 101
+    assert array.lookup(same_set[2]).pfn == 102
+    # The accelerator mirrors the way arrays exactly.
+    assert set(array._where) == {same_set[1], same_set[2]}
+    for key, (set_index, way) in array._where.items():
+        assert array._tags[set_index][way] == key
+
+
+def test_tlb_array_refill_after_flush():
+    from repro.cache.tlb import _TlbArray
+    from repro.mem.page_table import PageTableEntry
+
+    array = _TlbArray(n_entries=8, n_ways=2, page_shift=12)
+    array.fill((0, 1), PageTableEntry(pfn=7))
+    array.flush()
+    assert array.lookup((0, 1)) is None
+    assert array._where == {}
+    array.fill((0, 1), PageTableEntry(pfn=9))
+    assert array.lookup((0, 1)).pfn == 9
+
+
+def test_capacity_eviction_keeps_translation_correct():
+    """Exceed the 64-entry L1 4K TLB; every page must still translate
+    to the page table's PA after evictions rotate the arrays."""
+    proc, region = mapped_process(pages=200)
+    tlb = TlbHierarchy()
+    for sweep in range(2):
+        for page in range(200):
+            va = region.start + page * PAGE_SIZE
+            assert tlb.translate(va, proc.page_table).pa == \
+                proc.translate(va)

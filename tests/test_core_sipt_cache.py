@@ -173,6 +173,67 @@ def test_predictor_overhead_below_2_percent():
     assert l1.predictor_overhead_fraction() < 0.02
 
 
+def test_speculative_probes_never_exceed_accesses():
+    """A bypassed access reads the array once, non-speculatively, so
+    the probe counter is bounded by (and for BYPASS below) accesses."""
+    for variant in (SiptVariant.NAIVE, SiptVariant.BYPASS,
+                    SiptVariant.COMBINED):
+        l1, proc = build(variant=variant, thp=False, fragment=True)
+        region = touch_region(proc, 128)
+        for rep in range(3):
+            for page in range(128):
+                l1.access(0x400, region.start + page * PAGE_SIZE, False,
+                          proc.page_table)
+        assert l1.stats.speculative_probes <= l1.stats.accesses, variant
+        if variant in (SiptVariant.NAIVE, SiptVariant.COMBINED):
+            # These variants probe speculatively on every access.
+            assert l1.stats.speculative_probes == l1.stats.accesses
+
+
+def test_bypass_counts_probes_only_when_endorsed():
+    l1, proc = build(variant=SiptVariant.BYPASS, thp=False, fragment=True)
+    region = touch_region(proc, 128)
+    for rep in range(4):
+        for page in range(128):
+            l1.access(0x400, region.start + page * PAGE_SIZE, False,
+                      proc.page_table)
+    # Only endorsed speculations probe; their outcomes are exactly
+    # CORRECT_SPECULATION or EXTRA_ACCESS.
+    assert l1.stats.speculative_probes == (
+        l1.outcomes.correct_speculation + l1.outcomes.extra_access)
+    # This workload trains the perceptron to bypass, so some accesses
+    # must not have probed.
+    assert l1.stats.speculative_probes < l1.stats.accesses
+
+
+def test_way_predictor_not_consulted_on_slow_accesses():
+    """Only a fast (speculatively indexed) access reads the MRU
+    metadata early; a slow access waited for the PA and reads all ways
+    in parallel, so the predictor is neither queried nor trained."""
+    l1, proc = build(scheme=IndexingScheme.PIPT, ways=8,
+                     way_prediction=True)
+    region = touch_region(proc, 8)
+    for i in range(100):
+        l1.access(0x400, region.start + i * 64, False, proc.page_table)
+    assert l1.stats.fast_accesses == 0
+    assert l1.way_predictor.stats.predictions == 0
+
+
+def test_way_predictor_queries_bounded_by_fast_hits():
+    l1, proc = build(variant=SiptVariant.NAIVE, thp=False, fragment=True,
+                     way_prediction=True)
+    region = touch_region(proc, 64)
+    for rep in range(2):
+        for page in range(64):
+            l1.access(0x400, region.start + page * PAGE_SIZE, False,
+                      proc.page_table)
+    assert l1.stats.slow_accesses > 0  # workload exercises both paths
+    # Predictions are scored on fast accesses that hit; misses and slow
+    # accesses never enter the accuracy denominator.
+    assert l1.way_predictor.stats.predictions <= l1.stats.fast_accesses
+    assert l1.way_predictor.stats.predictions <= l1.cache.stats.hits
+
+
 def test_outcome_totals_match_access_count():
     l1, proc = build(variant=SiptVariant.COMBINED, thp=False)
     region = touch_region(proc, 32)
