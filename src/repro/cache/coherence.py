@@ -58,6 +58,7 @@ class CoherentL1:
 
     # -- local state helpers -------------------------------------------
     def state_of(self, pa: int) -> MesiState:
+        """MESI state of the line holding ``pa`` (INVALID if absent)."""
         line = self.cache.line_of(pa)
         if not self.cache.contains(pa):
             return MesiState.INVALID

@@ -40,6 +40,9 @@ class CacheHierarchy:
     the background through write buffers).
     """
 
+    #: Dotted metrics namespace for ``repro.obs`` registration.
+    metrics_namespace = "miss_path"
+
     def __init__(self,
                  l2: Optional[SetAssociativeCache],
                  llc: SetAssociativeCache,

@@ -91,6 +91,9 @@ class SetAssociativeCache:
         if line_size & (line_size - 1):
             raise ValueError("line_size must be a power of two")
         self.name = name
+        #: Dotted metrics namespace this array registers its stats
+        #: under (see ``repro.obs``): "l1d", "l2", "llc", ...
+        self.metrics_namespace = name.lower()
         self.capacity_bytes = capacity_bytes
         self.line_size = line_size
         self.n_ways = n_ways

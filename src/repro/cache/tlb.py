@@ -116,6 +116,9 @@ class TranslationResult:
 class TlbHierarchy:
     """Split L1 D-TLB + unified L2 TLB + page walker, per Table II."""
 
+    #: Dotted metrics namespace for ``repro.obs`` registration.
+    metrics_namespace = "tlb"
+
     def __init__(self,
                  l1_4k_entries: int = 64, l1_4k_ways: int = 4,
                  l1_2m_entries: int = 32, l1_2m_ways: int = 4,

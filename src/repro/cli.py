@@ -11,6 +11,9 @@ Examples::
     python -m repro mix --name mix0
     python -m repro designspace
     python -m repro validate --min-pass 6
+    python -m repro stats --app mcf --out snap.json --interval 10000
+    python -m repro stats --diff base.json sipt.json
+    python -m repro trace --app mcf --sample 64 --tail 5
 
 Exit codes: ``0`` success, ``1`` a typed error (printed to stderr) or
 failed validation, ``2`` the grid completed but degraded (error rows)
@@ -127,6 +130,7 @@ def _print_result(result, baseline=None) -> None:
 
 
 def cmd_list(args) -> int:
+    """`repro list`: print every valid name for the choice flags."""
     print("geometries :", ", ".join(GEOMETRIES))
     print("apps       :", ", ".join(EVALUATED_APPS))
     print("mixes      :", ", ".join(MIX_NAMES))
@@ -137,6 +141,7 @@ def cmd_list(args) -> int:
 
 
 def cmd_run(args) -> int:
+    """`repro run`: simulate one app, print the result block."""
     traces = TraceCache()
     runner = _runner(args)
     condition = CONDITIONS[args.condition]
@@ -184,6 +189,7 @@ def _suite_cell(app: str, base_system, sipt_system, condition,
 
 
 def cmd_suite(args) -> int:
+    """`repro suite`: per-app speedup/energy table over the suite."""
     runner = _runner(args)
     condition = CONDITIONS[args.condition]
     base_system = _system(args, BASELINE_L1)
@@ -213,6 +219,7 @@ def cmd_suite(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    """`repro sweep`: run an (apps x geometries x ...) grid to CSV."""
     apps = [a.strip() for a in args.apps.split(",") if a.strip()]
     names = [g.strip() for g in args.geometries.split(",") if g.strip()]
     unknown = [g for g in names if g not in GEOMETRIES]
@@ -236,6 +243,7 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_mix(args) -> int:
+    """`repro mix`: simulate one Table III quad-core mix."""
     traces = TraceCache()
     members = get_mix(args.name)
     mix_traces = [traces.get(app, args.accesses, seed=i)
@@ -251,6 +259,7 @@ def cmd_mix(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    """`repro bench`: time the hot path, emit a BENCH_*.json point."""
     from .sim.bench import check_regression, run_bench, write_report
     apps = [a.strip() for a in args.apps.split(",") if a.strip()]
     unknown = [a for a in apps if a not in EVALUATED_APPS]
@@ -258,7 +267,8 @@ def cmd_bench(args) -> int:
         raise ConfigError(f"unknown apps {unknown}; see `repro list`")
     report = run_bench(apps=apps, n_accesses=args.accesses,
                        l1=_l1(args), repeats=args.repeats,
-                       profile=args.profile, label=args.label)
+                       profile=args.profile, label=args.label,
+                       interval=args.interval)
     path = write_report(report, args.out)
     agg = report["aggregate_accesses_per_s"]
     print(f"aggregate throughput : {agg:,.0f} accesses/s")
@@ -281,7 +291,86 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _print_metrics(metrics: Dict[str, float], prefix: Optional[str],
+                   skip_zero: bool = False) -> None:
+    """Print a metrics dict one `name : value` per line, filtered."""
+    for name in sorted(metrics):
+        if prefix and not name.startswith(prefix):
+            continue
+        value = metrics[name]
+        if skip_zero and not value:
+            continue
+        if isinstance(value, float) and not value.is_integer():
+            print(f"{name:<40s} : {value:.6g}")
+        else:
+            print(f"{name:<40s} : {int(value)}")
+
+
+def cmd_stats(args) -> int:
+    """`repro stats`: dump/save/diff snapshots, export intervals."""
+    from .obs import (diff_snapshots, intervals_to_csv, load_snapshot,
+                      save_snapshot, write_jsonl)
+    if args.diff:
+        before = load_snapshot(args.diff[0])
+        after = load_snapshot(args.diff[1])
+        _print_metrics(diff_snapshots(before, after), args.filter,
+                       skip_zero=not args.zeros)
+        return 0
+    if not args.app:
+        raise ConfigError("stats needs --app APP to run a simulation, "
+                          "or --diff A.json B.json to compare snapshots")
+    result = run_app(args.app, _system(args, _l1(args)),
+                     condition=CONDITIONS[args.condition],
+                     n_accesses=args.accesses, cache=TraceCache(),
+                     interval=args.interval)
+    _print_metrics(result.metrics, args.filter)
+    if args.out:
+        meta = {"app": args.app, "system": result.system,
+                "accesses": args.accesses, "condition": args.condition}
+        print(f"wrote {save_snapshot(result.metrics, args.out, meta)}")
+    if args.interval:
+        jsonl = args.intervals_out or f"intervals_{args.app}.jsonl"
+        print(f"wrote {len(result.intervals)} interval records to "
+              f"{write_jsonl(result.intervals, jsonl)}")
+        if args.export_csv:
+            print(f"wrote {intervals_to_csv(result.intervals, args.export_csv)}")
+    elif args.export_csv or args.intervals_out:
+        raise ConfigError("--export-csv/--intervals-out need --interval N")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """`repro trace`: record and print sampled SIPT decisions."""
+    from .obs import DecisionTrace
+    trace = DecisionTrace(capacity=args.capacity, sample=args.sample)
+    result = run_app(args.app, _system(args, _l1(args)),
+                     condition=CONDITIONS[args.condition],
+                     n_accesses=args.accesses, cache=TraceCache(),
+                     decision_trace=trace)
+    summary = trace.summary()
+    print(f"app       : {args.app} ({result.system})")
+    print(f"recorded  : {summary['recorded']} decisions "
+          f"(every {summary['sample']}th access), "
+          f"{summary['buffered']} buffered (capacity {summary['capacity']})")
+    print(f"outcomes  : {summary['outcomes']}")
+    if args.tail:
+        print(f"last {min(args.tail, len(trace))} decisions:")
+        for record in trace.tail(args.tail):
+            outcome = record["outcome"] or "-"
+            print(f"  #{record['index']:<8d} pc={record['pc']:#x} "
+                  f"va={record['va']:#x} {outcome:<20s} "
+                  f"hit={int(record['hit'])} fast={int(record['fast'])} "
+                  f"extra={int(record['extra_l1_access'])} "
+                  f"lat={record['latency']}")
+    if args.out:
+        meta = {"app": args.app, "system": result.system,
+                "accesses": args.accesses, "condition": args.condition}
+        print(f"wrote {trace.write_jsonl(args.out, meta)}")
+    return 0
+
+
 def cmd_validate(args) -> int:
+    """`repro validate`: score the paper-claims smoke scorecard."""
     from .validate import format_scorecard, run_scorecard
     runner = _runner(args)
     checks = run_scorecard(n_accesses=args.accesses, runner=runner)
@@ -309,6 +398,7 @@ def _designspace_cell(capacity_b: int, ways: int) -> dict:
 
 
 def cmd_designspace(args) -> int:
+    """`repro designspace`: print the CACTI latency/energy grid."""
     runner = _runner(args)
     points = [(capacity, ways) for capacity in (16, 32, 64, 128)
               for ways in (2, 4, 8, 16)]
@@ -333,6 +423,7 @@ def cmd_designspace(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the `repro` argument parser (one subparser per command)."""
     parser = argparse.ArgumentParser(
         prog="repro", description="SIPT (HPCA 2018) reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -431,6 +522,9 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=[v.value for v in SiptVariant])
     bench_p.add_argument("--way-prediction", action="store_true")
     bench_p.add_argument("--accesses", type=int, default=20_000)
+    bench_p.add_argument("--interval", type=int, default=None, metavar="N",
+                         help="bench the interval-sampling replay path "
+                              "(simulate(..., interval=N))")
     bench_p.add_argument("--repeats", type=int, default=3,
                          help="timed replays per app; best is kept")
     bench_p.add_argument("--profile", action="store_true",
@@ -445,6 +539,56 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--tolerance", type=float, default=0.30,
                          help="allowed fractional throughput loss for "
                               "--check (default 0.30)")
+
+    stats_p = sub.add_parser(
+        "stats", help="dump/diff metrics snapshots, export interval CSV")
+    stats_p.add_argument("--app", default=None,
+                         help="benchmark to simulate (see `list`)")
+    stats_p.add_argument("--geometry", default="32K_2w",
+                         choices=sorted(GEOMETRIES))
+    stats_p.add_argument("--core", default="ooo",
+                         choices=("ooo", "ooo-detailed", "inorder"))
+    stats_p.add_argument("--scheme", default=None,
+                         choices=[s.value for s in IndexingScheme])
+    stats_p.add_argument("--variant", default=None,
+                         choices=[v.value for v in SiptVariant])
+    stats_p.add_argument("--condition", default="normal",
+                         choices=sorted(CONDITIONS))
+    stats_p.add_argument("--accesses", type=int, default=30_000)
+    stats_p.add_argument("--way-prediction", action="store_true")
+    stats_p.add_argument("--filter", default=None, metavar="PREFIX",
+                         help="only print metrics under this namespace "
+                              "prefix (e.g. sipt., predictor.)")
+    stats_p.add_argument("--out", default=None, metavar="JSON",
+                         help="save the end-of-run snapshot "
+                              "(repro-snapshot-1 schema)")
+    stats_p.add_argument("--interval", type=int, default=None, metavar="N",
+                         help="also sample a per-N-accesses time-series")
+    stats_p.add_argument("--intervals-out", default=None, metavar="JSONL",
+                         help="interval series path "
+                              "(default intervals_<app>.jsonl)")
+    stats_p.add_argument("--export-csv", default=None, metavar="CSV",
+                         help="also export the interval series as "
+                              "plot-ready CSV")
+    stats_p.add_argument("--diff", nargs=2, default=None,
+                         metavar=("BEFORE", "AFTER"),
+                         help="print per-metric delta between two saved "
+                              "snapshots instead of simulating")
+    stats_p.add_argument("--zeros", action="store_true",
+                         help="with --diff, also print zero deltas")
+
+    trace_p = sub.add_parser(
+        "trace", help="record sampled per-access SIPT decisions")
+    common(trace_p, with_app=True)
+    trace_p.add_argument("--sample", type=int, default=1, metavar="K",
+                         help="record every K-th access (default 1)")
+    trace_p.add_argument("--capacity", type=int, default=4096, metavar="M",
+                         help="ring-buffer size: keep the last M sampled "
+                              "records (default 4096)")
+    trace_p.add_argument("--tail", type=int, default=10, metavar="N",
+                         help="print the last N decisions (default 10)")
+    trace_p.add_argument("--out", default=None, metavar="JSONL",
+                         help="dump the buffered records as JSONL")
 
     validate_p = sub.add_parser(
         "validate", help="score the paper's headline claims (smoke check)")
@@ -464,11 +608,14 @@ COMMANDS = {
     "mix": cmd_mix,
     "bench": cmd_bench,
     "designspace": cmd_designspace,
+    "stats": cmd_stats,
+    "trace": cmd_trace,
     "validate": cmd_validate,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; maps typed errors to the documented exit codes."""
     args = build_parser().parse_args(argv)
     try:
         return COMMANDS[args.command](args)

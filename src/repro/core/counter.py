@@ -29,6 +29,10 @@ class CounterBypassPredictor:
     two can be swapped in experiments.
     """
 
+    #: Dotted metrics namespace for ``repro.obs`` registration (the
+    #: counter baseline slots into the perceptron's place).
+    metrics_namespace = "predictor.counter"
+
     def __init__(self, n_entries: int = 64, counter_bits: int = 2):
         if n_entries <= 0 or counter_bits <= 0:
             raise ValueError("n_entries and counter_bits must be positive")

@@ -56,6 +56,9 @@ class IndexDeltaBuffer:
     bytes.
     """
 
+    #: Dotted metrics namespace for ``repro.obs`` registration.
+    metrics_namespace = "predictor.idb"
+
     def __init__(self, n_bits: int, n_entries: int = 64,
                  page_bound: bool = False,
                  rng: Optional[np.random.Generator] = None):

@@ -58,6 +58,7 @@ class OutcomeCounts:
 
     def record(self, outcome: SpeculationOutcome,
                via_idb: bool = False) -> None:
+        """Count one access's outcome (``via_idb`` marks IDB misses)."""
         # Identity dispatch instead of getattr/setattr-by-name: this
         # runs once per SIPT access and the string indirection showed
         # up in profiles.

@@ -41,6 +41,9 @@ class PerceptronPredictor:
     (13 weights including the bias), 6-bit weights.
     """
 
+    #: Dotted metrics namespace for ``repro.obs`` registration.
+    metrics_namespace = "predictor.perceptron"
+
     def __init__(self, n_entries: int = 64, history_length: int = 12,
                  weight_bits: int = 6):
         if n_entries <= 0 or history_length <= 0:

@@ -39,6 +39,9 @@ class WayPredictor:
     scores itself against the way the access actually hit.
     """
 
+    #: Dotted metrics namespace for ``repro.obs`` registration.
+    metrics_namespace = "predictor.way"
+
     def __init__(self, cache: SetAssociativeCache,
                  mispredict_penalty: int = 1):
         self.cache = cache

@@ -105,6 +105,7 @@ class PhysicalMemory:
         return self.buddy.total_frames
 
     def free_bytes(self) -> int:
+        """Unallocated physical memory, in bytes."""
         return self.buddy.free_frames() * PAGE_SIZE
 
     def create_shared_segment(self, length: int) -> SharedSegment:
@@ -294,4 +295,5 @@ class Process:
             va += PAGE_SIZE
 
     def mapped_bytes(self) -> int:
+        """Bytes of this process's VA space with present mappings."""
         return self.page_table.mapped_bytes()

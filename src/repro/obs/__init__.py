@@ -1,0 +1,51 @@
+"""Observability layer: metrics registry, interval sampling, tracing.
+
+Three tools, all read-only over the simulator's existing counters so
+the hot path pays nothing when they are off:
+
+* :class:`~repro.obs.registry.MetricsRegistry` — every component
+  (L1 array, TLB hierarchy, perceptron, IDB, way predictor, miss path,
+  DRAM, core) registers its live stats object under a stable dotted
+  namespace; ``registry.snapshot()`` reads them all into one flat
+  ``{"l1d.misses": 1234, ...}`` dict.
+* :class:`~repro.obs.intervals.IntervalSampler` — per-N-accesses
+  time-series over registry deltas (IPC, miss rates, outcome mix,
+  energy), exported as deterministic JSONL or plot-ready CSV.
+* :class:`~repro.obs.tracelog.DecisionTrace` — an opt-in, sampled ring
+  buffer of per-access SIPT decisions (speculate/bypass/mispredict,
+  way-prediction, latency) with bounded memory.
+
+CLI entry points: ``repro stats`` (snapshots, intervals, diffs, CSV
+export) and ``repro trace`` (decision ring buffer). Full guide:
+``docs/observability.md``.
+"""
+
+from .intervals import (
+    IntervalSampler,
+    dumps_jsonl,
+    intervals_to_csv,
+    read_jsonl,
+    write_jsonl,
+)
+from .registry import (
+    MetricsRegistry,
+    diff_snapshots,
+    load_snapshot,
+    register_sipt_system,
+    save_snapshot,
+)
+from .tracelog import DecisionTrace
+
+__all__ = [
+    "DecisionTrace",
+    "IntervalSampler",
+    "MetricsRegistry",
+    "diff_snapshots",
+    "dumps_jsonl",
+    "intervals_to_csv",
+    "load_snapshot",
+    "read_jsonl",
+    "register_sipt_system",
+    "save_snapshot",
+    "write_jsonl",
+]

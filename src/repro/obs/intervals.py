@@ -1,0 +1,193 @@
+"""Interval time-series: per-N-accesses deltas over the registry.
+
+``simulate(..., interval=N)`` samples the metrics registry every N
+trace accesses and derives one record per interval — IPC, L1/TLB miss
+rates, the speculation outcome mix, and dynamic energy — so a run stops
+being a single end-of-trace number and becomes a time-series: you can
+*see* the perceptron mistrain at warm-up, DRAM row misses pile up when
+a working set turns over, or the IDB converge after a phase change.
+This is the interval-level view Bueno et al. use to reason about cache
+simulation fidelity (see PAPERS.md).
+
+Records are append-only dicts with sorted keys and no wall-clock
+fields, so serializing them is deterministic: the same seed produces
+byte-identical JSONL whether the simulation ran serially or inside a
+``--jobs N`` worker process (``tests/test_obs_intervals.py``).
+
+Schema (one JSON object per line, ``schema`` = ``repro-intervals-1``)::
+
+    {"interval": 3,                  # 0-based interval index
+     "start": 30000, "end": 40000,   # trace-access window [start, end)
+     "instructions": ...,            # delta instructions in the window
+     "cycles": ...,                  # delta cycles
+     "ipc": ...,                     # delta IPC (window-local)
+     "ipc_cumulative": ...,          # IPC from access 0 through `end`
+     "l1_miss_rate": ...,            # window-local L1D miss rate
+     "tlb_l1_hit_rate": ...,         # window-local L1 TLB hit rate
+     "outcomes": {...},              # window-local outcome fractions
+     "energy_dynamic_j": ...,        # window dynamic energy (joules)
+     "counters": {...}}              # full registry counter delta
+
+Convert to plot-ready CSV with :func:`intervals_to_csv` or
+``repro stats --export-csv``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from ..errors import ConfigError
+from .registry import MetricsRegistry, diff_snapshots
+
+#: Schema tag stamped into every interval record.
+SCHEMA = "repro-intervals-1"
+
+#: Outcome counter names (under ``sipt.outcomes.``) whose window-local
+#: fractions make up the ``outcomes`` field, in stable order.
+OUTCOME_KEYS = ("correct_speculation", "correct_bypass",
+                "opportunity_loss", "extra_access", "idb_hit")
+
+#: Flat columns exported to CSV, in order; ``counters`` stays JSONL-only.
+CSV_FIELDS = ["interval", "start", "end", "instructions", "cycles",
+              "ipc", "ipc_cumulative", "l1_miss_rate", "tlb_l1_hit_rate",
+              "energy_dynamic_j"] + [f"outcome_{k}" for k in OUTCOME_KEYS]
+
+
+class IntervalSampler:
+    """Samples registry counters every N accesses into interval records.
+
+    Parameters
+    ----------
+    registry:
+        The run's :class:`~repro.obs.registry.MetricsRegistry`.
+    interval:
+        Sample period in trace accesses (must be positive).
+    energy_model:
+        Optional :class:`~repro.timing.energy.EnergyModel`; when given,
+        each record carries the window's dynamic energy (computed from
+        the counter deltas exactly like the end-of-run breakdown).
+    l1_data_energy_factor:
+        Zero-argument callable returning the L1 data-array energy
+        factor (way prediction); defaults to 1.0.
+
+    The sampler reads counters only (``registry.counters()``) — rates
+    are recomputed *within* each window from the deltas, which is the
+    whole point of interval statistics.
+    """
+
+    def __init__(self, registry: MetricsRegistry, interval: int,
+                 energy_model: Optional[Any] = None,
+                 l1_data_energy_factor: Optional[Any] = None):
+        if interval <= 0:
+            raise ConfigError(
+                f"interval must be a positive access count, got {interval}")
+        self.registry = registry
+        self.interval = interval
+        self.energy_model = energy_model
+        self._energy_factor = l1_data_energy_factor or (lambda: 1.0)
+        self.records: List[Dict[str, Any]] = []
+        self._previous = registry.counters()
+        self._start = 0
+        self._cum_instructions = 0.0
+        self._cum_cycles = 0.0
+
+    def sample(self, end: int) -> Dict[str, Any]:
+        """Close the window ``[start, end)`` and append its record."""
+        current = self.registry.counters()
+        delta = diff_snapshots(self._previous, current)
+        record = self._derive(delta, end)
+        self.records.append(record)
+        self._previous = current
+        self._start = end
+        return record
+
+    def _derive(self, delta: Dict[str, float], end: int) -> Dict[str, Any]:
+        instructions = delta.get("core.instructions", 0)
+        cycles = delta.get("core.cycles", 0.0)
+        self._cum_instructions += instructions
+        self._cum_cycles += cycles
+        l1_accesses = delta.get("l1d.accesses", 0)
+        tlb_accesses = delta.get("tlb.accesses", 0)
+        outcome_total = sum(
+            delta.get(f"sipt.outcomes.{k}", 0) for k in OUTCOME_KEYS) or 1
+        record: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "interval": len(self.records),
+            "start": self._start,
+            "end": end,
+            "instructions": instructions,
+            "cycles": cycles,
+            "ipc": instructions / cycles if cycles else 0.0,
+            "ipc_cumulative": (self._cum_instructions / self._cum_cycles
+                               if self._cum_cycles else 0.0),
+            "l1_miss_rate": (delta.get("l1d.misses", 0) / l1_accesses
+                             if l1_accesses else 0.0),
+            "tlb_l1_hit_rate": (delta.get("tlb.l1_hits", 0) / tlb_accesses
+                                if tlb_accesses else 0.0),
+            "outcomes": {k: delta.get(f"sipt.outcomes.{k}", 0)
+                         / outcome_total for k in OUTCOME_KEYS},
+            "counters": delta,
+        }
+        if self.energy_model is not None:
+            breakdown = self.energy_model.breakdown(
+                cycles=int(cycles),
+                l1_accesses=int(delta.get("l1d.accesses", 0)
+                                + delta.get("sipt.extra_l1_accesses", 0)),
+                l2_accesses=int(delta.get("miss_path.l2_accesses", 0)),
+                llc_accesses=int(delta.get("miss_path.llc_accesses", 0)),
+                predictor_queries=int(delta.get("predictor.queries", 0)),
+                l1_data_energy_factor=self._energy_factor())
+            record["energy_dynamic_j"] = breakdown.dynamic
+        else:
+            record["energy_dynamic_j"] = 0.0
+        return record
+
+
+def write_jsonl(records: Iterable[Dict[str, Any]],
+                path: Union[str, Path]) -> Path:
+    """Write interval records as JSONL (sorted keys, deterministic)."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for record in records:
+            json.dump(record, handle, sort_keys=True,
+                      separators=(",", ":"))
+            handle.write("\n")
+    return path
+
+
+def dumps_jsonl(records: Iterable[Dict[str, Any]]) -> str:
+    """The JSONL serialization as a string (for in-memory comparison)."""
+    return "".join(
+        json.dumps(r, sort_keys=True, separators=(",", ":")) + "\n"
+        for r in records)
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read interval records back from a JSONL file."""
+    records = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def intervals_to_csv(records: Iterable[Dict[str, Any]],
+                     path: Union[str, Path]) -> Path:
+    """Export interval records as plot-ready CSV (CSV_FIELDS columns)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for record in records:
+            row = {k: record.get(k, "") for k in CSV_FIELDS
+                   if not k.startswith("outcome_")}
+            for key in OUTCOME_KEYS:
+                row[f"outcome_{key}"] = record.get("outcomes", {}).get(
+                    key, "")
+            writer.writerow(row)
+    return path

@@ -1,0 +1,221 @@
+"""Metrics registry: one dotted namespace over every component's stats.
+
+Components already keep cheap counter dataclasses (``CacheStats``,
+``TlbStats``, ``PerceptronStats``, ...) that the hot path increments as
+plain attributes. The registry does not change that — it *adapts* those
+live objects: :meth:`MetricsRegistry.register` records a (namespace,
+stats object) pair, and :meth:`MetricsRegistry.snapshot` reads every
+registered counter field and derived property into one flat
+``{"l1d.misses": 1234.0, "tlb.l1_hit_rate": 0.97, ...}`` dict.
+
+Because registration stores references and snapshots read lazily, the
+per-access cost of the registry is exactly zero: nothing on the hot
+path knows it exists. That is the "zero-cost-when-off" guarantee the
+tests pin down (``tests/test_obs_registry.py``).
+
+Namespaces are stable API (``docs/observability.md`` documents them);
+renaming one is a breaking change to interval JSONL consumers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..errors import ConfigError
+
+
+def _stat_fields(source: Any) -> List[str]:
+    """Counter field names of a stats dataclass instance."""
+    return [f.name for f in dataclasses.fields(source)
+            if f.type in ("int", "float", int, float)
+            or isinstance(getattr(source, f.name), (int, float))]
+
+
+def _stat_properties(source: Any) -> List[str]:
+    """Derived-gauge property names defined on a stats class."""
+    names: List[str] = []
+    for klass in type(source).__mro__:
+        for name, member in vars(klass).items():
+            if isinstance(member, property) and not name.startswith("_"):
+                if name not in names:
+                    names.append(name)
+    return names
+
+
+class MetricsRegistry:
+    """A read-only view over live component counters, dotted-namespaced.
+
+    Usage::
+
+        registry = MetricsRegistry()
+        registry.register("l1d", cache.stats)
+        registry.register_value("predictor.queries", lambda: ...)
+        snap = registry.snapshot()   # {"l1d.accesses": ..., ...}
+
+    ``register`` introspects the stats object once: every numeric
+    dataclass field becomes a counter metric and every public property
+    becomes a gauge (derived rate). ``register_value`` adds a single
+    computed metric from a zero-argument callable — used for values
+    that must be *deduplicated* across components, e.g.
+    ``predictor.queries`` in COMBINED mode where the perceptron and the
+    IDB both see (a subset of) the same accesses.
+
+    Snapshots are plain dicts with deterministically sorted keys, so
+    they serialize byte-identically across processes (the property the
+    interval JSONL determinism tests rely on).
+    """
+
+    def __init__(self) -> None:
+        #: namespace -> (source object, counter fields, gauge properties)
+        self._sources: Dict[str, Tuple[Any, List[str], List[str]]] = {}
+        #: fully-qualified metric name -> zero-arg callable
+        self._derived: Dict[str, Callable[[], float]] = {}
+
+    # -- registration --------------------------------------------------
+
+    def register(self, namespace: str, source: Any,
+                 gauges: bool = True) -> None:
+        """Register a live stats object under ``namespace``.
+
+        ``source`` is typically a counters dataclass (``CacheStats``,
+        ``TlbStats``, ...). With ``gauges=False`` only the raw counter
+        fields are exported, not the derived-rate properties — interval
+        deltas want raw counters (rates over a delta of rates are
+        meaningless).
+        """
+        if not namespace or namespace.startswith("."):
+            raise ConfigError(f"invalid metrics namespace {namespace!r}")
+        if namespace in self._sources:
+            raise ConfigError(
+                f"metrics namespace {namespace!r} registered twice")
+        self._sources[namespace] = (
+            source,
+            _stat_fields(source),
+            _stat_properties(source) if gauges else [])
+
+    def register_value(self, name: str,
+                       fn: Callable[[], float]) -> None:
+        """Register one derived metric computed by ``fn`` at snapshot."""
+        if name in self._derived:
+            raise ConfigError(f"derived metric {name!r} registered twice")
+        self._derived[name] = fn
+
+    @property
+    def namespaces(self) -> List[str]:
+        """Registered component namespaces, sorted."""
+        return sorted(self._sources)
+
+    # -- reading -------------------------------------------------------
+
+    def snapshot(self, counters_only: bool = False) -> Dict[str, float]:
+        """Read every registered metric into one flat sorted dict.
+
+        ``counters_only=True`` skips the gauge properties (rates are
+        meaningless to subtract) — the form interval deltas use.
+        Derived metrics are always included; by convention they are
+        monotone counters. Values are ``int``/``float`` (JSON-safe).
+        """
+        out: Dict[str, float] = {}
+        for namespace, (source, fields, props) in self._sources.items():
+            for name in fields:
+                out[f"{namespace}.{name}"] = getattr(source, name)
+            if not counters_only:
+                for name in props:
+                    out[f"{namespace}.{name}"] = getattr(source, name)
+        for name, fn in self._derived.items():
+            out[name] = fn()
+        return dict(sorted(out.items()))
+
+    def counters(self) -> Dict[str, float]:
+        """Shorthand for :meth:`snapshot` with ``counters_only=True``."""
+        return self.snapshot(counters_only=True)
+
+
+def diff_snapshots(before: Dict[str, float],
+                   after: Dict[str, float]) -> Dict[str, float]:
+    """Per-metric ``after - before``; keys present on either side.
+
+    A key missing from one side is treated as 0 there, so diffing a
+    baseline snapshot against one from a differently-configured system
+    (e.g. with a way predictor) still covers every metric.
+    """
+    out: Dict[str, float] = {}
+    for key in sorted(set(before) | set(after)):
+        out[key] = after.get(key, 0) - before.get(key, 0)
+    return out
+
+
+def save_snapshot(snapshot: Dict[str, float],
+                  path: Union[str, Path],
+                  meta: Optional[Dict[str, Any]] = None) -> Path:
+    """Write a snapshot (plus optional run metadata) as sorted JSON."""
+    path = Path(path)
+    payload = {"schema": "repro-snapshot-1",
+               "meta": meta or {}, "metrics": snapshot}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_snapshot(path: Union[str, Path]) -> Dict[str, float]:
+    """Read the metrics dict back from a :func:`save_snapshot` file."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or "metrics" not in payload:
+        raise ConfigError(f"{path} is not a repro snapshot file")
+    return payload["metrics"]
+
+
+def register_sipt_system(registry: MetricsRegistry, l1: Any,
+                         miss_path: Any, core: Any) -> None:
+    """Wire one simulated system's components into ``registry``.
+
+    This is the canonical namespace layout (see
+    ``docs/observability.md``): ``l1d`` (array), ``sipt`` (front end),
+    ``sipt.outcomes``, ``tlb``, ``predictor.perceptron``,
+    ``predictor.idb``, ``predictor.way``, ``miss_path``, ``dram``,
+    ``core``, plus the deduplicated derived metric
+    ``predictor.queries``.
+
+    ``predictor.queries`` counts *accesses that consulted the
+    speculation predictors*, not table reads summed per structure: in
+    COMBINED mode the IDB is only queried on accesses the perceptron
+    already saw, so summing the two structures' prediction counters
+    would double-charge those accesses (the pre-observability driver
+    did exactly that when computing predictor energy).
+    """
+    registry.register(l1.cache.metrics_namespace, l1.cache.stats)
+    registry.register("sipt", l1.stats)
+    registry.register("sipt.outcomes", l1.outcomes)
+    registry.register(l1.tlb.metrics_namespace, l1.tlb.stats)
+    if l1.perceptron is not None:
+        registry.register(l1.perceptron.metrics_namespace,
+                          l1.perceptron.stats)
+    if l1.idb is not None:
+        registry.register(l1.idb.metrics_namespace, l1.idb.stats)
+    if l1.way_predictor is not None:
+        registry.register(l1.way_predictor.metrics_namespace,
+                          l1.way_predictor.stats)
+    registry.register(miss_path.metrics_namespace, miss_path.stats)
+    if miss_path.l2 is not None:
+        registry.register(miss_path.l2.metrics_namespace,
+                          miss_path.l2.stats)
+    registry.register(miss_path.llc.metrics_namespace, miss_path.llc.stats)
+    registry.register(miss_path.dram.metrics_namespace,
+                      miss_path.dram.stats)
+    registry.register(core.metrics_namespace, core.stats)
+
+    perceptron, idb = l1.perceptron, l1.idb
+
+    def predictor_queries() -> int:
+        # The perceptron is consulted on every BYPASS/COMBINED access
+        # and gates the IDB, so its prediction count already covers
+        # every access that touched the speculation machinery.
+        if perceptron is not None:
+            return perceptron.stats.predictions
+        if idb is not None:
+            return idb.stats.predictions
+        return 0
+
+    registry.register_value("predictor.queries", predictor_queries)

@@ -1,0 +1,113 @@
+"""Decision tracing: a sampled, bounded ring buffer of SIPT outcomes.
+
+Aggregate counters say *how often* the front end misspeculated;
+the decision trace says *which accesses* — every sampled record
+carries the access index, PC, VA, the Section V/VI outcome, whether
+the access completed fast, whether it burned an extra L1 array read,
+and the latency the timing model charged. That is the raw material for
+debugging a mistraining perceptron or an IDB that never converges on a
+particular static load.
+
+Cost model: tracing is **opt-in** — ``simulate`` only takes the traced
+replay path when a :class:`DecisionTrace` is passed, so the default hot
+loop is untouched (zero cost when off, pinned by the perf-smoke bench).
+When on, ``sample=K`` records every K-th access and ``capacity=M``
+bounds memory to the last M sampled records (a ``deque`` ring buffer),
+so a billion-access run still holds a few thousand dicts at most.
+Sampling is deterministic (index-based, no RNG), so the same seed
+yields the same trace.
+
+CLI: ``repro trace --app mcf --sample 64 --capacity 4096``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from ..errors import ConfigError
+
+#: Schema tag stamped into the JSONL header record.
+SCHEMA = "repro-trace-1"
+
+
+class DecisionTrace:
+    """Bounded, sampled recorder of per-access SIPT decisions.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size — only the most recent ``capacity`` sampled
+        records are kept.
+    sample:
+        Record every ``sample``-th access (1 = every access). The
+        driver checks ``index % sample`` with plain integers, so the
+        per-access overhead when tracing is one modulo and a branch.
+    """
+
+    def __init__(self, capacity: int = 4096, sample: int = 1):
+        if capacity <= 0:
+            raise ConfigError(f"capacity must be positive, got {capacity}")
+        if sample <= 0:
+            raise ConfigError(f"sample must be positive, got {sample}")
+        self.capacity = capacity
+        self.sample = sample
+        self.recorded = 0          # sampled records ever written
+        self._ring: deque = deque(maxlen=capacity)
+
+    def record(self, index: int, pc: int, va: int, result: Any) -> None:
+        """Append one access's decision (``result`` is L1AccessResult)."""
+        outcome = result.outcome
+        self.recorded += 1
+        self._ring.append({
+            "index": index,
+            "pc": pc,
+            "va": va,
+            "outcome": outcome.value if outcome is not None else None,
+            "hit": result.hit,
+            "fast": result.fast,
+            "extra_l1_access": result.extra_l1_access,
+            "latency": result.latency,
+            "way_penalty": result.way_penalty,
+        })
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """The buffered records, oldest first."""
+        return list(self._ring)
+
+    def tail(self, n: int) -> List[Dict[str, Any]]:
+        """The most recent ``n`` buffered records, oldest first."""
+        if n <= 0:
+            return []
+        return list(self._ring)[-n:]
+
+    def summary(self) -> Dict[str, Any]:
+        """Outcome histogram plus buffer occupancy over the window."""
+        histogram: Dict[str, int] = {}
+        for record in self._ring:
+            key = record["outcome"] or "none"
+            histogram[key] = histogram.get(key, 0) + 1
+        return {"buffered": len(self._ring), "recorded": self.recorded,
+                "sample": self.sample, "capacity": self.capacity,
+                "outcomes": dict(sorted(histogram.items()))}
+
+    def write_jsonl(self, path: Union[str, Path],
+                    meta: Optional[Dict[str, Any]] = None) -> Path:
+        """Dump a header line plus one JSON record per sampled access."""
+        path = Path(path)
+        header = {"schema": SCHEMA, "meta": meta or {},
+                  **self.summary()}
+        with path.open("w") as handle:
+            json.dump(header, handle, sort_keys=True,
+                      separators=(",", ":"))
+            handle.write("\n")
+            for record in self._ring:
+                json.dump(record, handle, sort_keys=True,
+                          separators=(",", ":"))
+                handle.write("\n")
+        return path

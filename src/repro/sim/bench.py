@@ -52,12 +52,13 @@ SCHEMA = "repro-bench-1"
 DEFAULT_APPS = ("perlbench", "calculix", "libquantum")
 
 
-def _time_simulate(trace, system, repeats: int) -> float:
+def _time_simulate(trace, system, repeats: int,
+                   interval: Optional[int] = None) -> float:
     """Best-of-``repeats`` wall time of one simulate() call."""
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
-        simulate(trace, system)
+        simulate(trace, system, interval=interval)
         best = min(best, time.perf_counter() - start)
     return best
 
@@ -99,17 +100,22 @@ def run_bench(apps: Optional[Iterable[str]] = None,
               repeats: int = 3,
               profile: bool = False,
               traces: Optional[TraceCache] = None,
-              label: Optional[str] = None) -> dict:
+              label: Optional[str] = None,
+              interval: Optional[int] = None) -> dict:
     """Measure simulate() throughput; returns the trajectory-point dict.
 
     ``l1`` overrides ``geometry`` when given (the CLI passes a resolved
     config so ``--scheme``/``--variant`` compose). Trace generation is
-    excluded from the timed region.
+    excluded from the timed region. ``interval`` benches the
+    interval-sampling replay path (``simulate(..., interval=N)``) so
+    the observability overhead gets its own guarded trajectory point.
     """
     if n_accesses <= 0:
         raise ConfigError(f"n_accesses must be positive, got {n_accesses}")
     if repeats <= 0:
         raise ConfigError(f"repeats must be positive, got {repeats}")
+    if interval is not None and interval <= 0:
+        raise ConfigError(f"interval must be positive, got {interval}")
     apps = list(apps) if apps else list(DEFAULT_APPS)
     if l1 is None:
         if geometry not in SIPT_GEOMETRIES:
@@ -126,8 +132,8 @@ def run_bench(apps: Optional[Iterable[str]] = None,
         # Warm-up replay (outside the clock): JIT-free Python still
         # benefits from warm allocator arenas and branch-predictable
         # dict sizes.
-        simulate(trace, system)
-        best = _time_simulate(trace, system, repeats)
+        simulate(trace, system, interval=interval)
+        best = _time_simulate(trace, system, repeats, interval=interval)
         total_time += best
         per_app[app] = {
             "best_s": round(best, 6),
@@ -136,12 +142,14 @@ def run_bench(apps: Optional[Iterable[str]] = None,
 
     report = {
         "schema": SCHEMA,
-        "label": label or f"{l1.label}-{n_accesses}",
+        "label": label or (f"{l1.label}-{n_accesses}"
+                           + (f"-i{interval}" if interval else "")),
         "created": datetime.now().isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "n_accesses": n_accesses,
         "repeats": repeats,
+        "interval": interval,
         "geometry": l1.label,
         "apps": per_app,
         "aggregate_accesses_per_s": round(

@@ -1,12 +1,21 @@
 """Simulation driver: replay a trace through a configured system.
 
-One call to :func:`simulate` builds the whole machine (SIPT L1 front end,
-TLBs, L2/LLC/DRAM miss path, core timing model, energy model), replays
-the trace access by access, and returns a :class:`SimResult`.
+One call to :func:`simulate` builds the whole machine (SIPT L1 front
+end, TLBs, L2/LLC/DRAM miss path, core timing model, energy model),
+replays the trace access by access, and returns a :class:`SimResult`.
 
-:func:`simulate_multicore` runs four traces against private L1/L2s and a
-shared LLC/DRAM, recycling shorter traces until the longest completes —
-the paper's quad-core methodology (Section VI-B).
+Every component's counters are wired into a per-run
+:class:`~repro.obs.registry.MetricsRegistry` (namespaces documented in
+``docs/observability.md``); the end-of-run harvest is a single
+``registry.snapshot()`` rather than hand-picked attribute chains.
+``simulate`` optionally emits an interval time-series
+(``interval=N``) and/or a sampled decision trace
+(``decision_trace=DecisionTrace(...)``) — both are strictly opt-in and
+leave the default hot loop untouched.
+
+:func:`simulate_multicore` runs four traces against private L1/L2s and
+a shared LLC/DRAM, recycling shorter traces until the longest completes
+— the paper's quad-core methodology (Section VI-B).
 """
 
 from __future__ import annotations
@@ -19,6 +28,9 @@ from ..errors import ConfigError
 from ..cache.tlb import TlbHierarchy
 from ..core.indexing import IndexingScheme
 from ..core.sipt_cache import SiptL1Cache
+from ..obs.intervals import IntervalSampler
+from ..obs.registry import MetricsRegistry, register_sipt_system
+from ..obs.tracelog import DecisionTrace
 from ..timing.cacti import CactiModel
 from ..timing.dram import DramModel
 from ..timing.energy import (
@@ -38,6 +50,7 @@ _CACTI = CactiModel()
 
 
 def _build_l1(system: SystemConfig) -> SiptL1Cache:
+    """Construct the SIPT L1 front end for one system config."""
     l1cfg = system.l1
     cache = SetAssociativeCache(l1cfg.capacity, l1cfg.line_size,
                                 l1cfg.ways, name="L1D")
@@ -54,6 +67,7 @@ def _build_miss_path(system: SystemConfig,
                      shared_llc: Optional[SetAssociativeCache] = None,
                      shared_dram: Optional[DramModel] = None
                      ) -> CacheHierarchy:
+    """Construct the L2/LLC/DRAM miss path (LLC/DRAM may be shared)."""
     l2 = None
     if system.has_l2:
         l2 = SetAssociativeCache(system.l2_capacity, system.l1.line_size,
@@ -68,6 +82,7 @@ def _build_miss_path(system: SystemConfig,
 
 
 def _build_core(system: SystemConfig, mlp: float):
+    """Construct the core timing model named by ``system.core``."""
     if system.core == "ooo":
         return OooCore(width=6, rob_size=192, mlp=mlp)
     if system.core == "ooo-detailed":
@@ -77,6 +92,7 @@ def _build_core(system: SystemConfig, mlp: float):
 
 
 def _energy_model(system: SystemConfig) -> EnergyModel:
+    """Build the Table II energy model for one system config."""
     l1 = LevelEnergyParams(
         dynamic_nj=_CACTI.dynamic_nj(system.l1.capacity, system.l1.ways),
         static_mw=_CACTI.static_mw(system.l1.capacity, system.l1.ways))
@@ -115,6 +131,15 @@ class _CoreContext:
         self.miss_path = _build_miss_path(system, shared_llc, shared_dram)
         _attach_walker(self.l1, self.miss_path, trace)
         self.core = _build_core(system, trace.mlp)
+        self.energy_model = _energy_model(system)
+        # One registry per simulated core: every component's live stats
+        # object under its dotted namespace (docs/observability.md).
+        # Registration stores references only — the hot loop below never
+        # touches the registry, so observability-off costs nothing.
+        self.registry = MetricsRegistry()
+        register_sipt_system(self.registry, self.l1, self.miss_path,
+                             self.core)
+        self.intervals: Optional[List[dict]] = None
         self.position = 0
         self.completed_once = False
         self.port_conflicts = 0
@@ -140,8 +165,12 @@ class _CoreContext:
         self._conflict_window = self.PORT_CONFLICT_WINDOW
         self._conflict_cycles = self.PORT_CONFLICT_CYCLES
 
-    def step(self) -> None:
-        """Replay one trace record (recycling at the end)."""
+    def step(self):
+        """Replay one trace record (recycling at the end).
+
+        Returns the :class:`~repro.core.sipt_cache.L1AccessResult` so
+        observers (the decision trace) can record the access's outcome.
+        """
         i = self.position
         gap = self._gap[i]
         is_write = self._is_write[i]
@@ -162,28 +191,39 @@ class _CoreContext:
         if self.position == self._len:
             self.position = 0
             self.completed_once = True
+        return result
+
+    def energy_factor(self) -> float:
+        """Current L1 data-array energy factor (way prediction)."""
+        if self.l1.way_predictor is not None:
+            return self.l1.way_predictor.dynamic_energy_factor()
+        return 1.0
 
     def result(self) -> SimResult:
+        """Harvest the finished run into a :class:`SimResult`.
+
+        All counters come from one ``registry.snapshot()``; the
+        deduplicated ``predictor.queries`` metric (not the sum of the
+        perceptron's and IDB's per-structure counters) feeds the
+        predictor energy term, so a COMBINED-mode access that consulted
+        both structures is charged once.
+        """
         stats = self.core.finish()
         l1 = self.l1
-        predictor_queries = 0
-        if l1.perceptron is not None:
-            predictor_queries = l1.perceptron.stats.predictions
-        if l1.idb is not None:
-            predictor_queries += l1.idb.stats.predictions
-        l1_accesses = l1.cache.stats.accesses + l1.stats.extra_l1_accesses
-        energy_factor = 1.0
+        snapshot = self.registry.snapshot()
+        predictor_queries = int(snapshot["predictor.queries"])
+        l1_accesses = int(snapshot["l1d.accesses"]
+                          + snapshot["sipt.extra_l1_accesses"])
         way_accuracy = None
         if l1.way_predictor is not None:
-            energy_factor = l1.way_predictor.dynamic_energy_factor()
             way_accuracy = l1.way_predictor.stats.accuracy
-        energy = _energy_model(self.system).breakdown(
+        energy = self.energy_model.breakdown(
             cycles=int(stats.cycles),
             l1_accesses=l1_accesses,
-            l2_accesses=self.miss_path.stats.l2_accesses,
-            llc_accesses=self.miss_path.stats.llc_accesses,
+            l2_accesses=int(snapshot.get("miss_path.l2_accesses", 0)),
+            llc_accesses=int(snapshot.get("miss_path.llc_accesses", 0)),
             predictor_queries=predictor_queries,
-            l1_data_energy_factor=energy_factor)
+            l1_data_energy_factor=self.energy_factor())
         return SimResult(
             app=self.trace.app,
             system=self.system.name,
@@ -196,24 +236,24 @@ class _CoreContext:
             l1_accesses_with_extra=l1_accesses,
             fast_fraction=l1.stats.fast_fraction,
             extra_access_fraction=l1.stats.extra_access_fraction,
-            way_prediction_accuracy=way_accuracy)
+            way_prediction_accuracy=way_accuracy,
+            metrics=snapshot,
+            intervals=self.intervals)
 
 
-def simulate(trace: Trace, system: SystemConfig) -> SimResult:
-    """Run one trace through one system configuration.
+def _replay_range(ctx: _CoreContext, start: int, end: int) -> None:
+    """Fused replay of trace records ``[start, end)``.
 
-    The trace is validated first (:meth:`Trace.validate`), so corrupt
-    records fail as a typed :class:`~repro.errors.TraceError` rather
-    than replaying garbage.
+    A mirror of :meth:`_CoreContext.step` (keep the two in sync) with
+    every per-access attribute access hoisted into locals and the trace
+    columns driven by one zip iterator. The multicore driver
+    interleaves cores and must keep per-core state in the context, so
+    it stays on ``step()``; a single-core replay owns the whole loop
+    and this form is measurably faster. Port-conflict state is read
+    from and written back to the context, so consecutive ranges chain
+    exactly like one continuous loop (interval sampling replays in
+    interval-sized ranges).
     """
-    trace.validate()
-    ctx = _CoreContext(system, trace)
-    # Fused replay loop: a mirror of _CoreContext.step() (keep the two
-    # in sync) with every per-access attribute access hoisted into
-    # locals and the trace columns driven by one zip iterator. The
-    # multicore driver interleaves cores and must keep per-core state
-    # in the context, so it stays on step(); a single-core replay owns
-    # the whole loop and this form is measurably faster.
     retire = ctx._retire
     l1_access = ctx._l1_access
     miss_access = ctx._miss_access
@@ -223,10 +263,14 @@ def simulate(trace: Trace, system: SystemConfig) -> SimResult:
     line_shift = ctx._line_shift
     window = ctx._conflict_window
     conflict_cycles = ctx._conflict_cycles
-    port_busy = False
-    port_conflicts = 0
-    for gap, pc, va, is_write, dep in zip(ctx._gap, ctx._pc, ctx._va,
-                                          ctx._is_write, ctx._dep):
+    port_busy = ctx._port_busy
+    port_conflicts = ctx.port_conflicts
+    whole = start == 0 and end == ctx._len
+    columns = zip(ctx._gap, ctx._pc, ctx._va, ctx._is_write, ctx._dep) \
+        if whole else zip(ctx._gap[start:end], ctx._pc[start:end],
+                          ctx._va[start:end], ctx._is_write[start:end],
+                          ctx._dep[start:end])
+    for gap, pc, va, is_write, dep in columns:
         retire(gap)
         result = l1_access(pc, va, is_write, page_table)
         latency = result.latency
@@ -242,6 +286,102 @@ def simulate(trace: Trace, system: SystemConfig) -> SimResult:
         memory_access(latency, is_write, dep)
     ctx.port_conflicts = port_conflicts
     ctx._port_busy = port_busy
+
+
+def _make_sampler(ctx: _CoreContext, interval: int) -> IntervalSampler:
+    """An interval sampler over this context's registry and energy model."""
+    return IntervalSampler(ctx.registry, interval,
+                           energy_model=ctx.energy_model,
+                           l1_data_energy_factor=ctx.energy_factor)
+
+
+def _replay_intervals(ctx: _CoreContext, interval: int) -> None:
+    """Replay in interval-sized fused ranges, sampling between them.
+
+    Per-access cost is identical to the plain fused loop — the sampler
+    only runs at interval boundaries (plus once for a trailing partial
+    interval), which is what keeps the measured overhead of
+    ``interval=10000`` small (docs/observability.md quantifies it).
+    """
+    sampler = _make_sampler(ctx, interval)
+    n = ctx._len
+    for start in range(0, n, interval):
+        end = min(start + interval, n)
+        _replay_range(ctx, start, end)
+        sampler.sample(end)
+    ctx.intervals = sampler.records
+
+
+def _replay_traced(ctx: _CoreContext, interval: Optional[int],
+                   decision_trace: DecisionTrace) -> None:
+    """Replay one access at a time, recording sampled decisions.
+
+    Tracing needs the per-access :class:`L1AccessResult`, so this path
+    runs on :meth:`_CoreContext.step` instead of the fused loop —
+    slower, which is why it is opt-in (the zero-cost-when-off
+    guarantee applies to the *default* path, not this one).
+    """
+    sampler = _make_sampler(ctx, interval) if interval else None
+    sample = decision_trace.sample
+    record = decision_trace.record
+    step = ctx.step
+    pc, va = ctx._pc, ctx._va
+    n = ctx._len
+    for i in range(n):
+        result = step()
+        if i % sample == 0:
+            record(i, pc[i], va[i], result)
+        if sampler is not None and (i + 1) % interval == 0:
+            sampler.sample(i + 1)
+    if sampler is not None:
+        if n % interval:
+            sampler.sample(n)
+        ctx.intervals = sampler.records
+
+
+def simulate(trace: Trace, system: SystemConfig,
+             interval: Optional[int] = None,
+             decision_trace: Optional[DecisionTrace] = None) -> SimResult:
+    """Run one trace through one system configuration.
+
+    Parameters
+    ----------
+    trace:
+        The memory-access trace to replay. It is validated first
+        (:meth:`Trace.validate`), so corrupt records fail as a typed
+        :class:`~repro.errors.TraceError` rather than replaying
+        garbage.
+    system:
+        The :class:`~repro.sim.config.SystemConfig` to simulate.
+    interval:
+        When set, sample the metrics registry every ``interval``
+        accesses; the per-window records land in
+        ``SimResult.intervals`` (schema in ``repro.obs.intervals``).
+        Sampling happens between fused replay ranges, so per-access
+        cost is unchanged.
+    decision_trace:
+        When set, record every ``decision_trace.sample``-th access's
+        SIPT decision into the ring buffer. This opts into a slower
+        per-access replay loop; leave it ``None`` for performance runs.
+
+    Returns
+    -------
+    SimResult
+        Totals plus ``metrics`` (the full registry snapshot) and, when
+        ``interval`` was given, the interval time-series.
+
+    The replay is deterministic for a given (trace, system): the same
+    seed produces identical results, metrics, and interval records —
+    in this process or a ``--jobs`` worker.
+    """
+    trace.validate()
+    ctx = _CoreContext(system, trace)
+    if decision_trace is not None:
+        _replay_traced(ctx, interval, decision_trace)
+    elif interval:
+        _replay_intervals(ctx, interval)
+    else:
+        _replay_range(ctx, 0, ctx._len)
     ctx.completed_once = True
     return ctx.result()
 
@@ -254,7 +394,10 @@ def simulate_multicore(traces: Sequence[Trace], system: SystemConfig,
     The shared LLC defaults to ``system.llc_capacity * n_cores``
     (the paper scales LLC size with core count). Traces are recycled
     until the last core finishes its first pass, keeping contention
-    alive throughout, exactly as in Section VI-B.
+    alive throughout, exactly as in Section VI-B. Each core carries its
+    own metrics registry (the shared LLC and DRAM counters appear in
+    every core's snapshot); interval sampling and decision tracing are
+    single-core tools and are not offered here.
     """
     if not traces:
         raise ConfigError("need at least one trace")

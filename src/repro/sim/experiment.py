@@ -40,6 +40,7 @@ class TraceCache:
     def get(self, app: str, n_accesses: Optional[int] = None,
             condition: MemoryCondition = MemoryCondition.NORMAL,
             seed: int = 0) -> Trace:
+        """Return the memoized trace for this cell, generating once."""
         n = n_accesses or default_accesses()
         key = (app, n, condition, seed)
         if key not in self._traces:
@@ -48,6 +49,7 @@ class TraceCache:
         return self._traces[key]
 
     def clear(self) -> None:
+        """Drop all memoized traces (frees their page tables too)."""
         self._traces.clear()
 
 
@@ -58,8 +60,16 @@ SHARED_TRACES = TraceCache()
 def run_app(app: str, system: SystemConfig,
             condition: MemoryCondition = MemoryCondition.NORMAL,
             n_accesses: Optional[int] = None, seed: int = 0,
-            cache: Optional[TraceCache] = None) -> SimResult:
+            cache: Optional[TraceCache] = None,
+            interval: Optional[int] = None,
+            decision_trace=None) -> SimResult:
     """Simulate one app on one system (trace memoized).
+
+    ``interval`` and ``decision_trace`` pass straight through to
+    :func:`~repro.sim.driver.simulate` — set ``interval=N`` for a
+    per-N-accesses time-series in ``SimResult.intervals``, or pass a
+    :class:`~repro.obs.tracelog.DecisionTrace` to record sampled
+    per-access SIPT decisions.
 
     Typed errors from trace generation or simulation gain the
     (app, seed) cell context on the way out, so sweeps can journal the
@@ -68,7 +78,8 @@ def run_app(app: str, system: SystemConfig,
     cache = cache or SHARED_TRACES
     try:
         trace = cache.get(app, n_accesses, condition, seed)
-        return simulate(trace, system)
+        return simulate(trace, system, interval=interval,
+                        decision_trace=decision_trace)
     except ReproError as exc:
         raise exc.with_context(app=app, seed=seed)
 

@@ -116,6 +116,7 @@ class FaultInjector:
 
     def on_attempt(self, ordinal: int, key: Dict[str, Any],
                    attempt: int) -> None:
+        """Fire any fault armed for cell ``ordinal`` on this attempt."""
         for fault in self.faults:
             if fault.at_cell != ordinal:
                 continue

@@ -88,6 +88,7 @@ class RunnerStats:
         return self.errors > 0 or self.timeouts > 0
 
     def summary(self) -> str:
+        """One-line human-readable tally for the CLI epilogue."""
         return (f"{self.total} cells: {self.ok} ok"
                 f" ({self.resumed} resumed), {self.errors} errors,"
                 f" {self.timeouts} timeouts, {self.retries} retries")
@@ -263,6 +264,7 @@ class ResilientRunner:
         self._handle.flush()
 
     def close(self) -> None:
+        """Flush and close the journal (idempotent)."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None

@@ -14,7 +14,15 @@ from ..timing.energy import EnergyBreakdown
 
 @dataclass
 class SimResult:
-    """Everything one (trace, system) simulation produced."""
+    """Everything one (trace, system) simulation produced.
+
+    ``metrics`` is the full end-of-run
+    :meth:`~repro.obs.registry.MetricsRegistry.snapshot` — every
+    component counter and gauge under its dotted namespace
+    (``docs/observability.md`` documents the layout). ``intervals`` is
+    the per-window time-series when the run was started with
+    ``simulate(..., interval=N)``, else ``None``.
+    """
 
     app: str
     system: str
@@ -28,6 +36,8 @@ class SimResult:
     fast_fraction: float
     extra_access_fraction: float
     way_prediction_accuracy: Optional[float] = None
+    metrics: Optional[Dict[str, float]] = None
+    intervals: Optional[List[dict]] = None
 
     @property
     def ipc(self) -> float:

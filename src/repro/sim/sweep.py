@@ -58,7 +58,35 @@ def _duplicates(values) -> list:
 
 @dataclass
 class SweepSpec:
-    """What to sweep. Every combination of the lists is run."""
+    """Declarative description of a sweep grid.
+
+    Every combination of ``apps x configs x cores x conditions x
+    seeds`` becomes one grid cell, executed by :func:`run_sweep` into
+    one CSV row (:data:`FIELDS` columns). Validation happens at
+    construction: empty/duplicate axes, unknown core kinds, and a
+    ``baseline`` that is not one of ``configs`` all raise
+    :class:`~repro.errors.ConfigError` before any simulation runs.
+
+    Attributes
+    ----------
+    apps:
+        Benchmark names (see ``repro list``); each must be unique.
+    configs:
+        ``{name: L1Config}`` — the name becomes the ``config`` CSV
+        column.
+    cores:
+        Core timing models (``"ooo"``, ``"ooo-detailed"``,
+        ``"inorder"``).
+    conditions:
+        :class:`~repro.workloads.trace.MemoryCondition` values (normal,
+        fragmented, THP off, ...).
+    seeds:
+        Trace-generation seeds; one full grid runs per seed.
+    baseline:
+        Config name to normalize ``speedup``/``energy_ratio`` against
+        (matched per app/core/condition/seed); ``None`` leaves the
+        ratio columns blank.
+    """
 
     apps: List[str]
     configs: Dict[str, L1Config]

@@ -35,6 +35,9 @@ class DetailedOooCore:
     :meth:`finish`), so the driver can swap it in transparently.
     """
 
+    #: Dotted metrics namespace for ``repro.obs`` registration.
+    metrics_namespace = "core"
+
     #: Pipeline front-end depth: a load's value is available to its
     #: consumer this many cycles after issue even for a 0-latency op.
     FORWARD_LATENCY = 1
@@ -73,6 +76,10 @@ class DetailedOooCore:
         self._final_time = max(self._final_time, retire)
         self._index += 1
         self.stats.instructions += 1
+        # Keep the cycle count live so interval sampling (repro.obs)
+        # sees per-window progress; finish() still applies the
+        # width-limit clamp to the final figure.
+        self.stats.cycles = self._final_time
         return complete
 
     # ------------------------------------------------------------------

@@ -41,6 +41,9 @@ class DramModel:
     ``row_bytes`` is the row-buffer size (8 KiB typical).
     """
 
+    #: Dotted metrics namespace for ``repro.obs`` registration.
+    metrics_namespace = "dram"
+
     def __init__(self, n_channels: int = 4, n_banks: int = 8,
                  row_bytes: int = 8192,
                  cas_cycles: int = 41, rcd_cycles: int = 41,

@@ -38,6 +38,9 @@ class CoreStats:
 class InOrderCore:
     """2-wide in-order stall accounting (Table II, right column)."""
 
+    #: Dotted metrics namespace for ``repro.obs`` registration.
+    metrics_namespace = "core"
+
     STORE_STALL_FRACTION = 0.3  # stores expose a fraction of miss latency
     #: Fraction of the nominally exposed load latency that actually
     #: stalls retire. Short (L1-hit-class) latencies partially overlap

@@ -26,6 +26,9 @@ from .inorder import CoreStats
 class OooCore:
     """6-wide OOO stall accounting with MLP-based miss overlap."""
 
+    #: Dotted metrics namespace for ``repro.obs`` registration.
+    metrics_namespace = "core"
+
     #: Cycles of load-use latency the scheduler hides for free
     #: (speculative wakeup covers back-to-back dependent issue).
     PIPELINE_HIDE = 2.0

@@ -149,3 +149,81 @@ def test_designspace_through_runner(capsys):
     assert main(["designspace"]) == 0
     out = capsys.readouterr().out
     assert "128K/4" in out
+
+
+def test_stats_run_prints_and_saves_snapshot(tmp_path, capsys):
+    snap = tmp_path / "snap.json"
+    rc = main(["stats", "--app", "povray", "--accesses", "2000",
+               "--out", str(snap)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "l1d.accesses" in out
+    assert "predictor.queries" in out
+    assert snap.exists()
+
+
+def test_stats_filter(capsys):
+    rc = main(["stats", "--app", "povray", "--accesses", "2000",
+               "--filter", "sipt."])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sipt.fast_fraction" in out
+    assert "l1d.accesses" not in out
+
+
+def test_stats_diff(tmp_path, capsys):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    assert main(["stats", "--app", "povray", "--accesses", "1500",
+                 "--out", str(a)]) == 0
+    assert main(["stats", "--app", "povray", "--accesses", "3000",
+                 "--out", str(b)]) == 0
+    capsys.readouterr()
+    assert main(["stats", "--diff", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "l1d.accesses" in out          # grew between the two runs
+
+
+def test_stats_intervals_and_csv(tmp_path, capsys):
+    jsonl = tmp_path / "intervals.jsonl"
+    csv_path = tmp_path / "intervals.csv"
+    rc = main(["stats", "--app", "povray", "--accesses", "4000",
+               "--interval", "1000", "--intervals-out", str(jsonl),
+               "--export-csv", str(csv_path)])
+    assert rc == 0
+    assert "4 interval records" in capsys.readouterr().out
+    assert len(jsonl.read_text().strip().splitlines()) == 4
+    assert csv_path.read_text().startswith("interval,start,end")
+
+
+def test_stats_without_app_or_diff_exits_1(capsys):
+    assert main(["stats"]) == 1
+    assert "needs --app" in capsys.readouterr().err
+
+
+def test_stats_csv_without_interval_exits_1(tmp_path, capsys):
+    rc = main(["stats", "--app", "povray", "--accesses", "1000",
+               "--export-csv", str(tmp_path / "x.csv")])
+    assert rc == 1
+    assert "--interval" in capsys.readouterr().err
+
+
+def test_trace_command(tmp_path, capsys):
+    out_path = tmp_path / "trace.jsonl"
+    rc = main(["trace", "--app", "povray", "--accesses", "2000",
+               "--sample", "16", "--capacity", "64", "--tail", "3",
+               "--out", str(out_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "recorded  : 125 decisions" in out
+    assert "outcomes" in out
+    assert len(out_path.read_text().strip().splitlines()) == 1 + 64
+
+
+def test_bench_interval_point(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    rc = main(["bench", "--apps", "povray", "--accesses", "2000",
+               "--repeats", "1", "--interval", "500",
+               "--label", "t", "--out", str(out)])
+    assert rc == 0
+    import json
+    assert json.loads(out.read_text())["interval"] == 500

@@ -1,0 +1,184 @@
+"""Tests for the metrics registry (``repro.obs.registry``).
+
+Two contracts matter most:
+
+* **Zero cost when off / snapshot fidelity** — the registry is a lazy
+  view over the same live stats objects the driver always kept, so a
+  snapshot must agree exactly with the legacy per-object counters on a
+  seed config, and a plain ``simulate`` run must not change results at
+  all (the driver tests already pin IPC; here we pin the counters).
+* **The ``predictor.queries`` dedupe** — in COMBINED mode the IDB only
+  sees accesses the perceptron already saw, so the derived metric must
+  equal the perceptron's prediction count, not the (double-counting)
+  sum of both structures that the pre-observability driver charged
+  energy for.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    MetricsRegistry,
+    diff_snapshots,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.sim import SIPT_GEOMETRIES, ooo_system, simulate
+from repro.sim.experiment import SHARED_TRACES
+
+
+@dataclasses.dataclass
+class ToyStats:
+    hits: int = 3
+    misses: int = 1
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / (self.hits + self.misses)
+
+
+# ---------------------------------------------------------------------
+# Registry unit behaviour
+# ---------------------------------------------------------------------
+
+def test_register_exports_fields_and_properties():
+    registry = MetricsRegistry()
+    registry.register("toy", ToyStats())
+    snap = registry.snapshot()
+    assert snap == {"toy.hits": 3, "toy.misses": 1, "toy.hit_rate": 0.75}
+
+
+def test_counters_only_skips_gauges():
+    registry = MetricsRegistry()
+    registry.register("toy", ToyStats())
+    assert registry.counters() == {"toy.hits": 3, "toy.misses": 1}
+
+
+def test_snapshot_reads_live_values():
+    stats = ToyStats()
+    registry = MetricsRegistry()
+    registry.register("toy", stats)
+    stats.hits += 10
+    assert registry.snapshot()["toy.hits"] == 13
+
+
+def test_duplicate_namespace_rejected():
+    registry = MetricsRegistry()
+    registry.register("toy", ToyStats())
+    with pytest.raises(ConfigError):
+        registry.register("toy", ToyStats())
+
+
+def test_invalid_namespace_rejected():
+    registry = MetricsRegistry()
+    with pytest.raises(ConfigError):
+        registry.register("", ToyStats())
+
+
+def test_derived_metric_and_duplicate_rejection():
+    registry = MetricsRegistry()
+    registry.register_value("custom.metric", lambda: 42)
+    assert registry.snapshot()["custom.metric"] == 42
+    with pytest.raises(ConfigError):
+        registry.register_value("custom.metric", lambda: 0)
+
+
+def test_snapshot_keys_sorted():
+    registry = MetricsRegistry()
+    registry.register("zzz", ToyStats())
+    registry.register("aaa", ToyStats())
+    keys = list(registry.snapshot())
+    assert keys == sorted(keys)
+    assert registry.namespaces == ["aaa", "zzz"]
+
+
+def test_diff_snapshots_union_missing_as_zero():
+    delta = diff_snapshots({"a": 1, "b": 5}, {"b": 7, "c": 2})
+    assert delta == {"a": -1, "b": 2, "c": 2}
+
+
+def test_snapshot_save_load_roundtrip(tmp_path):
+    registry = MetricsRegistry()
+    registry.register("toy", ToyStats())
+    snap = registry.snapshot()
+    path = save_snapshot(snap, tmp_path / "snap.json", meta={"app": "x"})
+    assert load_snapshot(path) == snap
+
+
+def test_load_snapshot_rejects_non_snapshot(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(ConfigError):
+        load_snapshot(path)
+
+
+# ---------------------------------------------------------------------
+# Driver integration: snapshot fidelity on a seed config
+# ---------------------------------------------------------------------
+
+def _run(app="mcf", geometry="32K_2w", n=6000):
+    trace = SHARED_TRACES.get(app, n, seed=0)
+    return simulate(trace, ooo_system(SIPT_GEOMETRIES[geometry]))
+
+
+def test_snapshot_matches_legacy_counters():
+    result = _run()
+    metrics = result.metrics
+    # The registry reads the same objects the SimResult carries, so
+    # every legacy counter must reappear verbatim under its namespace.
+    assert metrics["l1d.accesses"] == result.l1_stats.accesses
+    assert metrics["l1d.misses"] == result.l1_stats.misses
+    assert metrics["l1d.hit_rate"] == result.l1_stats.hit_rate
+    assert metrics["tlb.accesses"] == result.tlb_stats.accesses
+    assert metrics["tlb.l1_hits"] == result.tlb_stats.l1_hits
+    assert metrics["core.instructions"] == result.instructions
+    assert metrics["core.cycles"] == result.cycles
+    assert metrics["sipt.fast_fraction"] == result.fast_fraction
+    assert (metrics["sipt.outcomes.total"]
+            == result.outcomes.total)
+
+
+def test_snapshot_namespaces_present():
+    metrics = _run().metrics
+    prefixes = {name.split(".")[0] for name in metrics}
+    for expected in ("l1d", "sipt", "tlb", "predictor", "miss_path",
+                     "llc", "dram", "core"):
+        assert expected in prefixes, f"missing namespace {expected}"
+
+
+def test_pipt_run_has_no_predictor_namespaces():
+    from repro.core.indexing import IndexingScheme
+    trace = SHARED_TRACES.get("mcf", 4000, seed=0)
+    system = ooo_system(
+        SIPT_GEOMETRIES["32K_2w"].with_scheme(IndexingScheme.PIPT))
+    result = simulate(trace, system)
+    assert result.metrics["predictor.queries"] == 0
+    assert not any(n.startswith("predictor.perceptron")
+                   for n in result.metrics)
+
+
+# ---------------------------------------------------------------------
+# The predictor_queries dedupe bugfix
+# ---------------------------------------------------------------------
+
+def test_predictor_queries_deduplicated_in_combined_mode():
+    # 128K/4w has >= 2 speculative bits, so COMBINED builds a real IDB
+    # and deepsjeng (low page contiguity) actually consults it.
+    result = _run(app="deepsjeng_17", geometry="128K_4w")
+    metrics = result.metrics
+    perceptron = metrics["predictor.perceptron.predictions"]
+    idb = metrics["predictor.idb.predictions"]
+    assert idb > 0, "test premise: the IDB must have been queried"
+    # The fix: every access that consulted the IDB was already counted
+    # by the perceptron, so the deduped count is the perceptron's alone
+    # — not the old double-counting sum.
+    assert metrics["predictor.queries"] == perceptron
+    assert metrics["predictor.queries"] < perceptron + idb
+
+
+def test_predictor_queries_covers_all_accesses():
+    result = _run(app="mcf", geometry="32K_2w")
+    assert (result.metrics["predictor.queries"]
+            == result.metrics["sipt.accesses"])

@@ -1,0 +1,69 @@
+"""Tests for the CI docs checkers (tools/check_links, check_docstrings)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, TOOLS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+# ---------------------------------------------------------------------
+# check_links
+# ---------------------------------------------------------------------
+
+@pytest.fixture
+def links(tmp_path):
+    module = _load("check_links")
+    module.REPO_ROOT = tmp_path
+    (tmp_path / "docs").mkdir()
+    return module
+
+
+def test_clean_tree_has_no_problems(links, tmp_path):
+    (tmp_path / "a.md").write_text(
+        "# A\n[b](docs/b.md)\n[sec](docs/b.md#real-heading)\n"
+        "[here](#a)\n[web](https://example.com/x.md)\n")
+    (tmp_path / "docs" / "b.md").write_text("## Real Heading\n")
+    assert links.check() == []
+
+
+def test_broken_file_and_anchor_reported(links, tmp_path):
+    (tmp_path / "a.md").write_text(
+        "[bad](missing.md)\n[frag](docs/b.md#nope)\n")
+    (tmp_path / "docs" / "b.md").write_text("## Real Heading\n")
+    problems = links.check()
+    assert len(problems) == 2
+    assert any("missing.md" in p for p in problems)
+    assert any("#nope" in p for p in problems)
+
+
+def test_code_fences_are_ignored(links, tmp_path):
+    (tmp_path / "a.md").write_text(
+        "```\n[not a link](nowhere.md)\n```\n")
+    assert links.check() == []
+
+
+def test_repo_links_all_resolve():
+    # The actual repo must stay clean — same check the CI docs job runs.
+    assert _load("check_links").check() == []
+
+
+# ---------------------------------------------------------------------
+# check_docstrings
+# ---------------------------------------------------------------------
+
+def test_public_api_fully_documented():
+    sys.path.insert(0, str(TOOLS.parent / "src"))
+    try:
+        assert _load("check_docstrings").check("repro") == []
+    finally:
+        sys.path.pop(0)

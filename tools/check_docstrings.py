@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Docstring-presence check for the public API (CI docs job).
+
+``pydoc repro.sim`` (and friends) is only usable if the public surface
+is documented, so this walks every module under ``repro`` and fails if
+a public module, class, function, or method is missing a docstring.
+
+Public means: importable under ``repro``, name not starting with
+``_``, and defined in this package (re-exports are checked where they
+are defined, not at every import site). Dataclass-generated and
+inherited members are exempt — they document themselves through the
+owning class.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docstrings.py          # check
+    PYTHONPATH=src python tools/check_docstrings.py -v       # list all
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import pkgutil
+import sys
+
+
+def _iter_modules(package_name: str):
+    package = importlib.import_module(package_name)
+    yield package
+    for info in pkgutil.walk_packages(package.__path__,
+                                      prefix=package_name + "."):
+        if info.name.endswith("__main__"):
+            continue   # importing it would run the CLI
+        yield importlib.import_module(info.name)
+
+
+def _own_members(obj, module_name: str):
+    """Public members defined by ``obj`` itself (no imports/inherited)."""
+    for name, member in inspect.getmembers(obj):
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module_name:
+            continue   # re-export or inherited: owned elsewhere
+        if inspect.isclass(obj) and name not in vars(obj):
+            continue   # inherited method: documented on the base
+        yield name, member
+
+
+def check(package_name: str = "repro", verbose: bool = False):
+    """Return a list of ``module.qualname`` strings missing docstrings."""
+    missing = []
+    for module in _iter_modules(package_name):
+        if not module.__doc__:
+            missing.append(module.__name__)
+        for name, member in _own_members(module, module.__name__):
+            qualname = f"{module.__name__}.{name}"
+            if not inspect.getdoc(member):
+                missing.append(qualname)
+            elif verbose:
+                print(f"ok      {qualname}")
+            if inspect.isclass(member):
+                for mname, method in _own_members(member, module.__name__):
+                    mqual = f"{qualname}.{mname}"
+                    if not inspect.getdoc(method):
+                        missing.append(mqual)
+                    elif verbose:
+                        print(f"ok      {mqual}")
+    return missing
+
+
+def main() -> int:
+    """CLI entry point; exit 1 if any public API lacks a docstring."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--package", default="repro")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args()
+    missing = check(args.package, verbose=args.verbose)
+    if missing:
+        print(f"{len(missing)} public objects missing docstrings:",
+              file=sys.stderr)
+        for qualname in missing:
+            print(f"  MISSING {qualname}", file=sys.stderr)
+        return 1
+    print("all public API documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

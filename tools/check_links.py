@@ -1,0 +1,121 @@
+"""Check that intra-repo markdown links resolve.
+
+Scans every ``*.md`` file in the repo root and ``docs/`` and verifies
+that each relative markdown link ``[text](target)`` points at a file
+that exists. Links with a ``#fragment`` must also name a heading that
+actually appears in the target file (GitHub anchor slug rules: lowercase,
+punctuation stripped, spaces to dashes).
+
+External links (``http://``, ``https://``, ``mailto:``) are skipped —
+CI must not depend on the network. Bare ``#fragment`` links resolve
+against the file they appear in.
+
+Usage::
+
+    python tools/check_links.py           # exit 1 on any broken link
+    python tools/check_links.py -v        # also list every checked link
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: [text](target). Images (![alt](src)) match
+#: too, which is what we want — a missing image is a broken link.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: ATX headings, used to build the anchor set of a file.
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+#: Fenced code blocks, removed before link extraction so examples like
+#: ``[text](url)`` inside ``` fences don't get checked.
+_FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    # Drop inline code/emphasis markers and trailing link syntax first.
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path, cache: Dict[Path, Set[str]]) -> Set[str]:
+    if path not in cache:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            cache[path] = set()
+        else:
+            cache[path] = {_slugify(m.group(1))
+                           for m in _HEADING_RE.finditer(text)}
+    return cache[path]
+
+
+def _markdown_files() -> List[Path]:
+    files = sorted(REPO_ROOT.glob("*.md")) + sorted(
+        (REPO_ROOT / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check(verbose: bool = False) -> List[str]:
+    """Return a list of broken-link descriptions (empty when clean)."""
+    problems: List[str] = []
+    anchor_cache: Dict[Path, Set[str]] = {}
+    checked: List[Tuple[Path, str]] = []
+    for md in _markdown_files():
+        text = _FENCE_RE.sub("", md.read_text(encoding="utf-8"))
+        rel = md.relative_to(REPO_ROOT)
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_SKIP_SCHEMES):
+                continue
+            checked.append((rel, target))
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                dest = (md.parent / path_part).resolve()
+                if not dest.exists():
+                    problems.append(f"{rel}: broken link -> {target}")
+                    continue
+            else:
+                dest = md
+            if fragment and dest.suffix == ".md":
+                if _slugify(fragment) not in _anchors(dest, anchor_cache):
+                    problems.append(
+                        f"{rel}: missing anchor -> {target}")
+    if verbose:
+        for rel, target in checked:
+            print(f"  {rel}: {target}")
+        print(f"checked {len(checked)} intra-repo links "
+              f"in {len(_markdown_files())} files")
+    return problems
+
+
+def main(argv=None) -> int:
+    """CLI entry point: print broken links and exit non-zero on any."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="list every checked link")
+    args = parser.parse_args(argv)
+    problems = check(verbose=args.verbose)
+    for problem in problems:
+        print(f"BROKEN {problem}", file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken markdown link(s)", file=sys.stderr)
+        return 1
+    print("all intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
