@@ -56,6 +56,23 @@ class CacheHierarchy:
         self.llc_latency = llc_latency
         self.stats = MissPathStats()
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the whole miss path (L2/LLC/DRAM)."""
+        from ..stateutil import stats_state
+        return {"stats": stats_state(self.stats),
+                "l2": self.l2.state_dict() if self.l2 is not None else None,
+                "llc": self.llc.state_dict(),
+                "dram": self.dram.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore every level of a same-configuration miss path."""
+        from ..stateutil import load_stats
+        load_stats(self.stats, state["stats"])
+        if self.l2 is not None and state.get("l2") is not None:
+            self.l2.load_state_dict(state["l2"])
+        self.llc.load_state_dict(state["llc"])
+        self.dram.load_state_dict(state["dram"])
+
     def access(self, pa: int, is_write: bool) -> int:
         """Service an L1 miss; returns added latency in cycles."""
         stats = self.stats

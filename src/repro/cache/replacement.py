@@ -38,6 +38,13 @@ class ReplacementPolicy:
         """Mark ``way`` least-recently-used so it is the next victim."""
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the policy's recency state."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` (same geometry)."""
+
 
 class LruPolicy(ReplacementPolicy):
     """True LRU via per-set recency stacks (lists of way numbers).
@@ -49,7 +56,14 @@ class LruPolicy(ReplacementPolicy):
 
     def __init__(self, n_sets: int, n_ways: int):
         super().__init__(n_sets, n_ways)
-        self._stacks: List[List[int]] = [list(range(n_ways))
+        # Per-set recency stacks as bytearrays: remove/insert scan raw
+        # bytes instead of boxed ints (touch() runs on every access),
+        # and a checkpoint serializes all stacks with one C-level join.
+        # Way numbers must fit a byte; no real cache is >255-way.
+        if n_ways > 255:
+            raise ValueError(f"LruPolicy supports at most 255 ways, "
+                             f"got {n_ways}")
+        self._stacks: List[bytearray] = [bytearray(range(n_ways))
                                          for _ in range(n_sets)]
 
     def touch(self, set_index: int, way: int) -> None:
@@ -71,6 +85,25 @@ class LruPolicy(ReplacementPolicy):
         stack = self._stacks[set_index]
         stack.remove(way)
         stack.append(way)
+
+    def state_dict(self) -> dict:
+        """Per-set recency stacks, MRU first, packed flat.
+
+        Every stack is a full permutation of ``range(n_ways)`` (touch
+        and invalidate reorder, never shrink), so the row width is
+        implied and the flat row-major array round-trips exactly.
+        """
+        from ..stateutil import pack_ints
+        return {"stacks": pack_ints(b"".join(self._stacks), "B")}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore recency stacks in place (``touch`` stays pre-bound)."""
+        from ..stateutil import unpack_ints
+        flat = unpack_ints(state["stacks"])
+        ways = self.n_ways
+        for set_index, stack in enumerate(self._stacks):
+            stack[:] = bytes(flat[set_index * ways:
+                                  (set_index + 1) * ways])
 
 
 class FifoPolicy(ReplacementPolicy):
@@ -95,6 +128,15 @@ class FifoPolicy(ReplacementPolicy):
     def invalidate(self, set_index: int, way: int) -> None:
         self._next[set_index] = way
 
+    def state_dict(self) -> dict:
+        """Round-robin pointers and last-touched ways."""
+        return {"next": list(self._next), "last": list(self._last)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore FIFO pointers in place."""
+        self._next[:] = state["next"]
+        self._last[:] = state["last"]
+
 
 class RandomPolicy(ReplacementPolicy):
     """Pseudo-random replacement with a seeded generator (deterministic)."""
@@ -116,6 +158,17 @@ class RandomPolicy(ReplacementPolicy):
 
     def invalidate(self, set_index: int, way: int) -> None:
         pass
+
+    def state_dict(self) -> dict:
+        """Generator state plus last-touched ways (fully deterministic)."""
+        from ..stateutil import rng_state
+        return {"rng": rng_state(self._rng), "last": list(self._last)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the generator mid-stream and the last-touched ways."""
+        from ..stateutil import load_rng
+        load_rng(self._rng, state["rng"])
+        self._last[:] = state["last"]
 
 
 _POLICIES = {

@@ -17,6 +17,7 @@ Two details matter specifically for SIPT (Section IV):
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -107,9 +108,17 @@ class SetAssociativeCache:
         self.stats = CacheStats()
         self.policy: ReplacementPolicy = make_policy(replacement,
                                                      n_sets, n_ways)
-        self._tags: List[List[int]] = [[-1] * n_ways for _ in range(n_sets)]
-        self._dirty: List[List[bool]] = [[False] * n_ways
-                                         for _ in range(n_sets)]
+        # Tags live in per-set int64 arrays and dirty bits in per-set
+        # bytearrays (0/1 per way). Both support the same indexing,
+        # assignment, and ``index()`` the hot path used on plain lists
+        # — ``array.index`` even compares raw int64s instead of boxed
+        # ints — while a checkpoint serializes each whole plane with
+        # one C-level join instead of flattening 10k+ Python objects
+        # (see state_dict).
+        self._tags: List[array] = [array("q", [-1] * n_ways)
+                                   for _ in range(n_sets)]
+        self._dirty: List[bytearray] = [bytearray(n_ways)
+                                        for _ in range(n_sets)]
         # Per-set line -> way map mirroring ``_tags``: an associative
         # lookup is O(1) instead of an O(ways) list scan on every probe.
         # ``_tags`` stays authoritative (tests inspect it); the dict is
@@ -218,6 +227,62 @@ class SetAssociativeCache:
     def resident_lines(self) -> List[int]:
         """All valid line addresses (for invariant checks in tests)."""
         return [line for ways in self._tags for line in ways if line != -1]
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: stats, tags, dirty bits, policy state.
+
+        Tags and dirty bits are flattened row-major and packed with
+        :func:`~repro.stateutil.pack_ints` — an LLC holds tens of
+        thousands of slots, and nested JSON lists would dominate the
+        whole checkpoint's serialization time (see stateutil).
+        """
+        from ..stateutil import pack_ints, stats_state
+        return {"stats": stats_state(self.stats),
+                "n_sets": self.n_sets,
+                "n_ways": self.n_ways,
+                "tags": pack_ints(
+                    b"".join([row.tobytes() for row in self._tags]), "q"),
+                "dirty": pack_ints(b"".join(self._dirty), "B"),
+                "policy": self.policy.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a same-geometry snapshot into this instance.
+
+        All containers are mutated in place — ``_tags``/``_dirty`` rows
+        and the ``_where`` accelerator dicts keep their identities, so
+        pre-bound references elsewhere stay valid. ``_where`` is rebuilt
+        from the restored tags rather than serialized (it is derived
+        state; ``check_invariants`` cross-checks the rebuild).
+        """
+        from ..errors import CheckpointError
+        from ..stateutil import load_stats, unpack_ints
+        if (state["n_sets"], state["n_ways"]) != (self.n_sets,
+                                                  self.n_ways):
+            raise CheckpointError(
+                f"cache {self.name}: snapshot geometry "
+                f"{state['n_sets']}x{state['n_ways']} does not match "
+                f"this instance's {self.n_sets}x{self.n_ways}")
+        load_stats(self.stats, state["stats"])
+        flat_tags = unpack_ints(state["tags"])
+        flat_dirty = unpack_ints(state["dirty"])
+        if len(flat_tags) != self.n_sets * self.n_ways:
+            raise CheckpointError(
+                f"cache {self.name}: snapshot has {len(flat_tags)} "
+                f"slots, this instance has {self.n_sets * self.n_ways}")
+        ways_n = self.n_ways
+        for set_index, ways in enumerate(self._tags):
+            ways[:] = array("q", flat_tags[set_index * ways_n:
+                                           (set_index + 1) * ways_n])
+        for set_index, ways in enumerate(self._dirty):
+            ways[:] = bytes(flat_dirty[set_index * ways_n:
+                                       (set_index + 1) * ways_n])
+        for set_index, ways in enumerate(self._tags):
+            where = self._where[set_index]
+            where.clear()
+            for way, line in enumerate(ways):
+                if line != -1:
+                    where[line] = way
+        self.policy.load_state_dict(state["policy"])
 
     def check_invariants(self) -> None:
         """Each line appears at most once, and at its true set index.

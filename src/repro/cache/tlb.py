@@ -88,6 +88,42 @@ class _TlbArray:
                 self._entries[set_index][way] = None
         self._where.clear()
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: (asid, vpn) tags, PTEs, LRU state."""
+        return {
+            "tags": [[list(key) if key is not None else None
+                      for key in ways] for ways in self._tags],
+            "entries": [[[e.pfn, e.huge, e.writable] if e is not None
+                         else None for e in ways]
+                        for ways in self._entries],
+            "policy": self._policy.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a same-geometry snapshot into this array.
+
+        ``_tags``/``_entries`` rows and the ``_where`` dict are mutated
+        in place: :class:`TlbHierarchy` caches direct references to them
+        for its hot lookup path, so their identities must survive.
+        """
+        for set_index in range(self.n_sets):
+            tags = self._tags[set_index]
+            entries = self._entries[set_index]
+            for way in range(self.n_ways):
+                key = state["tags"][set_index][way]
+                tags[way] = tuple(key) if key is not None else None
+                saved = state["entries"][set_index][way]
+                entries[way] = (
+                    PageTableEntry(pfn=saved[0], huge=saved[1],
+                                   writable=saved[2])
+                    if saved is not None else None)
+        self._policy.load_state_dict(state["policy"])
+        self._where.clear()
+        for set_index, ways in enumerate(self._tags):
+            for way, key in enumerate(ways):
+                if key is not None:
+                    self._where[key] = (set_index, way)
+
 
 class TranslationResult:
     """Outcome of one translation through the TLB hierarchy.
@@ -228,3 +264,23 @@ class TlbHierarchy:
         self._l1_4k.flush()
         self._l1_2m.flush()
         self._l2.flush()
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of all levels, stats, and walker state."""
+        from ..stateutil import stats_state
+        return {"stats": stats_state(self.stats),
+                "l1_4k": self._l1_4k.state_dict(),
+                "l1_2m": self._l1_2m.state_dict(),
+                "l2": self._l2.state_dict(),
+                "walker": (self.walker.state_dict()
+                           if self.walker is not None else None)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore all levels in place (pre-bound lookups stay valid)."""
+        from ..stateutil import load_stats
+        load_stats(self.stats, state["stats"])
+        self._l1_4k.load_state_dict(state["l1_4k"])
+        self._l1_2m.load_state_dict(state["l1_2m"])
+        self._l2.load_state_dict(state["l2"])
+        if self.walker is not None and state.get("walker") is not None:
+            self.walker.load_state_dict(state["walker"])

@@ -81,6 +81,18 @@ class PageWalker:
             if len(self._pwc) > self.pwc_entries:
                 self._pwc.pop(0)
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: stats and the PWC's LRU order."""
+        from ..stateutil import stats_state
+        return {"stats": stats_state(self.stats),
+                "pwc": [list(key) for key in self._pwc]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore stats and PWC contents (``memory_access`` untouched)."""
+        from ..stateutil import load_stats
+        load_stats(self.stats, state["stats"])
+        self._pwc[:] = [tuple(key) for key in state["pwc"]]
+
     def walk(self, va: int, asid: int = 0) -> int:
         """Perform a full walk for ``va``; returns latency in cycles.
 

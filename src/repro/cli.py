@@ -8,6 +8,10 @@ Examples::
     python -m repro suite --geometry 64K_4w --accesses 10000
     python -m repro sweep --apps perlbench,mcf --journal sweep.jsonl
     python -m repro sweep --resume sweep.jsonl   # continue after a crash
+    python -m repro sweep --journal sweep.jsonl \
+        --checkpoint-every 10000 --checkpoint-dir ckpts  # mid-cell resume
+    python -m repro run --app mcf --checkpoint-every 10000 \
+        --checkpoint-dir ckpts                   # rerun resumes mid-trace
     python -m repro mix --name mix0
     python -m repro designspace
     python -m repro validate --min-pass 6
@@ -26,6 +30,7 @@ import argparse
 import sys
 from dataclasses import replace
 from functools import partial
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from .core.indexing import IndexingScheme, SiptVariant
@@ -39,6 +44,7 @@ from .sim import (
     RetryPolicy,
     TraceCache,
     WorkerCrash,
+    checkpoint_path_for,
     harmonic_mean,
     inorder_system,
     ooo_system,
@@ -90,13 +96,17 @@ def _runner(args) -> ResilientRunner:
     faults = None
     if getattr(args, "inject", None):
         faults = FaultInjector(args.inject)
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if checkpoint_dir:
+        Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
     return ResilientRunner(
         journal=journal or resume,
         resume_from=resume,
         timeout_s=getattr(args, "timeout", None),
         retry=RetryPolicy(max_retries=getattr(args, "retries", 2)),
         faults=faults,
-        jobs=getattr(args, "jobs", 1))
+        jobs=getattr(args, "jobs", 1),
+        checkpoint_dir=checkpoint_dir)
 
 
 def _finish(args, runner: ResilientRunner) -> int:
@@ -147,11 +157,25 @@ def cmd_run(args) -> int:
     condition = CONDITIONS[args.condition]
     l1 = _l1(args)
     holder: Dict[str, object] = {}
+    key = {"cmd": "run", "app": args.app, "geometry": args.geometry,
+           "core": args.core, "condition": args.condition}
+    if args.checkpoint_every and not (args.checkpoint_dir
+                                      or args.resume_checkpoint):
+        raise ConfigError("--checkpoint-every needs --checkpoint-dir "
+                          "(or an explicit --resume-checkpoint file)")
+    ckpt = None
+    if args.resume_checkpoint:
+        ckpt = Path(args.resume_checkpoint)
+    elif args.checkpoint_dir:
+        ckpt = checkpoint_path_for(args.checkpoint_dir, key)
 
     def cell():
-        holder["result"] = run_app(args.app, _system(args, l1),
-                                   condition=condition,
-                                   n_accesses=args.accesses, cache=traces)
+        holder["result"] = run_app(
+            args.app, _system(args, l1), condition=condition,
+            n_accesses=args.accesses, cache=traces,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=ckpt if args.checkpoint_every else None,
+            resume_checkpoint=ckpt)
         if args.compare_baseline:
             holder["baseline"] = run_app(
                 args.app, _system(args, BASELINE_L1), condition=condition,
@@ -162,8 +186,6 @@ def cmd_run(args) -> int:
     # degrade=False: a single-cell command wants the typed error (exit 1
     # via main's handler), not an error row — but retries/timeouts and
     # injected faults still apply.
-    key = {"cmd": "run", "app": args.app, "geometry": args.geometry,
-           "core": args.core, "condition": args.condition}
     runner.run_cell(key, cell, degrade=False)
     runner.close()
     _print_result(holder["result"], holder.get("baseline"))
@@ -171,17 +193,24 @@ def cmd_run(args) -> int:
 
 
 def _suite_cell(app: str, base_system, sipt_system, condition,
-                n_accesses: int) -> dict:
+                n_accesses: int, checkpoint_every: Optional[int] = None,
+                checkpoint_path: Optional[Path] = None) -> dict:
     """One suite row as a picklable task (module-level for ``--jobs``).
 
     Traces come from the process-local shared cache (``cache=None``),
     so the same function serves both the serial runner path and pool
     workers; the simulations are seeded, so the rows are identical.
+    The SIPT run checkpoints (and auto-resumes) when asked; the VIPT
+    baseline is shared warm-up work and stays uncheckpointed, like
+    sweep baselines.
     """
     base = run_app(app, base_system, condition=condition,
                    n_accesses=n_accesses, cache=None)
     result = run_app(app, sipt_system, condition=condition,
-                     n_accesses=n_accesses, cache=None)
+                     n_accesses=n_accesses, cache=None,
+                     checkpoint_every=checkpoint_every,
+                     checkpoint_path=checkpoint_path,
+                     resume_checkpoint=checkpoint_path)
     return {"app": app, "ipc": result.ipc,
             "speedup": result.speedup_over(base),
             "fast": result.fast_fraction,
@@ -194,13 +223,18 @@ def cmd_suite(args) -> int:
     condition = CONDITIONS[args.condition]
     base_system = _system(args, BASELINE_L1)
     sipt_system = _system(args, _l1(args))
+    if args.checkpoint_every and runner.checkpoint_dir is None:
+        raise ConfigError("--checkpoint-every needs --checkpoint-dir")
     cells = []
     for app in EVALUATED_APPS:
         key = {"cmd": "suite", "app": app, "geometry": args.geometry,
                "core": args.core, "condition": args.condition,
                "accesses": args.accesses}
+        ckpt = (checkpoint_path_for(runner.checkpoint_dir, key)
+                if args.checkpoint_every else None)
         cells.append((key, partial(_suite_cell, app, base_system,
-                                   sipt_system, condition, args.accesses)))
+                                   sipt_system, condition, args.accesses,
+                                   args.checkpoint_every, ckpt)))
     rows = runner.run_cells(cells)
     speedups = []
     print(f"{'app':>14s} {'IPC':>7s} {'speedup':>8s} {'fast':>6s} "
@@ -236,7 +270,8 @@ def cmd_sweep(args) -> int:
         baseline=args.baseline)
     runner = _runner(args)
     rows = run_sweep(spec, n_accesses=args.accesses, traces=TraceCache(),
-                     runner=runner)
+                     runner=runner,
+                     checkpoint_every=args.checkpoint_every)
     path = to_csv(rows, args.out)
     print(f"wrote {len(rows)} rows to {path}")
     return _finish(args, runner)
@@ -268,7 +303,8 @@ def cmd_bench(args) -> int:
     report = run_bench(apps=apps, n_accesses=args.accesses,
                        l1=_l1(args), repeats=args.repeats,
                        profile=args.profile, label=args.label,
-                       interval=args.interval)
+                       interval=args.interval,
+                       checkpoint_every=args.checkpoint_every)
     path = write_report(report, args.out)
     agg = report["aggregate_accesses_per_s"]
     print(f"aggregate throughput : {agg:,.0f} accesses/s")
@@ -465,25 +501,46 @@ def build_parser() -> argparse.ArgumentParser:
                 "--jobs", type=int, default=1, metavar="N",
                 help="run grid cells in N worker processes (rows, "
                      "journal, and --resume stay identical to serial; "
-                     "incompatible with --inject)")
+                     "attempt-level --inject kinds require jobs=1)")
         group.add_argument("--timeout", type=float, default=None,
                            metavar="SECONDS", help="per-cell deadline")
         group.add_argument("--retries", type=int, default=2,
                            help="retry budget for transient errors")
         group.add_argument(
             "--inject", action="append", default=[], metavar="FAULT",
-            help="inject a deterministic fault: crash@N, "
-                 "transient@N[xK], stall@N:SECONDS (repeatable)")
+            help="inject a deterministic fault: crash@N, crash@N@ACCESS "
+                 "(mid-simulation), transient@N[xK], stall@N:SECONDS, "
+                 "corrupt_trace@N[xK], poison_predictor@N[xK] "
+                 "(repeatable; data-level kinds work with --jobs)")
+
+    def checkpointing(p, single_cell=False):
+        group = p.add_argument_group("checkpointing")
+        group.add_argument(
+            "--checkpoint-every", type=int, default=None, metavar="N",
+            help="snapshot simulation state every N accesses "
+                 "(crash-safe; a rerun resumes mid-trace)")
+        group.add_argument(
+            "--checkpoint-dir", default=None, metavar="DIR",
+            help="directory for per-cell snapshot files; failed cells "
+                 "with a snapshot degrade to status=resumable and "
+                 "fast-forward on the next run")
+        if single_cell:
+            group.add_argument(
+                "--resume-checkpoint", default=None, metavar="FILE",
+                help="resume from this snapshot file (missing file = "
+                     "fresh start; overrides the --checkpoint-dir name)")
 
     run_p = sub.add_parser("run", help="simulate one app")
     common(run_p, with_app=True)
     resilience(run_p, with_journal=False)
+    checkpointing(run_p, single_cell=True)
     run_p.add_argument("--compare-baseline", action="store_true",
                        help="also run the VIPT baseline and report ratios")
 
     suite_p = sub.add_parser("suite", help="simulate the full 26-app suite")
     common(suite_p)
     resilience(suite_p)
+    checkpointing(suite_p)
 
     sweep_p = sub.add_parser(
         "sweep", help="run an (apps x geometries x ...) grid to CSV")
@@ -500,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--out", default="sweep.csv",
                          help="CSV output path")
     resilience(sweep_p)
+    checkpointing(sweep_p)
 
     mix_p = sub.add_parser("mix", help="simulate a Table III quad-core mix")
     common(mix_p)
@@ -525,6 +583,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--interval", type=int, default=None, metavar="N",
                          help="bench the interval-sampling replay path "
                               "(simulate(..., interval=N))")
+    bench_p.add_argument("--checkpoint-every", type=int, default=None,
+                         metavar="N",
+                         help="bench the checkpointed replay path "
+                              "(snapshot every N accesses to a temp dir)")
     bench_p.add_argument("--repeats", type=int, default=3,
                          help="timed replays per app; best is kept")
     bench_p.add_argument("--profile", action="store_true",

@@ -129,6 +129,27 @@ class IndexDeltaBuffer:
         self._last_page[entry] = page
         return hit
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: deltas, last pages, stats, RNG state.
+
+        The generator state matters only in ``page_bound`` mode (where
+        untrusted deltas are randomized), but it is captured always so
+        the snapshot shape does not depend on the mode.
+        """
+        from ..stateutil import rng_state, stats_state
+        return {"stats": stats_state(self.stats),
+                "deltas": list(self._deltas),
+                "last_page": list(self._last_page),
+                "rng": rng_state(self._rng)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a same-sizing snapshot, generator mid-stream."""
+        from ..stateutil import load_rng, load_stats
+        load_stats(self.stats, state["stats"])
+        self._deltas[:] = state["deltas"]
+        self._last_page[:] = state["last_page"]
+        load_rng(self._rng, state["rng"])
+
     @property
     def storage_bits(self) -> int:
         """Table storage: n_entries deltas of n_bits each."""

@@ -160,6 +160,21 @@ class PerceptronPredictor:
     def _clip(self, w: int) -> int:
         return max(self.weight_min, min(self.weight_max, w))
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: weights, global history, stats."""
+        from ..stateutil import stats_state
+        return {"stats": stats_state(self.stats),
+                "weights": [list(row) for row in self._weights],
+                "history": list(self._history)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a same-sizing snapshot (rows mutated in place)."""
+        from ..stateutil import load_stats
+        load_stats(self.stats, state["stats"])
+        for row, saved in zip(self._weights, state["weights"]):
+            row[:] = saved
+        self._history[:] = state["history"]
+
     # ------------------------------------------------------------------
     @property
     def storage_bits(self) -> int:

@@ -314,6 +314,48 @@ class SiptL1Cache:
             return True, False, SpeculationOutcome.IDB_HIT, True
         return False, True, SpeculationOutcome.EXTRA_ACCESS, True
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the whole L1 front end.
+
+        Composes the array, TLB hierarchy (with walker), and whichever
+        predictors this configuration instantiated; absent predictors
+        serialize as ``None`` so the snapshot's key set — and therefore
+        the checkpoint digest preimage — has a stable shape.
+        """
+        from ..stateutil import stats_state
+        return {
+            "stats": stats_state(self.stats),
+            "outcomes": stats_state(self.outcomes),
+            "cache": self.cache.state_dict(),
+            "tlb": self.tlb.state_dict(),
+            "perceptron": (self.perceptron.state_dict()
+                           if self.perceptron is not None else None),
+            "idb": (self.idb.state_dict()
+                    if self.idb is not None else None),
+            "way_predictor": (self.way_predictor.state_dict()
+                              if self.way_predictor is not None else None),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a same-configuration snapshot into this front end.
+
+        Every owned object keeps its identity (components restore in
+        place), so the pre-bound hot-path callables resolved in
+        ``__init__`` remain correct after the load.
+        """
+        from ..stateutil import load_stats
+        load_stats(self.stats, state["stats"])
+        load_stats(self.outcomes, state["outcomes"])
+        self.cache.load_state_dict(state["cache"])
+        self.tlb.load_state_dict(state["tlb"])
+        if self.perceptron is not None and state["perceptron"] is not None:
+            self.perceptron.load_state_dict(state["perceptron"])
+        if self.idb is not None and state["idb"] is not None:
+            self.idb.load_state_dict(state["idb"])
+        if (self.way_predictor is not None
+                and state["way_predictor"] is not None):
+            self.way_predictor.load_state_dict(state["way_predictor"])
+
     def predictor_overhead_fraction(self) -> float:
         """Predictor storage relative to the L1 array (paper: < 2%)."""
         predictor_bits = 0

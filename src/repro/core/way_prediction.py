@@ -70,6 +70,16 @@ class WayPredictor:
         self.stats.second_accesses += 1
         return self.mispredict_penalty
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot (MRU prediction itself is stateless)."""
+        from ..stateutil import stats_state
+        return {"stats": stats_state(self.stats)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore accuracy counters (the cache holds the MRU state)."""
+        from ..stateutil import load_stats
+        load_stats(self.stats, state["stats"])
+
     def dynamic_energy_factor(self) -> float:
         """Average fraction of full-parallel data-array energy consumed.
 
@@ -127,3 +137,16 @@ class PcWayPredictor(WayPredictor):
         if hit and self._last_entry >= 0:
             self._table[self._last_entry] = actual_way
         return penalty
+
+    def state_dict(self) -> dict:
+        """Adds the PC-indexed way table to the base snapshot."""
+        state = super().state_dict()
+        state["table"] = list(self._table)
+        state["last_entry"] = self._last_entry
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore counters plus the PC-indexed table."""
+        super().load_state_dict(state)
+        self._table[:] = state["table"]
+        self._last_entry = state["last_entry"]

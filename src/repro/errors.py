@@ -13,6 +13,8 @@ Hierarchy::
       TraceError       (also ValueError)  trace generation / corrupt records
       SimulationError  (also RuntimeError) the model produced nonsense
         CellTimeout                        a grid cell exceeded its deadline
+      CheckpointError  (also RuntimeError) a simulation checkpoint is
+                                           corrupt or does not match the run
       TransientError   (also RuntimeError) retryable (worker hiccups,
                                            injected transients)
 
@@ -85,6 +87,16 @@ class CellTimeout(SimulationError):
     def __init__(self, message: str, *, timeout_s: float = 0.0, **kw):
         super().__init__(message, **kw)
         self.timeout_s = timeout_s
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A simulation checkpoint failed verification on load.
+
+    Raised when a snapshot file is unparseable, fails its content
+    digest, or belongs to a different (trace, system) than the run
+    trying to resume from it. Never raised for a *missing* checkpoint —
+    starting fresh is the correct recovery there.
+    """
 
 
 class TransientError(ReproError, RuntimeError):

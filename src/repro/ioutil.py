@@ -1,0 +1,56 @@
+"""Crash-safe file writing shared by every run artifact.
+
+A run artifact (sweep CSV, interval JSONL, stats snapshot, simulation
+checkpoint, bench report) must never be left *torn* by a kill: a later
+``--resume`` that trips over half a file is strictly worse than one
+that finds no file at all. Every writer therefore goes through
+:func:`atomic_write_text`: the content lands in a temp file **in the
+same directory** (so the final rename cannot cross filesystems), is
+flushed — and optionally fsynced — and then moved over the destination
+with ``os.replace``, which POSIX guarantees to be atomic. Readers see
+either the complete old content or the complete new content, never a
+prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str,
+                      fsync: bool = True) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Parameters
+    ----------
+    path:
+        Destination file; its parent directory must exist.
+    text:
+        Full file content.
+    fsync:
+        Force the temp file to disk before the rename (the default —
+        without it a power loss can leave an empty renamed file on some
+        filesystems). Pass ``False`` for high-frequency, low-value
+        artifacts like watchdog heartbeats where a lost update is
+        harmless and the sync cost is not.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                    prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", newline="") as handle:
+            handle.write(text)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path

@@ -94,6 +94,28 @@ class IntervalSampler:
         self._cum_instructions = 0.0
         self._cum_cycles = 0.0
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot so interval sampling survives a resume.
+
+        Captures the records emitted so far, the previous counter
+        snapshot (window baseline), and the cumulative-IPC accumulators;
+        a resumed run's remaining windows then come out byte-identical
+        to an uninterrupted run's.
+        """
+        return {"records": list(self.records),
+                "previous": dict(self._previous),
+                "start": self._start,
+                "cum_instructions": self._cum_instructions,
+                "cum_cycles": self._cum_cycles}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore mid-run sampling state (same interval/registry)."""
+        self.records[:] = state["records"]
+        self._previous = dict(state["previous"])
+        self._start = state["start"]
+        self._cum_instructions = state["cum_instructions"]
+        self._cum_cycles = state["cum_cycles"]
+
     def sample(self, end: int) -> Dict[str, Any]:
         """Close the window ``[start, end)`` and append its record."""
         current = self.registry.counters()
@@ -148,14 +170,13 @@ class IntervalSampler:
 
 def write_jsonl(records: Iterable[Dict[str, Any]],
                 path: Union[str, Path]) -> Path:
-    """Write interval records as JSONL (sorted keys, deterministic)."""
-    path = Path(path)
-    with path.open("w") as handle:
-        for record in records:
-            json.dump(record, handle, sort_keys=True,
-                      separators=(",", ":"))
-            handle.write("\n")
-    return path
+    """Write interval records as JSONL (sorted keys, deterministic).
+
+    Atomic (temp file + ``os.replace``): a kill mid-export leaves the
+    previous file intact, never a truncated one.
+    """
+    from ..ioutil import atomic_write_text
+    return atomic_write_text(Path(path), dumps_jsonl(records))
 
 
 def dumps_jsonl(records: Iterable[Dict[str, Any]]) -> str:
@@ -178,16 +199,20 @@ def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
 
 def intervals_to_csv(records: Iterable[Dict[str, Any]],
                      path: Union[str, Path]) -> Path:
-    """Export interval records as plot-ready CSV (CSV_FIELDS columns)."""
-    path = Path(path)
-    with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
-        writer.writeheader()
-        for record in records:
-            row = {k: record.get(k, "") for k in CSV_FIELDS
-                   if not k.startswith("outcome_")}
-            for key in OUTCOME_KEYS:
-                row[f"outcome_{key}"] = record.get("outcomes", {}).get(
-                    key, "")
-            writer.writerow(row)
-    return path
+    """Export interval records as plot-ready CSV (CSV_FIELDS columns).
+
+    Atomic like :func:`write_jsonl`.
+    """
+    import io
+    from ..ioutil import atomic_write_text
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_FIELDS)
+    writer.writeheader()
+    for record in records:
+        row = {k: record.get(k, "") for k in CSV_FIELDS
+               if not k.startswith("outcome_")}
+        for key in OUTCOME_KEYS:
+            row[f"outcome_{key}"] = record.get("outcomes", {}).get(
+                key, "")
+        writer.writerow(row)
+    return atomic_write_text(Path(path), buffer.getvalue())

@@ -151,12 +151,16 @@ def diff_snapshots(before: Dict[str, float],
 def save_snapshot(snapshot: Dict[str, float],
                   path: Union[str, Path],
                   meta: Optional[Dict[str, Any]] = None) -> Path:
-    """Write a snapshot (plus optional run metadata) as sorted JSON."""
-    path = Path(path)
+    """Write a snapshot (plus optional run metadata) as sorted JSON.
+
+    Atomic (temp file + ``os.replace``), so a kill mid-save never
+    leaves a half-written snapshot behind.
+    """
+    from ..ioutil import atomic_write_text
     payload = {"schema": "repro-snapshot-1",
                "meta": meta or {}, "metrics": snapshot}
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
+    return atomic_write_text(
+        Path(path), json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def load_snapshot(path: Union[str, Path]) -> Dict[str, float]:

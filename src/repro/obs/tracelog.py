@@ -98,16 +98,16 @@ class DecisionTrace:
 
     def write_jsonl(self, path: Union[str, Path],
                     meta: Optional[Dict[str, Any]] = None) -> Path:
-        """Dump a header line plus one JSON record per sampled access."""
-        path = Path(path)
+        """Dump a header line plus one JSON record per sampled access.
+
+        Atomic (temp file + ``os.replace``): a kill mid-dump leaves any
+        previous trace file intact rather than a truncated one.
+        """
+        from ..ioutil import atomic_write_text
         header = {"schema": SCHEMA, "meta": meta or {},
                   **self.summary()}
-        with path.open("w") as handle:
-            json.dump(header, handle, sort_keys=True,
-                      separators=(",", ":"))
-            handle.write("\n")
-            for record in self._ring:
-                json.dump(record, handle, sort_keys=True,
-                          separators=(",", ":"))
-                handle.write("\n")
-        return path
+        lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+        lines += [json.dumps(record, sort_keys=True, separators=(",", ":"))
+                  for record in self._ring]
+        return atomic_write_text(Path(path), "".join(
+            line + "\n" for line in lines))

@@ -10,6 +10,13 @@ from .config import (
     ooo_system,
 )
 from .bench import check_regression, profile_simulate, run_bench, write_report
+from .checkpoint import (
+    checkpoint_path_for,
+    load_checkpoint,
+    read_heartbeat,
+    trace_identity,
+    write_checkpoint,
+)
 from .coherent_driver import CoherentRunResult, simulate_coherent
 from .driver import simulate, simulate_multicore
 from .experiment import (
@@ -56,6 +63,11 @@ __all__ = [
     "TraceCache",
     "arithmetic_mean",
     "check_regression",
+    "checkpoint_path_for",
+    "load_checkpoint",
+    "read_heartbeat",
+    "trace_identity",
+    "write_checkpoint",
     "default_accesses",
     "profile_simulate",
     "run_bench",

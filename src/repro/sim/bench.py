@@ -53,12 +53,16 @@ DEFAULT_APPS = ("perlbench", "calculix", "libquantum")
 
 
 def _time_simulate(trace, system, repeats: int,
-                   interval: Optional[int] = None) -> float:
+                   interval: Optional[int] = None,
+                   checkpoint_every: Optional[int] = None,
+                   checkpoint_path: Optional[Path] = None) -> float:
     """Best-of-``repeats`` wall time of one simulate() call."""
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
-        simulate(trace, system, interval=interval)
+        simulate(trace, system, interval=interval,
+                 checkpoint_every=checkpoint_every,
+                 checkpoint_path=checkpoint_path)
         best = min(best, time.perf_counter() - start)
     return best
 
@@ -101,14 +105,17 @@ def run_bench(apps: Optional[Iterable[str]] = None,
               profile: bool = False,
               traces: Optional[TraceCache] = None,
               label: Optional[str] = None,
-              interval: Optional[int] = None) -> dict:
+              interval: Optional[int] = None,
+              checkpoint_every: Optional[int] = None) -> dict:
     """Measure simulate() throughput; returns the trajectory-point dict.
 
     ``l1`` overrides ``geometry`` when given (the CLI passes a resolved
     config so ``--scheme``/``--variant`` compose). Trace generation is
     excluded from the timed region. ``interval`` benches the
     interval-sampling replay path (``simulate(..., interval=N)``) so
-    the observability overhead gets its own guarded trajectory point.
+    the observability overhead gets its own guarded trajectory point;
+    ``checkpoint_every`` does the same for the checkpointed replay path
+    (snapshots land in a temp directory that is cleaned up afterwards).
     """
     if n_accesses <= 0:
         raise ConfigError(f"n_accesses must be positive, got {n_accesses}")
@@ -116,6 +123,9 @@ def run_bench(apps: Optional[Iterable[str]] = None,
         raise ConfigError(f"repeats must be positive, got {repeats}")
     if interval is not None and interval <= 0:
         raise ConfigError(f"interval must be positive, got {interval}")
+    if checkpoint_every is not None and checkpoint_every <= 0:
+        raise ConfigError(
+            f"checkpoint_every must be positive, got {checkpoint_every}")
     apps = list(apps) if apps else list(DEFAULT_APPS)
     if l1 is None:
         if geometry not in SIPT_GEOMETRIES:
@@ -127,29 +137,47 @@ def run_bench(apps: Optional[Iterable[str]] = None,
 
     per_app: Dict[str, dict] = {}
     total_time = 0.0
-    for app in apps:
-        trace = traces.get(app, n_accesses)
-        # Warm-up replay (outside the clock): JIT-free Python still
-        # benefits from warm allocator arenas and branch-predictable
-        # dict sizes.
-        simulate(trace, system, interval=interval)
-        best = _time_simulate(trace, system, repeats, interval=interval)
-        total_time += best
-        per_app[app] = {
-            "best_s": round(best, 6),
-            "accesses_per_s": round(n_accesses / best, 1),
-        }
+    ckpt_dir = None
+    if checkpoint_every is not None:
+        import tempfile
+        ckpt_dir = tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-")
+    try:
+        for app in apps:
+            trace = traces.get(app, n_accesses)
+            ckpt = (Path(ckpt_dir.name) / f"bench-{app}.json"
+                    if ckpt_dir is not None else None)
+            # Warm-up replay (outside the clock): JIT-free Python still
+            # benefits from warm allocator arenas and branch-predictable
+            # dict sizes.
+            simulate(trace, system, interval=interval,
+                     checkpoint_every=checkpoint_every,
+                     checkpoint_path=ckpt)
+            best = _time_simulate(trace, system, repeats,
+                                  interval=interval,
+                                  checkpoint_every=checkpoint_every,
+                                  checkpoint_path=ckpt)
+            total_time += best
+            per_app[app] = {
+                "best_s": round(best, 6),
+                "accesses_per_s": round(n_accesses / best, 1),
+            }
+    finally:
+        if ckpt_dir is not None:
+            ckpt_dir.cleanup()
 
     report = {
         "schema": SCHEMA,
         "label": label or (f"{l1.label}-{n_accesses}"
-                           + (f"-i{interval}" if interval else "")),
+                           + (f"-i{interval}" if interval else "")
+                           + (f"-c{checkpoint_every}"
+                              if checkpoint_every else "")),
         "created": datetime.now().isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "n_accesses": n_accesses,
         "repeats": repeats,
         "interval": interval,
+        "checkpoint_every": checkpoint_every,
         "geometry": l1.label,
         "apps": per_app,
         "aggregate_accesses_per_s": round(
@@ -167,13 +195,14 @@ def write_report(report: dict, out: Union[str, Path] = ".") -> Path:
     ``out`` may be a directory (the file is named
     ``BENCH_<label>.json``) or an explicit file path.
     """
+    from ..ioutil import atomic_write_text
     out = Path(out)
     if out.is_dir():
         safe = "".join(c if c.isalnum() or c in "._-" else "_"
                        for c in report["label"])
         out = out / f"BENCH_{safe}.json"
-    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    return out
+    return atomic_write_text(
+        out, json.dumps(report, indent=2, sort_keys=True) + "\n")
 
 
 def check_regression(report: dict, baseline: Union[str, Path, dict],

@@ -1,0 +1,272 @@
+"""Mid-simulation checkpoint/restore ("repro-ckpt-1").
+
+PR 1 made *grids* resumable — a killed sweep replays its journal — but
+each cell was still all-or-nothing: a simulation that died at 99%
+recomputed from access 0. This module makes the cell itself resumable:
+:func:`repro.sim.driver.simulate` periodically snapshots every stateful
+component between fused-loop chunks, and a killed run restarted with
+``resume_checkpoint=...`` replays only the remaining accesses,
+producing a byte-identical :class:`~repro.sim.results.SimResult`.
+
+Snapshot format — two JSON lines, header then body::
+
+    {"schema": "repro-ckpt-1", "digest": "<sha256 hex over line 2>"}
+    {"position": 30000,                 # next access to replay
+     "system": "sipt-32K-2w-ooo",       # SystemConfig.name
+     "trace": {"app": ..., "condition": ..., "n_accesses": ...,
+               "fingerprint": "<crc32 hex over the trace columns>"},
+     "sampler": {...} | null,           # interval-sampler state
+     "state": {...}}                    # _CoreContext.state_dict()
+
+Digest semantics: the header's digest is a SHA-256 over the **raw
+bytes of the body line** as written (UTF-8, no trailing newline).
+Hashing the written bytes rather than a re-canonicalized structure
+means the body is serialized exactly once per snapshot and verified
+without re-serializing on load — the write path runs between replay
+chunks, and its cost is what the ≤5 % checkpoint-overhead budget in
+the perf bench is spent on. Any torn, truncated, or hand-edited
+snapshot fails closed with :class:`~repro.errors.CheckpointError`.
+The trace identity and system name inside the body stop a snapshot
+from one cell silently warming a different cell's run.
+
+Writes are crash-safe (temp file + ``os.replace`` via
+:mod:`repro.ioutil`): a kill during a checkpoint leaves the previous
+complete snapshot, never a torn file.
+
+Alongside each checkpoint lives a **watchdog heartbeat**
+(``<ckpt>.heartbeat``), rewritten after every replay chunk with the
+current access position. :func:`repro.sim.resilience.call_with_timeout`
+uses it to distinguish a slow cell (position advancing — deadline keeps
+extending) from a hung one (no progress for ``timeout_s`` — fires).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..errors import CheckpointError
+from ..ioutil import atomic_write_text
+
+#: Schema tag stamped into (and verified on) every snapshot.
+SCHEMA = "repro-ckpt-1"
+
+#: Characters allowed in the human-readable part of checkpoint names.
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _canonical(payload: Any) -> str:
+    """Canonical JSON: sorted keys, compact separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def trace_identity(trace) -> Dict[str, Any]:
+    """The identity block binding a snapshot to one exact trace.
+
+    ``fingerprint`` is a CRC-32 over the raw bytes of every trace
+    column — same idea as ``workloads.trace.stable_hash``, applied to
+    the data instead of a label — so two traces that merely share
+    (app, condition, length) but differ in content do not cross-resume.
+    """
+    crc = 0
+    for column in (trace.pc, trace.va, trace.is_write,
+                   trace.inst_gap, trace.dep_dist):
+        crc = zlib.crc32(column.tobytes(), crc)
+    return {"app": trace.app,
+            "condition": trace.condition.value,
+            "n_accesses": len(trace),
+            "fingerprint": f"{crc & 0xFFFFFFFF:08x}"}
+
+
+def compute_digest(body_text: str) -> str:
+    """SHA-256 hex digest over the body line's UTF-8 bytes."""
+    return hashlib.sha256(body_text.encode("utf-8")).hexdigest()
+
+
+def write_checkpoint(path: Union[str, Path], *, state: Dict[str, Any],
+                     position: int, trace, system_name: str,
+                     sampler_state: Optional[Dict[str, Any]] = None,
+                     identity: Optional[Dict[str, Any]] = None,
+                     fsync: bool = True) -> Path:
+    """Atomically write one digest-protected snapshot to ``path``.
+
+    The body is serialized exactly once (compact separators) and the
+    header digest covers those bytes verbatim — no canonicalization
+    pass on either side of the round trip. ``identity`` lets a caller
+    that checkpoints the same trace repeatedly pass a precomputed
+    :func:`trace_identity` instead of re-fingerprinting the trace
+    columns on every periodic snapshot.
+
+    ``fsync=False`` skips forcing the temp file to disk before the
+    rename. The atomic-rename guarantee — a killed *process* leaves
+    either the previous complete snapshot or the new one, never a torn
+    file — holds regardless; fsync only adds power-loss durability.
+    The driver's periodic snapshots pass ``False``: each one is
+    superseded moments later, the sync's common cost (~1 ms) plus its
+    occasional multi-ms tail is charged on every checkpoint period,
+    and the worst power-loss outcome (an empty or garbled file, which
+    :func:`load_checkpoint` treats as absent / fails closed on) merely
+    restarts that cell from access 0 — exactly a never-checkpointed
+    run.
+    """
+    text = render_checkpoint(state=state, position=position, trace=trace,
+                             system_name=system_name,
+                             sampler_state=sampler_state,
+                             identity=identity)
+    return atomic_write_text(Path(path), text, fsync=fsync)
+
+
+def render_checkpoint(*, state: Dict[str, Any], position: int, trace,
+                      system_name: str,
+                      sampler_state: Optional[Dict[str, Any]] = None,
+                      identity: Optional[Dict[str, Any]] = None) -> str:
+    """Serialize one snapshot to its two-line file text.
+
+    Split out from :func:`write_checkpoint` so the driver can render
+    synchronously (the state dict references the live simulation and
+    must be serialized before replay continues) and hand the resulting
+    *immutable* string to a background writer thread — taking the
+    filesystem, whose latency tail is unbounded on a contended
+    machine, off the replay's critical path entirely.
+    """
+    body_text = json.dumps(
+        {"position": position,
+         "system": system_name,
+         "trace": identity if identity is not None
+         else trace_identity(trace),
+         "sampler": sampler_state,
+         "state": state},
+        separators=(",", ":"))
+    header = _canonical({"schema": SCHEMA,
+                         "digest": compute_digest(body_text)})
+    return header + "\n" + body_text + "\n"
+
+
+def load_checkpoint(path: Union[str, Path], *, trace=None,
+                    system_name: Optional[str] = None
+                    ) -> Optional[Dict[str, Any]]:
+    """Load and verify a snapshot; returns ``None`` if ``path`` is absent.
+
+    Verification is strict and fails closed: schema tag, content
+    digest (over the body line's raw bytes), and — when
+    ``trace``/``system_name`` are given — the trace identity and
+    system name must all match, else
+    :class:`~repro.errors.CheckpointError` is raised. A missing file is
+    *not* an error (the caller simply starts fresh), because that is
+    exactly the state a never-before-run cell is in.
+
+    Returns the parsed body dict (``position``, ``system``, ``trace``,
+    ``sampler``, ``state``).
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise CheckpointError(f"checkpoint {path} is unreadable: {exc}")
+    if not text:
+        # The one artifact an unsynced rename can leave after a power
+        # loss: a zero-length file. Indistinguishable from "no snapshot
+        # yet", and treated the same — start fresh. Any *partial*
+        # content still fails closed below.
+        return None
+    header_line, sep, body_text = text.partition("\n")
+    body_text = body_text.rstrip("\n")
+    if not sep or not body_text:
+        raise CheckpointError(
+            f"checkpoint {path} is truncated (no body line)")
+    try:
+        header = json.loads(header_line)
+        payload = json.loads(body_text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is unreadable or corrupt: {exc}")
+    if not isinstance(header, dict) or header.get("schema") != SCHEMA:
+        raise CheckpointError(
+            f"checkpoint {path} has schema "
+            f"{header.get('schema') if isinstance(header, dict) else None!r},"
+            f" expected {SCHEMA!r}")
+    digest = header.get("digest")
+    expected = compute_digest(body_text)
+    if digest != expected:
+        raise CheckpointError(
+            f"checkpoint {path} failed digest verification "
+            f"(stored {str(digest)[:12]}..., computed {expected[:12]}...); "
+            "the file is corrupt or was modified")
+    if not isinstance(payload, dict):
+        raise CheckpointError(
+            f"checkpoint {path} body is not a JSON object")
+    if trace is not None:
+        want = trace_identity(trace)
+        if payload.get("trace") != want:
+            raise CheckpointError(
+                f"checkpoint {path} belongs to trace "
+                f"{payload.get('trace')}, this run replays {want}")
+    if system_name is not None and payload.get("system") != system_name:
+        raise CheckpointError(
+            f"checkpoint {path} was taken on system "
+            f"{payload.get('system')!r}, this run simulates "
+            f"{system_name!r}")
+    position = payload.get("position")
+    if not isinstance(position, int) or position < 0:
+        raise CheckpointError(
+            f"checkpoint {path} carries invalid position {position!r}")
+    return payload
+
+
+def checkpoint_path_for(directory: Union[str, Path],
+                        key: Dict[str, Any]) -> Path:
+    """Deterministic per-cell checkpoint file under ``directory``.
+
+    The name combines a readable prefix from the cell key's values with
+    a CRC-32 of the canonical key (the same canonicalization the
+    journal uses), so distinct cells never collide even after the
+    readable part is sanitized or truncated.
+    """
+    canon = _canonical(key)
+    tag = f"{zlib.crc32(canon.encode('utf-8')) & 0xFFFFFFFF:08x}"
+    readable = "-".join(str(key[k]) for k in sorted(key))
+    readable = _SAFE_NAME.sub("_", readable)[:80].strip("-_") or "cell"
+    return Path(directory) / f"ckpt-{readable}-{tag}.json"
+
+
+# ---------------------------------------------------------------------
+# Watchdog heartbeat
+# ---------------------------------------------------------------------
+
+def heartbeat_path(checkpoint_path: Union[str, Path]) -> Path:
+    """The heartbeat file written alongside a checkpoint."""
+    return Path(str(checkpoint_path) + ".heartbeat")
+
+
+def write_heartbeat(path: Union[str, Path], position: int) -> None:
+    """Record replay progress for the parent's watchdog.
+
+    A plain overwrite, deliberately *not* the atomic temp-file dance:
+    this runs after every replay chunk, the payload is one short line
+    (far below a pipe-atomic write), and the reader treats anything
+    unparseable as "no progress observed" — so the worst possible
+    outcome of a torn write is one missed beat, which the watchdog
+    absorbs by design. Checkpoints, whose loss *does* matter, keep the
+    atomic path.
+    """
+    with open(path, "w") as handle:
+        handle.write(_canonical({"position": position}))
+
+
+def read_heartbeat(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """Read a heartbeat; returns ``None`` when absent or unparseable.
+
+    Garbage is treated as "no progress observed", never an error — the
+    watchdog must stay conservative when racing the writer.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None

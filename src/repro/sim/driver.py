@@ -20,11 +20,13 @@ a shared LLC/DRAM, recycling shorter traces until the longest completes
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..cache.hierarchy import CacheHierarchy
 from ..cache.set_assoc import SetAssociativeCache
-from ..errors import ConfigError
+from ..errors import CheckpointError, ConfigError
 from ..cache.tlb import TlbHierarchy
 from ..core.indexing import IndexingScheme
 from ..core.sipt_cache import SiptL1Cache
@@ -43,6 +45,15 @@ from ..timing.energy import (
 from ..timing.inorder import InOrderCore
 from ..timing.ooo import OooCore
 from ..workloads.trace import Trace
+from . import faults as _faults
+from ..ioutil import atomic_write_text
+from .checkpoint import (
+    heartbeat_path,
+    load_checkpoint,
+    render_checkpoint,
+    trace_identity,
+    write_heartbeat,
+)
 from .config import SystemConfig
 from .results import SimResult
 
@@ -193,6 +204,33 @@ class _CoreContext:
             self.completed_once = True
         return result
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of every stateful component in this core.
+
+        Composed into the "repro-ckpt-1" checkpoint payload by
+        :func:`_replay_checkpointed`; the registry is *not* serialized —
+        it holds references to the live stats objects, which are
+        restored in place, so a post-load ``registry.snapshot()`` reads
+        the restored counters automatically.
+        """
+        return {"l1": self.l1.state_dict(),
+                "miss_path": self.miss_path.state_dict(),
+                "core": self.core.state_dict(),
+                "position": self.position,
+                "completed_once": self.completed_once,
+                "port_conflicts": self.port_conflicts,
+                "port_busy": self._port_busy}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot into a freshly-built same-config context."""
+        self.l1.load_state_dict(state["l1"])
+        self.miss_path.load_state_dict(state["miss_path"])
+        self.core.load_state_dict(state["core"])
+        self.position = state["position"]
+        self.completed_once = state["completed_once"]
+        self.port_conflicts = state["port_conflicts"]
+        self._port_busy = state["port_busy"]
+
     def energy_factor(self) -> float:
         """Current L1 data-array energy factor (way prediction)."""
         if self.l1.way_predictor is not None:
@@ -312,6 +350,136 @@ def _replay_intervals(ctx: _CoreContext, interval: int) -> None:
     ctx.intervals = sampler.records
 
 
+def _replay_checkpointed(ctx: _CoreContext, interval: Optional[int],
+                         checkpoint_every: Optional[int],
+                         checkpoint_path: Optional[Union[str, Path]],
+                         resume_checkpoint: Optional[Union[str, Path]],
+                         crash_at: Optional[int]) -> None:
+    """Chunked replay with periodic snapshots and/or mid-trace resume.
+
+    The same :func:`_replay_range` chunking the interval sampler uses:
+    chunk boundaries are the union of the interval grid, the checkpoint
+    grid, and (under fault injection) the armed crash ordinal, so
+    per-access cost is the plain fused loop's. Between chunks the loop
+    samples intervals on interval boundaries, writes a digest-protected
+    snapshot on checkpoint boundaries, and refreshes the watchdog
+    heartbeat. Because ``_replay_range`` chains port-conflict state
+    through the context and every component restores in place, a
+    resumed run's remaining chunks are byte-identical to an
+    uninterrupted run's.
+
+    On completion the snapshot and heartbeat are deleted: a finished
+    cell must not look "resumable" to the runner, and a later re-run of
+    the same cell must start from access 0.
+    """
+    sampler = _make_sampler(ctx, interval) if interval else None
+    n = ctx._len
+    start = 0
+    if resume_checkpoint is not None:
+        payload = load_checkpoint(resume_checkpoint, trace=ctx.trace,
+                                  system_name=ctx.system.name)
+        if payload is not None:
+            has_sampler = payload.get("sampler") is not None
+            if (sampler is not None) != has_sampler:
+                raise CheckpointError(
+                    f"checkpoint {resume_checkpoint} was taken "
+                    f"{'with' if has_sampler else 'without'} interval "
+                    "sampling; resume with the same interval= setting")
+            start = payload["position"]
+            if start > n:
+                raise CheckpointError(
+                    f"checkpoint {resume_checkpoint} position {start} "
+                    f"exceeds the trace length {n}")
+            ctx.load_state_dict(payload["state"])
+            if sampler is not None:
+                sampler.load_state_dict(payload["sampler"])
+    heartbeat = (heartbeat_path(checkpoint_path)
+                 if checkpoint_path is not None else None)
+    identity = None   # trace fingerprint, computed once on first write
+    # One-slot background writer: rendering a snapshot must happen
+    # synchronously (the state dict mirrors the live simulation), but
+    # the rendered text is immutable, so the file write — whose
+    # latency tail is unbounded on a contended disk — overlaps the
+    # next replay chunk. Joining before the next write keeps the
+    # atomic replaces ordered; the finally joins before any exit, so a
+    # caller that catches an injected WorkerCrash observes a complete
+    # snapshot file. fsync=False: rename-atomicity alone covers
+    # process death, the failure checkpoint/resume exists for (see
+    # write_checkpoint).
+    writer: Optional[threading.Thread] = None
+    writer_errors: List[BaseException] = []
+
+    def _join_writer() -> None:
+        nonlocal writer
+        if writer is not None:
+            writer.join()
+            writer = None
+        if writer_errors:
+            raise CheckpointError(
+                f"checkpoint write to {checkpoint_path} failed: "
+                f"{writer_errors.pop()}")
+
+    def _write_snapshot(text: str) -> None:
+        try:
+            atomic_write_text(Path(checkpoint_path), text, fsync=False)
+        except BaseException as exc:  # noqa: BLE001 — surfaced on join
+            writer_errors.append(exc)
+
+    try:
+        while start < n:
+            if crash_at is not None and start >= crash_at:
+                raise _faults.WorkerCrash(
+                    f"injected mid-simulation crash at access {crash_at}")
+            end = n
+            if checkpoint_every:
+                end = min(end, (start // checkpoint_every + 1)
+                          * checkpoint_every)
+            if interval:
+                end = min(end, (start // interval + 1) * interval)
+            if crash_at is not None:
+                end = min(end, crash_at)
+            _replay_range(ctx, start, end)
+            ctx.position = 0 if end == n else end
+            if sampler is not None and (end == n or end % interval == 0):
+                sampler.sample(end)
+            if (checkpoint_path is not None and checkpoint_every
+                    and end < n and end % checkpoint_every == 0):
+                if identity is None:
+                    identity = trace_identity(ctx.trace)
+                text = render_checkpoint(
+                    state=ctx.state_dict(), position=end,
+                    trace=ctx.trace, system_name=ctx.system.name,
+                    sampler_state=(sampler.state_dict()
+                                   if sampler is not None else None),
+                    identity=identity)
+                _join_writer()
+                writer = threading.Thread(target=_write_snapshot,
+                                          args=(text,), daemon=True,
+                                          name="ckpt-writer")
+                writer.start()
+            if heartbeat is not None:
+                write_heartbeat(heartbeat, end)
+            start = end
+    finally:
+        if writer is not None:
+            writer.join()
+            writer = None
+    _join_writer()  # no thread left; surfaces a final write error
+    if crash_at is not None and crash_at >= n:
+        # An armed ordinal at/past the end still kills the run — the
+        # injector promised a death, and tests rely on it firing.
+        raise _faults.WorkerCrash(
+            f"injected mid-simulation crash at access {crash_at}")
+    if sampler is not None:
+        ctx.intervals = sampler.records
+    if checkpoint_path is not None:
+        for stale in (Path(checkpoint_path), heartbeat):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+
 def _replay_traced(ctx: _CoreContext, interval: Optional[int],
                    decision_trace: DecisionTrace) -> None:
     """Replay one access at a time, recording sampled decisions.
@@ -341,7 +509,11 @@ def _replay_traced(ctx: _CoreContext, interval: Optional[int],
 
 def simulate(trace: Trace, system: SystemConfig,
              interval: Optional[int] = None,
-             decision_trace: Optional[DecisionTrace] = None) -> SimResult:
+             decision_trace: Optional[DecisionTrace] = None,
+             checkpoint_every: Optional[int] = None,
+             checkpoint_path: Optional[Union[str, Path]] = None,
+             resume_checkpoint: Optional[Union[str, Path]] = None
+             ) -> SimResult:
     """Run one trace through one system configuration.
 
     Parameters
@@ -363,6 +535,23 @@ def simulate(trace: Trace, system: SystemConfig,
         When set, record every ``decision_trace.sample``-th access's
         SIPT decision into the ring buffer. This opts into a slower
         per-access replay loop; leave it ``None`` for performance runs.
+        Incompatible with checkpointing (the ring buffer is not part of
+        the snapshot).
+    checkpoint_every:
+        When set (with ``checkpoint_path``), write a crash-safe
+        "repro-ckpt-1" snapshot every that many accesses; a killed run
+        restarted with ``resume_checkpoint`` replays only the remaining
+        accesses and returns a byte-identical result. ``None`` adds
+        zero work to the replay loop — the default path is untouched.
+    checkpoint_path:
+        Where the snapshot lives (one file, atomically replaced each
+        period; deleted on completion). Required with
+        ``checkpoint_every`` and vice versa.
+    resume_checkpoint:
+        Snapshot to resume from. A missing file is not an error — the
+        run simply starts fresh, which lets callers pass the cell's
+        checkpoint path unconditionally. A corrupt or mismatched file
+        raises :class:`~repro.errors.CheckpointError`.
 
     Returns
     -------
@@ -372,12 +561,44 @@ def simulate(trace: Trace, system: SystemConfig,
 
     The replay is deterministic for a given (trace, system): the same
     seed produces identical results, metrics, and interval records —
-    in this process or a ``--jobs`` worker.
+    in this process or a ``--jobs`` worker, resumed or uninterrupted.
     """
+    crash_at: Optional[int] = None
+    if _faults.any_armed():
+        # Armed data-level faults (repro.sim.faults) apply here, inside
+        # the simulation, whichever process runs it. One dict check on
+        # the uninjected path; the hot loop never sees any of this.
+        spec = _faults.consume_fault("corrupt_trace")
+        if spec is not None:
+            trace = _faults.corrupt_trace(trace, n_records=spec.count)
+        crash_at = _faults.consume_fault("sim_crash")
+        poison = _faults.consume_fault("poison_predictor")
+    else:
+        poison = None
+    if checkpoint_every is not None and checkpoint_every <= 0:
+        raise ConfigError("checkpoint_every must be a positive access "
+                          f"count, got {checkpoint_every}")
+    if (checkpoint_every is None) != (checkpoint_path is None):
+        raise ConfigError("checkpoint_every and checkpoint_path must be "
+                          "given together")
+    checkpointed = (checkpoint_every is not None
+                    or resume_checkpoint is not None
+                    or crash_at is not None)
+    if decision_trace is not None and checkpointed:
+        raise ConfigError("decision tracing cannot be combined with "
+                          "checkpoint/resume (the ring buffer is not "
+                          "part of the snapshot)")
     trace.validate()
     ctx = _CoreContext(system, trace)
+    if poison is not None and ctx.l1.perceptron is not None:
+        _faults.poison_predictor(ctx.l1.perceptron,
+                                 n_entries=poison.count)
     if decision_trace is not None:
         _replay_traced(ctx, interval, decision_trace)
+    elif checkpointed:
+        _replay_checkpointed(ctx, interval, checkpoint_every,
+                             checkpoint_path, resume_checkpoint,
+                             crash_at)
     elif interval:
         _replay_intervals(ctx, interval)
     else:

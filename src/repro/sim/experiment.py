@@ -62,14 +62,20 @@ def run_app(app: str, system: SystemConfig,
             n_accesses: Optional[int] = None, seed: int = 0,
             cache: Optional[TraceCache] = None,
             interval: Optional[int] = None,
-            decision_trace=None) -> SimResult:
+            decision_trace=None,
+            checkpoint_every: Optional[int] = None,
+            checkpoint_path=None,
+            resume_checkpoint=None) -> SimResult:
     """Simulate one app on one system (trace memoized).
 
-    ``interval`` and ``decision_trace`` pass straight through to
-    :func:`~repro.sim.driver.simulate` — set ``interval=N`` for a
-    per-N-accesses time-series in ``SimResult.intervals``, or pass a
+    ``interval``, ``decision_trace``, and the checkpoint controls
+    (``checkpoint_every``/``checkpoint_path``/``resume_checkpoint``)
+    pass straight through to :func:`~repro.sim.driver.simulate` — set
+    ``interval=N`` for a per-N-accesses time-series in
+    ``SimResult.intervals``, pass a
     :class:`~repro.obs.tracelog.DecisionTrace` to record sampled
-    per-access SIPT decisions.
+    per-access SIPT decisions, or point the checkpoint controls at a
+    snapshot file for crash-safe mid-simulation resume.
 
     Typed errors from trace generation or simulation gain the
     (app, seed) cell context on the way out, so sweeps can journal the
@@ -79,7 +85,10 @@ def run_app(app: str, system: SystemConfig,
     try:
         trace = cache.get(app, n_accesses, condition, seed)
         return simulate(trace, system, interval=interval,
-                        decision_trace=decision_trace)
+                        decision_trace=decision_trace,
+                        checkpoint_every=checkpoint_every,
+                        checkpoint_path=checkpoint_path,
+                        resume_checkpoint=resume_checkpoint)
     except ReproError as exc:
         raise exc.with_context(app=app, seed=seed)
 

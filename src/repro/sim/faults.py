@@ -28,12 +28,28 @@ cell executes, keyed on the cell's execution ordinal (0-based order of
   the predictor's finite-activation guard reports
   :class:`~repro.errors.SimulationError` at first use.
 
+Data-level faults can also be *injected by spec* — the injector arms
+them in a process-local channel (:func:`arm_fault`) that
+:func:`repro.sim.driver.simulate` consumes at entry, so the corruption
+happens inside the simulation exactly once, whichever process runs the
+cell. Because they piggyback on state the worker already has (no
+cross-process coordination), data-level specs are safe under
+``--jobs N``; attempt-level faults (``crash``/``transient``/``stall``)
+stay serial-only — they fire in the parent's submission loop, whose
+ordinal-to-attempt mapping only exists there.
+
 Fault specs parse from compact strings (CLI ``--inject``)::
 
-    crash@3           crash before executing the 4th fresh cell
-    transient@2       cell 2 fails once, then succeeds
-    transient@2x3     cell 2 fails three attempts, then succeeds
-    stall@1:0.5       cell 1 stalls 0.5 s before running
+    crash@3             crash before executing the 4th fresh cell
+    crash@3@5000        crash *inside* cell 3 at access ordinal 5000
+                        (mid-simulation: exercises checkpoint resume)
+    transient@2         cell 2 fails once, then succeeds
+    transient@2x3       cell 2 fails three attempts, then succeeds
+    stall@1:0.5         cell 1 stalls 0.5 s before running
+    corrupt_trace@0     corrupt 16 records of cell 0's trace
+    corrupt_trace@0x4   corrupt 4 records instead
+    poison_predictor@1  NaN-poison every perceptron entry of cell 1
+    poison_predictor@1x8  poison 8 deterministic entries
 """
 
 from __future__ import annotations
@@ -41,7 +57,7 @@ from __future__ import annotations
 import re
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -61,12 +77,23 @@ class WorkerCrash(BaseException):
 class FaultSpec:
     """One injected fault, bound to a cell execution ordinal."""
 
-    kind: str            # "crash" | "transient" | "stall"
+    kind: str            # see KINDS
     at_cell: int         # 0-based execution ordinal within the run
     count: int = 1       # transient: failing attempts before success
+                         # corrupt_trace: records; poison_predictor:
+                         # entries (0 = all)
     seconds: float = 0.0  # stall: sleep before the cell body
+    at_access: Optional[int] = None  # crash: trace ordinal to die at
+                                     # (None = before the cell runs)
 
-    KINDS = ("crash", "transient", "stall")
+    KINDS = ("crash", "transient", "stall",
+             "corrupt_trace", "poison_predictor")
+
+    #: Kinds that must fire in the parent's serial submission loop.
+    ATTEMPT_KINDS = ("crash", "transient", "stall")
+
+    #: Kinds armed into the worker and applied inside ``simulate``.
+    DATA_KINDS = ("corrupt_trace", "poison_predictor")
 
     def __post_init__(self):
         if self.kind not in self.KINDS:
@@ -74,11 +101,18 @@ class FaultSpec:
                               f"choose from {list(self.KINDS)}")
         if self.at_cell < 0:
             raise ConfigError("fault cell ordinal must be >= 0")
+        if self.at_access is not None and self.kind != "crash":
+            raise ConfigError(
+                "only crash faults take an @ACCESS ordinal, "
+                f"not {self.kind!r}")
 
 
 _FAULT_RE = re.compile(
-    r"^(?P<kind>[a-z]+)@(?P<cell>\d+)"
+    r"^(?P<kind>[a-z_]+)@(?P<cell>\d+)(?:@(?P<access>\d+))?"
     r"(?:x(?P<count>\d+))?(?::(?P<seconds>[0-9.]+))?$")
+
+#: Default ``count`` per kind when the spec omits ``xK``.
+_DEFAULT_COUNT = {"corrupt_trace": 16, "poison_predictor": 0}
 
 
 def parse_fault(text: str) -> FaultSpec:
@@ -87,15 +121,59 @@ def parse_fault(text: str) -> FaultSpec:
     if not match:
         raise ConfigError(
             f"bad fault spec {text!r}; expected forms: crash@N, "
-            "transient@N[xK], stall@N:SECONDS")
+            "crash@N@ACCESS, transient@N[xK], stall@N:SECONDS, "
+            "corrupt_trace@N[xK], poison_predictor@N[xK]")
     kind = match.group("kind")
+    access = match.group("access")
     spec = FaultSpec(kind=kind, at_cell=int(match.group("cell")),
-                     count=int(match.group("count") or 1),
-                     seconds=float(match.group("seconds") or 0.0))
+                     count=int(match.group("count")
+                               or _DEFAULT_COUNT.get(kind, 1)),
+                     seconds=float(match.group("seconds") or 0.0),
+                     at_access=int(access) if access is not None else None)
     if kind == "stall" and spec.seconds <= 0:
         raise ConfigError(f"stall fault {text!r} needs a positive "
                           "duration, e.g. stall@1:0.5")
     return spec
+
+
+# ---------------------------------------------------------------------
+# Armed-fault channel (process-local)
+# ---------------------------------------------------------------------
+# The injector cannot reach inside ``simulate`` — the trace and the
+# predictor only exist there — so faults that must fire *mid-cell* are
+# "armed" here and consumed by the driver at simulation entry. The
+# channel is a plain module global: it is process-local by construction
+# (each ``--jobs`` worker arms its own), and the driver's consumption
+# check is a single dict lookup guarded by :func:`any_armed`, keeping
+# the uninjected hot path at literally one ``if``.
+
+_ARMED: Dict[str, Any] = {}
+
+
+def arm_fault(kind: str, value: Any) -> None:
+    """Arm one fault for the next ``simulate`` call in this process."""
+    _ARMED[kind] = value
+
+
+def consume_fault(kind: str) -> Any:
+    """Pop an armed fault (``None`` when nothing is armed)."""
+    return _ARMED.pop(kind, None)
+
+
+def any_armed() -> bool:
+    """Cheap guard the driver checks before consuming anything."""
+    return bool(_ARMED)
+
+
+def clear_armed() -> None:
+    """Drop every armed fault (test isolation)."""
+    _ARMED.clear()
+
+
+def arm_data_specs(specs: Iterable[FaultSpec]) -> None:
+    """Arm data-level specs (worker-side, once per attempt)."""
+    for spec in specs:
+        arm_fault(spec.kind, spec)
 
 
 class FaultInjector:
@@ -114,14 +192,39 @@ class FaultInjector:
         self._sleep = sleep
         self.fired: List[Tuple[str, int, int]] = []  # (kind, ordinal, attempt)
 
+    @property
+    def requires_serial(self) -> bool:
+        """True when any spec must fire in the parent's serial loop.
+
+        Data-level specs are armed inside whichever process runs the
+        cell, so a campaign of only those is ``--jobs N``-safe.
+        """
+        return any(f.kind in FaultSpec.ATTEMPT_KINDS for f in self.faults)
+
+    def data_specs_for(self, ordinal: int) -> Tuple[FaultSpec, ...]:
+        """Data-level specs targeting cell ``ordinal`` (for workers)."""
+        return tuple(f for f in self.faults
+                     if f.kind in FaultSpec.DATA_KINDS
+                     and f.at_cell == ordinal)
+
     def on_attempt(self, ordinal: int, key: Dict[str, Any],
                    attempt: int) -> None:
         """Fire any fault armed for cell ``ordinal`` on this attempt."""
         for fault in self.faults:
             if fault.at_cell != ordinal:
                 continue
+            if fault.kind in FaultSpec.DATA_KINDS:
+                self.fired.append((fault.kind, ordinal, attempt))
+                arm_fault(fault.kind, fault)
+                continue
             if fault.kind == "crash":
                 self.fired.append(("crash", ordinal, attempt))
+                if fault.at_access is not None:
+                    # Mid-simulation crash: arm the ordinal and let the
+                    # cell start — the driver raises WorkerCrash at that
+                    # access, after any checkpoints below it landed.
+                    arm_fault("sim_crash", fault.at_access)
+                    continue
                 raise WorkerCrash(
                     f"injected worker crash at cell {ordinal}")
             if fault.kind == "transient" and attempt < fault.count:

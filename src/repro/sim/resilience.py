@@ -44,6 +44,8 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import CellTimeout, ConfigError, ReproError, TransientError
+from .checkpoint import checkpoint_path_for, heartbeat_path, read_heartbeat
+from .faults import arm_data_specs, clear_armed
 
 #: Keys the runner adds to every row it returns.
 STATUS_FIELDS = ["status", "error"]
@@ -52,6 +54,9 @@ STATUS_FIELDS = ["status", "error"]
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
+#: A failed cell that left a mid-simulation checkpoint behind: resuming
+#: the run re-executes it from the snapshot, not from access 0.
+STATUS_RESUMABLE = "resumable"
 
 
 def cell_id(key: Dict[str, Any]) -> str:
@@ -82,28 +87,41 @@ class RunnerStats:
     errors: int = 0
     timeouts: int = 0
     retries: int = 0
+    resumable: int = 0
 
     @property
     def degraded(self) -> bool:
-        return self.errors > 0 or self.timeouts > 0
+        return self.errors > 0 or self.timeouts > 0 or self.resumable > 0
 
     def summary(self) -> str:
         """One-line human-readable tally for the CLI epilogue."""
-        return (f"{self.total} cells: {self.ok} ok"
+        text = (f"{self.total} cells: {self.ok} ok"
                 f" ({self.resumed} resumed), {self.errors} errors,"
                 f" {self.timeouts} timeouts, {self.retries} retries")
+        if self.resumable:
+            text += f", {self.resumable} resumable"
+        return text
 
 
 def call_with_timeout(fn: Callable[[], Dict[str, Any]],
                       key: Dict[str, Any],
                       timeout_s: Optional[float],
-                      name: str = "cell") -> Dict[str, Any]:
+                      name: str = "cell",
+                      heartbeat: Optional[Path] = None) -> Dict[str, Any]:
     """Run ``fn`` with an optional deadline; raises :class:`CellTimeout`.
 
     The cell runs in a daemon worker thread; on expiry the thread is
     abandoned (it cannot be killed) and the caller degrades the cell.
     Used by the serial runner in the parent process and by pool workers
     in parallel mode, so both enforce the same per-cell deadline.
+
+    With a ``heartbeat`` path (written by the checkpointed replay loop
+    after every chunk), the deadline is a *watchdog*: it measures time
+    since the last observed **progress** — a change in the heartbeat's
+    access position — not since the cell started. A slow cell that
+    keeps advancing keeps extending its deadline; a hung one (position
+    frozen for ``timeout_s``) still fires. That is the distinction a
+    fixed wall-clock deadline cannot make.
     """
     if not timeout_s:
         return fn()
@@ -117,10 +135,26 @@ def call_with_timeout(fn: Callable[[], Dict[str, Any]],
 
     worker = threading.Thread(target=target, daemon=True, name=name)
     worker.start()
-    worker.join(timeout_s)
+    if heartbeat is None:
+        worker.join(timeout_s)
+    else:
+        deadline = time.monotonic() + timeout_s
+        last_position: Optional[int] = None
+        while worker.is_alive():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            worker.join(min(0.05, remaining))
+            beat = read_heartbeat(heartbeat)
+            position = beat.get("position") if beat else None
+            if position is not None and position != last_position:
+                last_position = position
+                deadline = time.monotonic() + timeout_s
     if worker.is_alive():
         raise CellTimeout(
-            f"cell exceeded {timeout_s:g}s deadline",
+            f"cell exceeded {timeout_s:g}s "
+            + ("without-progress watchdog" if heartbeat is not None
+               else "deadline"),
             timeout_s=timeout_s,
             app=key.get("app"), config=key.get("config"),
             seed=key.get("seed"))
@@ -132,19 +166,34 @@ def call_with_timeout(fn: Callable[[], Dict[str, Any]],
 def _execute_cell(fn: Callable[[], Dict[str, Any]],
                   key: Dict[str, Any],
                   timeout_s: Optional[float],
-                  retry: RetryPolicy) -> Tuple[str, Any, int]:
+                  retry: RetryPolicy,
+                  data_specs: Tuple = (),
+                  heartbeat: Optional[Path] = None) -> Tuple[str, Any, int]:
     """One cell's full retry/timeout lifecycle, inside a pool worker.
 
     Returns a picklable ``(status, payload, retries)`` triple: payload
     is the raw row dict on success, or the formatted error string on
     failure. The parent turns it into the same row a serial
     :meth:`ResilientRunner.run_cell` would have produced.
+
+    ``data_specs`` are data-level fault specs targeting this cell; they
+    are armed (re-armed on every retry attempt) in this worker process
+    and consumed inside ``simulate``. The armed channel is cleared
+    afterwards either way, so a cell that never consumed its faults
+    cannot leak them into the next cell this worker runs.
     """
     attempt = 0
     retries = 0
     while True:
         try:
-            row = call_with_timeout(fn, key, timeout_s)
+            if data_specs:
+                arm_data_specs(data_specs)
+            try:
+                row = call_with_timeout(fn, key, timeout_s,
+                                        heartbeat=heartbeat)
+            finally:
+                if data_specs:
+                    clear_armed()
             if not isinstance(row, dict):
                 raise TypeError(
                     f"cell {cell_id(key)} returned {type(row).__name__}, "
@@ -166,21 +215,39 @@ def _execute_cell(fn: Callable[[], Dict[str, Any]],
 def load_journal(path: Union[str, Path]) -> Dict[str, dict]:
     """Read a JSONL journal; returns {cell_id: record}, last record wins.
 
-    Truncated trailing lines (a run killed mid-write) are skipped — the
-    cell simply reruns on resume.
+    A garbled *final* line is a run killed mid-append — expected damage;
+    it is skipped with a warning and the cell simply reruns on resume.
+    A garbled line with valid records *after* it cannot be explained by
+    a torn write, so it raises :class:`~repro.errors.ConfigError`: a
+    journal corrupted in the middle (disk fault, concurrent writers,
+    hand editing) must not silently drop completed cells. Earlier
+    versions skipped every unparseable line, which turned real
+    corruption into silent recomputation.
     """
     records: Dict[str, dict] = {}
-    with Path(path).open() as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    last = max((i for i, text in enumerate(lines) if text.strip()),
+               default=-1)
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if i == last:
+                print(f"[resilience] journal {path} ends with a "
+                      f"truncated record (line {i + 1}); the cell will "
+                      "rerun on resume", file=sys.stderr)
                 continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(record, dict) and "key" in record:
-                records[cell_id(record["key"])] = record
+            raise ConfigError(
+                f"journal {path} is corrupt at line {i + 1} "
+                f"({exc}); valid records follow it, so this is not a "
+                "torn final write — refusing to resume from a damaged "
+                "journal")
+        if isinstance(record, dict) and "key" in record:
+            records[cell_id(record["key"])] = record
     return records
 
 
@@ -206,8 +273,20 @@ class ResilientRunner:
     faults:
         Optional fault injector (see :mod:`repro.sim.faults`); its
         ``on_attempt(ordinal, key, attempt)`` hook runs before every
-        execution attempt. Fault ordinals are execution-order based, so
-        injection requires serial execution (``jobs=1``).
+        execution attempt. Attempt-level faults (crash/transient/stall)
+        fire in this parent process and therefore require serial
+        execution (``jobs=1``); campaigns of only *data-level* faults
+        (``corrupt_trace``/``poison_predictor``) are shipped to workers
+        by ordinal and are ``jobs > 1``-safe (the injector's ``fired``
+        log stays empty in that mode — firing happens in the workers).
+    checkpoint_dir:
+        Directory holding per-cell mid-simulation checkpoints (written
+        by cells that pass ``checkpoint_every`` through to
+        ``simulate``). When set, (a) a failing cell whose checkpoint
+        file exists degrades to ``status="resumable"`` instead of
+        ``error``/``timeout`` — rerunning the grid resumes it from the
+        snapshot; (b) the per-cell timeout becomes a progress watchdog
+        over the cell's heartbeat file (see :func:`call_with_timeout`).
     sleep:
         Injection point for the backoff sleep (tests pass a recorder).
         Serial-mode only: pool workers always use ``time.sleep``.
@@ -224,14 +303,20 @@ class ResilientRunner:
                  retry: Optional[RetryPolicy] = None,
                  faults: Optional[Any] = None,
                  sleep: Callable[[float], None] = time.sleep,
-                 jobs: int = 1):
+                 jobs: int = 1,
+                 checkpoint_dir: Optional[Union[str, Path]] = None):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
-        if faults is not None and jobs > 1:
+        if (faults is not None and jobs > 1
+                and getattr(faults, "requires_serial", True)):
             raise ConfigError(
-                "fault injection is keyed on serial execution ordinals; "
-                "use jobs=1 when injecting faults")
+                "attempt-level fault injection (crash/transient/stall) "
+                "is keyed on serial execution ordinals; use jobs=1, or "
+                "inject only data-level faults "
+                "(corrupt_trace/poison_predictor)")
         self.journal_path = Path(journal) if journal else None
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir \
+            else None
         self.timeout_s = timeout_s
         self.retry = retry or RetryPolicy()
         self.faults = faults
@@ -277,10 +362,17 @@ class ResilientRunner:
 
     # -- execution ----------------------------------------------------
 
+    def _heartbeat_for(self, key: Dict[str, Any]) -> Optional[Path]:
+        if self.checkpoint_dir is None:
+            return None
+        return heartbeat_path(checkpoint_path_for(self.checkpoint_dir,
+                                                  key))
+
     def _call_with_timeout(self, fn: Callable[[], Dict[str, Any]],
                            key: Dict[str, Any]) -> Dict[str, Any]:
         return call_with_timeout(fn, key, self.timeout_s,
-                                 name=f"cell-{self._ordinal}")
+                                 name=f"cell-{self._ordinal}",
+                                 heartbeat=self._heartbeat_for(key))
 
     def run_cell(self, key: Dict[str, Any],
                  fn: Callable[[], Dict[str, Any]],
@@ -363,12 +455,19 @@ class ResilientRunner:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         if jobs == 1:
             return [self.run_cell(key, fn) for key, fn in cells]
-        if self.faults is not None:
+        if (self.faults is not None
+                and getattr(self.faults, "requires_serial", True)):
             raise ConfigError(
-                "fault injection is keyed on serial execution ordinals; "
-                "use jobs=1 when injecting faults")
+                "attempt-level fault injection (crash/transient/stall) "
+                "is keyed on serial execution ordinals; use jobs=1, or "
+                "inject only data-level faults "
+                "(corrupt_trace/poison_predictor)")
         rows: List[Optional[Dict[str, Any]]] = [None] * len(cells)
-        pending: List[Tuple[int, Dict[str, Any], Callable]] = []
+        # (submission index, key, fn, serial-equivalent ordinal): the
+        # ordinal counts non-resumed cells in submission order, exactly
+        # like run_cell's, so data-level fault specs target the same
+        # cell whichever mode executes the grid.
+        pending: List[Tuple[int, Dict[str, Any], Callable, int]] = []
         for index, (key, fn) in enumerate(cells):
             self.stats.total += 1
             record = self._completed.get(cell_id(key))
@@ -380,13 +479,18 @@ class ResilientRunner:
                     self._record(key, STATUS_OK, record.get("row", {}))
                 rows[index] = dict(record.get("row", {}))
             else:
-                pending.append((index, key, fn))
+                pending.append((index, key, fn, self._ordinal))
+                self._ordinal += 1
         if pending:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 futures = {
-                    pool.submit(_execute_cell, fn, key, self.timeout_s,
-                                self.retry): (index, key)
-                    for index, key, fn in pending
+                    pool.submit(
+                        _execute_cell, fn, key, self.timeout_s,
+                        self.retry,
+                        (self.faults.data_specs_for(ordinal)
+                         if self.faults is not None else ()),
+                        self._heartbeat_for(key)): (index, key)
+                    for index, key, fn, ordinal in pending
                 }
                 for future in as_completed(futures):
                     index, key = futures[future]
@@ -403,21 +507,32 @@ class ResilientRunner:
                         row = {**payload, "status": STATUS_OK, "error": ""}
                         self.stats.ok += 1
                     else:
+                        status = self._classify_failure(key, status)
                         row = {**key, "status": status, "error": payload}
-                        if status == STATUS_TIMEOUT:
-                            self.stats.timeouts += 1
-                        else:
-                            self.stats.errors += 1
                     self._record(key, status, row)
                     rows[index] = row
         return rows  # type: ignore[return-value]
 
-    def _degrade(self, key: Dict[str, Any], status: str,
-                 exc: BaseException, degrade: bool) -> Dict[str, Any]:
+    def _classify_failure(self, key: Dict[str, Any], status: str) -> str:
+        """Final status of a failed cell, tallying the runner stats.
+
+        A failed cell whose mid-simulation checkpoint file exists
+        becomes ``resumable``: the work up to the last snapshot is not
+        lost, and rerunning the grid resumes from it.
+        """
+        if self.checkpoint_dir is not None:
+            if checkpoint_path_for(self.checkpoint_dir, key).exists():
+                self.stats.resumable += 1
+                return STATUS_RESUMABLE
         if status == STATUS_TIMEOUT:
             self.stats.timeouts += 1
         else:
             self.stats.errors += 1
+        return status
+
+    def _degrade(self, key: Dict[str, Any], status: str,
+                 exc: BaseException, degrade: bool) -> Dict[str, Any]:
+        status = self._classify_failure(key, status)
         if not degrade:
             self.close()
             raise exc

@@ -24,13 +24,16 @@ Example::
 from __future__ import annotations
 
 import csv
+import io
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..errors import ConfigError, ReproError
+from ..ioutil import atomic_write_text
 from ..workloads.trace import MemoryCondition
+from .checkpoint import checkpoint_path_for
 from .config import L1Config, SystemConfig, inorder_system, ooo_system
 from .experiment import TraceCache, run_app
 from .resilience import ResilientRunner
@@ -158,18 +161,25 @@ def _baseline_result(app: str, core: str, condition: MemoryCondition,
 def _parallel_cell(app: str, name: str, cfg: L1Config, core: str,
                    condition: MemoryCondition, seed: int,
                    n_accesses: Optional[int],
-                   baseline_cfg: Optional[L1Config]) -> dict:
+                   baseline_cfg: Optional[L1Config],
+                   checkpoint_every: Optional[int] = None,
+                   checkpoint_path: Optional[Path] = None) -> dict:
     """One sweep cell as a picklable, self-contained worker task.
 
     Runs inside a pool worker process: traces come from the worker's
     module-level ``SHARED_TRACES`` (``cache=None``), and the baseline
     result is memoized per worker via :func:`_baseline_result`. Both
     are deterministic, so the row matches the serial closure in
-    :func:`run_sweep` exactly.
+    :func:`run_sweep` exactly — including under checkpointing, where
+    ``checkpoint_path`` doubles as the resume source (a missing file
+    just means a fresh start).
     """
     try:
         result = run_app(app, _system_for(core, cfg), condition=condition,
-                         n_accesses=n_accesses, seed=seed, cache=None)
+                         n_accesses=n_accesses, seed=seed, cache=None,
+                         checkpoint_every=checkpoint_every,
+                         checkpoint_path=checkpoint_path,
+                         resume_checkpoint=checkpoint_path)
         base = None
         if baseline_cfg is not None:
             base = _baseline_result(app, core, condition, seed,
@@ -192,7 +202,9 @@ def _parallel_cell(app: str, name: str, cfg: L1Config, core: str,
     }
 
 
-def _parallel_cells(spec: SweepSpec, n_accesses: Optional[int]
+def _parallel_cells(spec: SweepSpec, n_accesses: Optional[int],
+                    checkpoint_every: Optional[int] = None,
+                    checkpoint_dir: Optional[Path] = None
                     ) -> List[Tuple[dict, partial]]:
     """The grid as (key, picklable task) pairs, in serial row order."""
     baseline_cfg = (spec.configs[spec.baseline]
@@ -204,16 +216,20 @@ def _parallel_cells(spec: SweepSpec, n_accesses: Optional[int]
                 for name, cfg in spec.configs.items():
                     for app in spec.apps:
                         key = cell_key(app, name, core, condition, seed)
+                        ckpt = (checkpoint_path_for(checkpoint_dir, key)
+                                if checkpoint_every else None)
                         task = partial(_parallel_cell, app, name, cfg,
                                        core, condition, seed, n_accesses,
-                                       baseline_cfg)
+                                       baseline_cfg, checkpoint_every,
+                                       ckpt)
                         cells.append((key, task))
     return cells
 
 
 def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
               traces: Optional[TraceCache] = None,
-              runner: Optional[ResilientRunner] = None) -> List[dict]:
+              runner: Optional[ResilientRunner] = None,
+              checkpoint_every: Optional[int] = None) -> List[dict]:
     """Run the grid; returns one dict per combination, FIELDS keys.
 
     Cells execute through ``runner`` (a default, journal-less
@@ -224,6 +240,16 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
     per (core, condition, seed) group, so fully-resumed groups skip
     them entirely.
 
+    With ``checkpoint_every`` (requires a runner constructed with
+    ``checkpoint_dir``), each cell additionally snapshots its
+    *simulation state* every that many accesses into a per-cell file
+    under the runner's checkpoint directory, and resumes from that file
+    when it exists — so a killed campaign loses at most one checkpoint
+    period of work per cell, not whole cells. Journal resume (cells)
+    and checkpoint resume (accesses within a cell) compose: the journal
+    skips finished cells, the checkpoint fast-forwards the interrupted
+    one. Baseline runs are cheap shared work and stay uncheckpointed.
+
     A runner constructed with ``jobs > 1`` executes the cells in a
     process pool (see :meth:`ResilientRunner.run_cells`); row order,
     journal semantics, and resume behaviour are identical to the serial
@@ -231,11 +257,15 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
     """
     traces = traces or TraceCache()
     runner = runner or ResilientRunner()
+    if checkpoint_every is not None and runner.checkpoint_dir is None:
+        raise ConfigError(
+            "checkpoint_every needs a runner constructed with "
+            "checkpoint_dir= (the per-cell snapshot directory)")
     blank = {name: "" for name in FIELDS}
     if runner.jobs > 1:
-        return [{**blank, **row}
-                for row in runner.run_cells(_parallel_cells(spec,
-                                                            n_accesses))]
+        cells = _parallel_cells(spec, n_accesses, checkpoint_every,
+                                runner.checkpoint_dir)
+        return [{**blank, **row} for row in runner.run_cells(cells)]
     rows: List[dict] = []
     for core in spec.cores:
         for condition in spec.conditions:
@@ -257,16 +287,22 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
                 for name, cfg in spec.configs.items():
                     for app in spec.apps:
                         key = cell_key(app, name, core, condition, seed)
+                        ckpt = (checkpoint_path_for(runner.checkpoint_dir,
+                                                    key)
+                                if checkpoint_every else None)
 
                         def cell(app=app, name=name, cfg=cfg, core=core,
                                  condition=condition, seed=seed,
-                                 baseline_for=baseline_for):
+                                 baseline_for=baseline_for, ckpt=ckpt):
                             try:
                                 result = run_app(
                                     app, _system_for(core, cfg),
                                     condition=condition,
                                     n_accesses=n_accesses, seed=seed,
-                                    cache=traces)
+                                    cache=traces,
+                                    checkpoint_every=checkpoint_every,
+                                    checkpoint_path=ckpt,
+                                    resume_checkpoint=ckpt)
                                 base = baseline_for(app)
                             except ReproError as exc:
                                 raise exc.with_context(app=app, config=name,
@@ -294,12 +330,14 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
 
 
 def to_csv(rows: Iterable[dict], path: Union[str, Path]) -> Path:
-    """Write sweep rows to ``path`` as CSV; returns the path."""
-    path = Path(path)
-    rows = list(rows)
-    with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=FIELDS)
-        writer.writeheader()
-        for row in rows:
-            writer.writerow(row)
-    return path
+    """Write sweep rows to ``path`` as CSV; returns the path.
+
+    The write is atomic (temp file + ``os.replace``): a run killed
+    mid-export leaves the previous CSV intact, never a half-written one.
+    """
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=FIELDS)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return atomic_write_text(Path(path), buffer.getvalue())

@@ -111,3 +111,32 @@ class DetailedOooCore:
         self.stats.cycles = max(self._final_time,
                                 self.stats.instructions / self.width)
         return self.stats
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the full pipeline recurrence state.
+
+        Pending wakeups are stored as sorted ``[index, time]`` pairs —
+        JSON objects cannot have integer keys, and the sort keeps the
+        serialization deterministic.
+        """
+        from ..stateutil import stats_state
+        return {"stats": stats_state(self.stats),
+                "index": self._index,
+                "issue_times": list(self._issue_times),
+                "retire_times": list(self._retire_times),
+                "wakeups": [[i, t] for i, t
+                            in sorted(self._wakeups.items())],
+                "last_retire": self._last_retire,
+                "final_time": self._final_time}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the pipeline mid-flight (same width/ROB sizing)."""
+        from ..stateutil import load_stats
+        load_stats(self.stats, state["stats"])
+        self._index = state["index"]
+        self._issue_times = deque(state["issue_times"], maxlen=self.width)
+        self._retire_times = deque(state["retire_times"],
+                                   maxlen=self.rob_size)
+        self._wakeups = {int(i): t for i, t in state["wakeups"]}
+        self._last_retire = state["last_retire"]
+        self._final_time = state["final_time"]

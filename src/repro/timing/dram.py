@@ -62,6 +62,21 @@ class DramModel:
         self._open_rows = [[-1] * n_banks for _ in range(n_channels)]
         self._last_bank = (-1, -1)
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: stats, open rows, last bank touched."""
+        from ..stateutil import stats_state
+        return {"stats": stats_state(self.stats),
+                "open_rows": [list(rows) for rows in self._open_rows],
+                "last_bank": list(self._last_bank)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore row-buffer state into a same-geometry model."""
+        from ..stateutil import load_stats
+        load_stats(self.stats, state["stats"])
+        for rows, saved in zip(self._open_rows, state["open_rows"]):
+            rows[:] = saved
+        self._last_bank = tuple(state["last_bank"])
+
     def _map(self, pa: int) -> tuple:
         """Address mapping: row | bank | channel | row-offset."""
         block = pa // self.row_bytes

@@ -83,3 +83,13 @@ class InOrderCore:
     def finish(self) -> CoreStats:
         """Return the final stats (no pipeline-drain modelling needed)."""
         return self.stats
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot (the model's only state is its stats)."""
+        from ..stateutil import stats_state
+        return {"stats": stats_state(self.stats)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore cycle/instruction accounting."""
+        from ..stateutil import load_stats
+        load_stats(self.stats, state["stats"])

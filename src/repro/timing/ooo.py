@@ -107,3 +107,13 @@ class OooCore:
     def finish(self) -> CoreStats:
         """Return the final stats."""
         return self.stats
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot (the model's only state is its stats)."""
+        from ..stateutil import stats_state
+        return {"stats": stats_state(self.stats)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore cycle/instruction accounting."""
+        from ..stateutil import load_stats
+        load_stats(self.stats, state["stats"])

@@ -1,0 +1,189 @@
+"""Seeded round-trip tests for the ``state_dict`` protocol.
+
+Every stateful component must survive the checkpoint cycle exactly:
+drive a fresh instance for a while, snapshot it through a *real* JSON
+round trip (``json.loads(json.dumps(...))`` — what the checkpoint file
+does), restore into a second fresh instance of the same configuration,
+then drive both with the same further inputs. The two must be
+behaviourally indistinguishable and end in identical state. This is
+the property the byte-identical-resume guarantee is built from.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.replacement import LruPolicy
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.core import IndexDeltaBuffer, PerceptronPredictor
+from repro.core.way_prediction import WayPredictor
+from repro.errors import CheckpointError
+from repro.mem import make_address
+from repro.stateutil import pack_ints, unpack_ints
+from repro.timing.dram import DramModel
+
+
+def roundtrip(state):
+    """A snapshot exactly as the checkpoint file would deliver it."""
+    return json.loads(json.dumps(state))
+
+
+# ---------------------------------------------------------------------
+# pack_ints / unpack_ints
+# ---------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=-(2 ** 63),
+                            max_value=2 ** 63 - 1)))
+def test_pack_ints_roundtrips_any_int64_list(values):
+    assert unpack_ints(pack_ints(values)) == values
+
+
+@given(st.lists(st.integers(min_value=-(2 ** 31),
+                            max_value=2 ** 31 - 1)))
+def test_pack_ints_widens_a_too_narrow_guess(values):
+    """A wrong typecode guess costs time, never data."""
+    assert unpack_ints(pack_ints(values, "B")) == values
+
+
+def test_pack_ints_keeps_the_narrow_code_when_it_fits():
+    assert pack_ints([0, 1, 255], "B").startswith("B:")
+    assert pack_ints([0, 1, 256], "B").startswith("h:")
+    assert pack_ints([-1], "B").startswith("h:")
+
+
+def test_pack_ints_accepts_bytes_directly():
+    """The zero-copy path the per-way bytearray planes use."""
+    assert pack_ints(bytes([3, 1, 4, 1, 5]), "B") == \
+        pack_ints([3, 1, 4, 1, 5], "B")
+    assert unpack_ints(pack_ints(bytearray(b"\x00\xff"), "B")) == [0, 255]
+
+
+def test_pack_ints_empty():
+    assert unpack_ints(pack_ints([], "q")) == []
+
+
+# ---------------------------------------------------------------------
+# Set-associative cache (all replacement policies)
+# ---------------------------------------------------------------------
+
+def _drive_cache(cache, addrs, writes):
+    """Access a stream; returns the observable outcome of each access."""
+    return [(r.hit, r.way, r.writeback_line, r.victim_line)
+            for r in (cache.access(pa, w)
+                      for pa, w in zip(addrs, writes))]
+
+
+@pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+def test_cache_roundtrip_continues_identically(policy):
+    rng = np.random.default_rng(7)
+    addrs = rng.integers(0, 1 << 18, size=600).tolist()
+    writes = (rng.integers(0, 2, size=600) == 1).tolist()
+
+    def fresh():
+        return SetAssociativeCache(4096, 64, 4, replacement=policy,
+                                   name="L1D")
+
+    a = fresh()
+    _drive_cache(a, addrs[:300], writes[:300])
+    b = fresh()
+    b.load_state_dict(roundtrip(a.state_dict()))
+    b.check_invariants()
+    assert b.stats.hits == a.stats.hits
+    assert _drive_cache(a, addrs[300:], writes[300:]) == \
+        _drive_cache(b, addrs[300:], writes[300:])
+    assert a.state_dict() == b.state_dict()
+
+
+def test_cache_restore_preserves_container_identity():
+    """Hot-path structures are mutated in place, never replaced —
+    pre-bound references (the driver holds several) must stay valid."""
+    cache = SetAssociativeCache(2048, 64, 2)
+    tags_rows = list(cache._tags)
+    dirty_rows = list(cache._dirty)
+    where_rows = list(cache._where)
+    for pa in range(0, 1 << 14, 64):
+        cache.access(pa, pa % 128 == 0)
+    cache.load_state_dict(roundtrip(cache.state_dict()))
+    assert all(x is y for x, y in zip(cache._tags, tags_rows))
+    assert all(x is y for x, y in zip(cache._dirty, dirty_rows))
+    assert all(x is y for x, y in zip(cache._where, where_rows))
+
+
+def test_cache_rejects_wrong_geometry_snapshot():
+    small = SetAssociativeCache(2048, 64, 2)
+    big = SetAssociativeCache(4096, 64, 4)
+    with pytest.raises(CheckpointError, match="geometry"):
+        big.load_state_dict(roundtrip(small.state_dict()))
+
+
+def test_lru_policy_way_budget():
+    """Recency stacks pack way numbers into bytes; 255 ways is the cap."""
+    LruPolicy(1, 255)
+    with pytest.raises(ValueError, match="255"):
+        LruPolicy(1, 256)
+
+
+# ---------------------------------------------------------------------
+# Predictors and timing models
+# ---------------------------------------------------------------------
+
+def test_perceptron_roundtrip_continues_identically():
+    rng = np.random.default_rng(3)
+    pcs = (rng.integers(0, 1 << 14, size=400) * 4).tolist()
+    outcomes = (rng.integers(0, 2, size=400) == 1).tolist()
+    a = PerceptronPredictor()
+    for pc, out in zip(pcs[:200], outcomes[:200]):
+        a.predict_train(pc, out)
+    b = PerceptronPredictor()
+    b.load_state_dict(roundtrip(a.state_dict()))
+    tail = list(zip(pcs[200:], outcomes[200:]))
+    assert [a.predict_train(pc, out) for pc, out in tail] == \
+        [b.predict_train(pc, out) for pc, out in tail]
+    assert a.state_dict() == b.state_dict()
+
+
+def test_idb_roundtrip_continues_identically():
+    rng = np.random.default_rng(11)
+    pcs = (rng.integers(0, 64, size=300) * 4).tolist()
+    pages = rng.integers(0, 1 << 12, size=300).tolist()
+    a = IndexDeltaBuffer(n_bits=3)
+    stream = [(pc, make_address(page), make_address(page + 0x305))
+              for pc, page in zip(pcs, pages)]
+    for pc, va, pa in stream[:150]:
+        a.predict_update(pc, va, pa)
+    b = IndexDeltaBuffer(n_bits=3)
+    b.load_state_dict(roundtrip(a.state_dict()))
+    assert [a.predict_update(*rec) for rec in stream[150:]] == \
+        [b.predict_update(*rec) for rec in stream[150:]]
+    assert a.state_dict() == b.state_dict()
+
+
+def test_way_predictor_roundtrip():
+    cache = SetAssociativeCache(2048, 64, 2)
+    predictor = WayPredictor(cache)
+    for predicted, actual in [(0, 0), (0, 1), (1, 1), (1, 0)]:
+        predictor.observe(predicted, actual, hit=True)
+    restored = WayPredictor(SetAssociativeCache(2048, 64, 2))
+    restored.load_state_dict(roundtrip(predictor.state_dict()))
+    assert restored.state_dict() == predictor.state_dict()
+    assert restored.stats.correct == predictor.stats.correct
+
+
+def test_dram_roundtrip_continues_identically():
+    rng = np.random.default_rng(5)
+    addrs = rng.integers(0, 1 << 30, size=400).tolist()
+    writes = (rng.integers(0, 2, size=400) == 1).tolist()
+    a = DramModel()
+    for pa, w in zip(addrs[:200], writes[:200]):
+        (a.write if w else a.read)(pa)
+    b = DramModel()
+    b.load_state_dict(roundtrip(a.state_dict()))
+    latencies_a = [(a.write if w else a.read)(pa)
+                   for pa, w in zip(addrs[200:], writes[200:])]
+    latencies_b = [(b.write if w else b.read)(pa)
+                   for pa, w in zip(addrs[200:], writes[200:])]
+    assert latencies_a == latencies_b
+    assert a.state_dict() == b.state_dict()

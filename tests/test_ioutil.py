@@ -1,0 +1,48 @@
+"""Tests for crash-safe artifact writing (temp file + ``os.replace``)."""
+
+import pytest
+
+from repro.ioutil import atomic_write_text
+
+
+def test_writes_and_returns_path(tmp_path):
+    path = tmp_path / "out.txt"
+    assert atomic_write_text(path, "hello\n") == path
+    assert path.read_text() == "hello\n"
+
+
+def test_replaces_existing_content_completely(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "a much longer first version\n")
+    atomic_write_text(path, "v2\n")
+    assert path.read_text() == "v2\n"
+
+
+def test_leaves_no_temp_files_behind(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "x")
+    atomic_write_text(path, "y", fsync=False)
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def test_failed_write_preserves_old_content_and_cleans_up(
+        tmp_path, monkeypatch):
+    """A writer that dies before the rename must leave the previous
+    complete file, never a prefix or a stray temp file."""
+    import os
+
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "the good version\n")
+
+    class Boom(RuntimeError):
+        pass
+
+    def exploding_replace(src, dst):
+        raise Boom()
+
+    monkeypatch.setattr(os, "replace", exploding_replace)
+    with pytest.raises(Boom):
+        atomic_write_text(path, "torn")
+    monkeypatch.undo()
+    assert path.read_text() == "the good version\n"
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]

@@ -98,3 +98,91 @@ def test_poison_predictor_partial_deterministic():
     poisoned_a = [i for i, w in enumerate(a._weights) if w[0] != w[0]]
     poisoned_b = [i for i, w in enumerate(b._weights) if w[0] != w[0]]
     assert poisoned_a == poisoned_b and len(poisoned_a) == 4
+
+
+# ---------------------------------------------------------------------
+# Mid-simulation crash specs and the armed-fault channel
+# ---------------------------------------------------------------------
+
+def test_parse_fault_data_and_midsim_forms():
+    assert parse_fault("crash@3@5000") == FaultSpec("crash", 3,
+                                                    at_access=5000)
+    assert parse_fault("corrupt_trace@0") == FaultSpec("corrupt_trace", 0,
+                                                       count=16)
+    assert parse_fault("corrupt_trace@0x4") == FaultSpec("corrupt_trace",
+                                                         0, count=4)
+    assert parse_fault("poison_predictor@1") == FaultSpec(
+        "poison_predictor", 1, count=0)
+    assert parse_fault("poison_predictor@1x8") == FaultSpec(
+        "poison_predictor", 1, count=8)
+
+
+def test_access_ordinal_is_crash_only():
+    with pytest.raises(ConfigError, match="ACCESS"):
+        parse_fault("transient@2@500")
+    with pytest.raises(ConfigError, match="ACCESS"):
+        FaultSpec("stall", 1, seconds=0.5, at_access=10)
+
+
+def test_requires_serial_tracks_attempt_level_kinds():
+    assert FaultInjector(["crash@0"]).requires_serial
+    assert FaultInjector(["stall@0:0.1"]).requires_serial
+    assert FaultInjector(["crash@0@100",
+                          "corrupt_trace@1"]).requires_serial
+    assert not FaultInjector(["corrupt_trace@0"]).requires_serial
+    assert not FaultInjector(["poison_predictor@2x4",
+                              "corrupt_trace@0"]).requires_serial
+    assert not FaultInjector([]).requires_serial
+
+
+def test_data_specs_for_filters_by_ordinal_and_kind():
+    injector = FaultInjector(["corrupt_trace@1x4", "poison_predictor@1",
+                              "corrupt_trace@2", "crash@1"])
+    specs = injector.data_specs_for(1)
+    assert [s.kind for s in specs] == ["corrupt_trace",
+                                      "poison_predictor"]
+    assert injector.data_specs_for(0) == ()
+
+
+def test_runner_rejects_attempt_faults_in_parallel_mode():
+    from repro.errors import ConfigError as CE
+    from repro.sim.resilience import ResilientRunner
+    with pytest.raises(CE, match="serial"):
+        ResilientRunner(jobs=2, faults=FaultInjector(["crash@0"]))
+    # Data-level campaigns are armed inside the worker that runs the
+    # cell, so they stay legal under a process pool.
+    ResilientRunner(jobs=2, faults=FaultInjector(["corrupt_trace@0"]))
+
+
+def test_armed_channel_consume_and_clear():
+    from repro.sim.faults import (
+        any_armed,
+        arm_fault,
+        clear_armed,
+        consume_fault,
+    )
+    clear_armed()
+    assert not any_armed()
+    arm_fault("sim_crash", 123)
+    assert any_armed()
+    assert consume_fault("sim_crash") == 123
+    assert consume_fault("sim_crash") is None   # one-shot
+    arm_fault("sim_crash", 5)
+    clear_armed()
+    assert not any_armed()
+
+
+def test_midsim_crash_fires_inside_simulate():
+    """crash@N@A arms the access ordinal; the driver dies there, not
+    before the cell starts."""
+    from repro.sim.faults import arm_fault, clear_armed
+    clear_armed()
+    trace = CACHE.get("povray", 1200)
+    arm_fault("sim_crash", 700)
+    with pytest.raises(WorkerCrash, match="access 700"):
+        simulate(trace, ooo_system(BASELINE_L1))
+    # An ordinal at/past the trace end still honours the injected death.
+    arm_fault("sim_crash", 10 ** 9)
+    with pytest.raises(WorkerCrash):
+        simulate(trace, ooo_system(BASELINE_L1))
+    clear_armed()

@@ -240,3 +240,48 @@ def test_scorecard_degrades_per_app():
     assert len(checks) == 9             # 8 claims + degradation report
     assert checks[-1].claim.startswith("scorecard grid completed")
     assert not checks[-1].passed
+
+
+def test_corrupt_mid_journal_refuses_resume(tmp_path):
+    """A garbled line *followed by valid records* is real corruption,
+    not a torn final append — resuming must refuse, not silently drop
+    completed cells."""
+    from repro.errors import ConfigError
+    journal = tmp_path / "j.jsonl"
+    with ResilientRunner(journal=journal) as runner:
+        runner.run_cell({"app": "a"}, lambda: {"app": "a"})
+        runner.run_cell({"app": "b"}, lambda: {"app": "b"})
+    lines = journal.read_text().splitlines()
+    lines[0] = lines[0][:-5]                   # damage a non-final record
+    journal.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ConfigError, match="corrupt at line 1"):
+        load_journal(journal)
+    with pytest.raises(ConfigError):
+        ResilientRunner(resume_from=journal)
+
+
+def test_data_fault_parallel_then_resume_identical(tmp_path):
+    """corrupt_trace under --jobs 2: the fault fires inside one worker,
+    the grid completes degraded, and a resume converges on the same CSV
+    bytes as a fault-free serial run."""
+    n = 900
+    journal = tmp_path / "j.jsonl"
+    faulty = ResilientRunner(journal=journal, jobs=2,
+                             faults=FaultInjector(["corrupt_trace@0"]))
+    rows = run_sweep(spec3x2(), n_accesses=n, traces=CACHE,
+                     runner=faulty)
+    faulty.close()
+    bad = [r for r in rows if r["status"] != "ok"]
+    assert len(bad) == 1
+    assert "TraceError" in bad[0]["error"]
+
+    resumed_runner = ResilientRunner(journal=journal,
+                                     resume_from=journal, jobs=2)
+    resumed = run_sweep(spec3x2(), n_accesses=n, traces=CACHE,
+                        runner=resumed_runner)
+    assert resumed_runner.stats.resumed == 5   # only the bad cell reran
+    clean = run_sweep(spec3x2(), n_accesses=n, traces=TraceCache())
+    assert resumed == clean
+    a = to_csv(resumed, tmp_path / "resumed.csv")
+    b = to_csv(clean, tmp_path / "clean.csv")
+    assert a.read_bytes() == b.read_bytes()
