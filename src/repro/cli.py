@@ -271,7 +271,9 @@ def cmd_sweep(args) -> int:
     runner = _runner(args)
     rows = run_sweep(spec, n_accesses=args.accesses, traces=TraceCache(),
                      runner=runner,
-                     checkpoint_every=args.checkpoint_every)
+                     checkpoint_every=args.checkpoint_every,
+                     substrate=False if args.no_substrate else None,
+                     warm_reuse=not args.no_warm_reuse)
     path = to_csv(rows, args.out)
     print(f"wrote {len(rows)} rows to {path}")
     return _finish(args, runner)
@@ -294,29 +296,49 @@ def cmd_mix(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    """`repro bench`: time the hot path, emit a BENCH_*.json point."""
-    from .sim.bench import check_regression, run_bench, write_report
-    apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    """`repro bench`: time the hot path or the sweep, emit BENCH_*.json."""
+    from .sim.bench import (DEFAULT_APPS, SWEEP_BENCH_APPS,
+                            check_regression, run_bench, run_sweep_bench,
+                            write_report)
+    default_apps = (SWEEP_BENCH_APPS if args.mode == "sweep"
+                    else DEFAULT_APPS)
+    apps = [a.strip() for a in (args.apps or ",".join(default_apps)
+                                ).split(",") if a.strip()]
+    accesses = args.accesses or (8_000 if args.mode == "sweep"
+                                 else 20_000)
     unknown = [a for a in apps if a not in EVALUATED_APPS]
     if unknown:
         raise ConfigError(f"unknown apps {unknown}; see `repro list`")
-    report = run_bench(apps=apps, n_accesses=args.accesses,
-                       l1=_l1(args), repeats=args.repeats,
-                       profile=args.profile, label=args.label,
-                       interval=args.interval,
-                       checkpoint_every=args.checkpoint_every)
+    if args.mode == "sweep":
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        report = run_sweep_bench(apps=apps, n_accesses=accesses,
+                                 seeds=seeds, jobs=args.jobs,
+                                 repeats=args.repeats, label=args.label)
+        print(f"sweep of {report['cells']} cells, jobs={report['jobs']}:")
+        for mode, point in report["modes"].items():
+            print(f"  {mode:>14s}     : {point['cells_per_s']:7.2f} "
+                  f"cells/s ({point['best_s']:.3f}s best of "
+                  f"{report['repeats']})")
+        print(f"substrate speedup    : {report['speedup_substrate']:.2f}x "
+              f"vs plain --jobs {report['jobs']}")
+    else:
+        report = run_bench(apps=apps, n_accesses=accesses,
+                           l1=_l1(args), repeats=args.repeats,
+                           profile=args.profile, label=args.label,
+                           interval=args.interval,
+                           checkpoint_every=args.checkpoint_every)
+        agg = report["aggregate_accesses_per_s"]
+        print(f"aggregate throughput : {agg:,.0f} accesses/s")
+        for app, point in report["apps"].items():
+            print(f"  {app:>14s}     : {point['accesses_per_s']:,.0f} "
+                  f"accesses/s ({point['best_s']:.3f}s best of "
+                  f"{report['repeats']})")
+        if args.profile:
+            print("hottest functions (cumulative):")
+            for row in report["profile_top"][:12]:
+                print(f"  {row['cumtime_s']:8.3f}s {row['calls']:>9d}x "
+                      f"{row['function']}")
     path = write_report(report, args.out)
-    agg = report["aggregate_accesses_per_s"]
-    print(f"aggregate throughput : {agg:,.0f} accesses/s")
-    for app, point in report["apps"].items():
-        print(f"  {app:>14s}     : {point['accesses_per_s']:,.0f} "
-              f"accesses/s ({point['best_s']:.3f}s best of "
-              f"{report['repeats']})")
-    if args.profile:
-        print("hottest functions (cumulative):")
-        for row in report["profile_top"][:12]:
-            print(f"  {row['cumtime_s']:8.3f}s {row['calls']:>9d}x "
-                  f"{row['function']}")
     print(f"wrote {path}")
     if args.check:
         ok, message = check_regression(report, args.check,
@@ -556,6 +578,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--accesses", type=int, default=30_000)
     sweep_p.add_argument("--out", default="sweep.csv",
                          help="CSV output path")
+    sweep_p.add_argument("--no-substrate", action="store_true",
+                         help="with --jobs N: regenerate traces in each "
+                              "worker instead of attaching the parent's "
+                              "shared-memory segments")
+    sweep_p.add_argument("--no-warm-reuse", action="store_true",
+                         help="re-simulate every baseline run instead of "
+                              "restoring the first run's completed state")
     resilience(sweep_p)
     checkpointing(sweep_p)
 
@@ -569,9 +598,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_p = sub.add_parser(
         "bench", help="measure simulate() throughput, emit BENCH_*.json")
-    bench_p.add_argument("--apps", default=",".join(
-        ("perlbench", "calculix", "libquantum")),
-        help="comma-separated benchmark names")
+    bench_p.add_argument("--mode", default="hotpath",
+                         choices=("hotpath", "sweep"),
+                         help="hotpath: time simulate() replay; sweep: "
+                              "time the end-to-end sweep pipeline at "
+                              "--jobs 1 vs --jobs N with/without the "
+                              "shared trace substrate")
+    bench_p.add_argument("--jobs", type=int, default=4,
+                         help="worker count for the parallel sweep-bench "
+                              "modes (sweep mode only)")
+    bench_p.add_argument("--seeds", default="0,1",
+                         help="comma-separated seeds for the sweep-bench "
+                              "grid (sweep mode only)")
+    bench_p.add_argument("--apps", default=None,
+        help="comma-separated benchmark names (default depends on mode)")
     bench_p.add_argument("--geometry", default="32K_2w",
                          choices=sorted(GEOMETRIES))
     bench_p.add_argument("--scheme", default=None,
@@ -579,7 +619,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--variant", default=None,
                          choices=[v.value for v in SiptVariant])
     bench_p.add_argument("--way-prediction", action="store_true")
-    bench_p.add_argument("--accesses", type=int, default=20_000)
+    bench_p.add_argument("--accesses", type=int, default=None,
+                         help="accesses per trace (default: 20000 for "
+                              "hotpath, 8000 for sweep)")
     bench_p.add_argument("--interval", type=int, default=None, metavar="N",
                          help="bench the interval-sampling replay path "
                               "(simulate(..., interval=N))")

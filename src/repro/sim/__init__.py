@@ -9,7 +9,13 @@ from .config import (
     inorder_system,
     ooo_system,
 )
-from .bench import check_regression, profile_simulate, run_bench, write_report
+from .bench import (
+    check_regression,
+    profile_simulate,
+    run_bench,
+    run_sweep_bench,
+    write_report,
+)
 from .checkpoint import (
     checkpoint_path_for,
     load_checkpoint,
@@ -40,6 +46,7 @@ from .results import (
     harmonic_mean,
 )
 from .sweep import SweepSpec, run_sweep, to_csv
+from .warmstate import WarmStateCache, warm_cache_for
 
 __all__ = [
     "FaultInjector",
@@ -61,6 +68,8 @@ __all__ = [
     "SweepSpec",
     "SystemConfig",
     "TraceCache",
+    "WarmStateCache",
+    "warm_cache_for",
     "arithmetic_mean",
     "check_regression",
     "checkpoint_path_for",
@@ -71,6 +80,7 @@ __all__ = [
     "default_accesses",
     "profile_simulate",
     "run_bench",
+    "run_sweep_bench",
     "write_report",
     "harmonic_mean",
     "inorder_system",

@@ -1,4 +1,4 @@
-"""Performance harness for the per-access simulation hot path.
+"""Performance harness for the simulation hot path and sweep pipeline.
 
 ``python -m repro bench`` measures single-core :func:`~repro.sim.driver.
 simulate` throughput (trace accesses replayed per second) over a small
@@ -7,6 +7,13 @@ app set, optionally under ``cProfile``, and emits one ``BENCH_*.json``
 repo a throughput history the CI perf-smoke job can gate on: a change
 that silently slows the per-access loop fails the
 :func:`check_regression` comparison against the committed baseline.
+
+``python -m repro bench --mode sweep`` measures the *end-to-end* sweep
+pipeline instead (:func:`run_sweep_bench`): the same grid timed at
+``--jobs 1``, at ``--jobs N`` with the shared trace substrate disabled,
+and at ``--jobs N`` with it enabled — reporting cells per second and
+the substrate's wall-clock speedup, with a built-in gate that all
+three modes produced identical rows.
 
 Methodology:
 
@@ -189,6 +196,193 @@ def run_bench(apps: Optional[Iterable[str]] = None,
     return report
 
 
+#: Default grid for the sweep-level benchmark: two apps with opposite
+#: locality profiles, a baseline plus two SIPT geometries, two seeds.
+#: Small enough for CI, large enough that every pool worker in the
+#: "plain" mode has to regenerate traces and re-run baselines — the
+#: redundancy the shared substrate exists to eliminate.
+SWEEP_BENCH_APPS = ("perlbench", "mcf")
+SWEEP_BENCH_CONFIGS = ("32K_2w", "64K_4w")
+
+
+def _sweep_bench_spec(apps, configs, seeds, conditions=None):
+    """The SweepSpec the sweep benchmark times (baseline + SIPT points).
+
+    ``conditions`` defaults to normal + fragmented memory — the pairing
+    the paper's campaigns sweep, and the one that exercises the trace
+    substrate's full key space (app, length, condition, seed).
+    """
+    from ..workloads.trace import MemoryCondition
+    from .config import BASELINE_L1, SIPT_GEOMETRIES
+    from .sweep import SweepSpec
+    grid = {"baseline": BASELINE_L1}
+    for name in configs:
+        if name not in SIPT_GEOMETRIES:
+            raise ConfigError(f"unknown geometry {name!r}; choose "
+                              f"from {sorted(SIPT_GEOMETRIES)}")
+        grid[name] = SIPT_GEOMETRIES[name]
+    if conditions is None:
+        conditions = [MemoryCondition.NORMAL, MemoryCondition.FRAGMENTED]
+    return SweepSpec(apps=list(apps), configs=grid, seeds=list(seeds),
+                     conditions=list(conditions), baseline="baseline")
+
+
+def _clear_sweep_state() -> None:
+    """Reset every cross-sweep memo so a timed rep starts cold.
+
+    Pool workers fork from the benchmarking process, so anything left
+    in the parent's process-wide caches (shared traces, the per-worker
+    baseline memo, directory-backed warm caches) would be inherited and
+    silently hide the redundant work the benchmark exists to measure.
+    """
+    from . import sweep as _sweep
+    from . import warmstate as _warmstate
+    from .experiment import SHARED_TRACES
+    SHARED_TRACES.clear()
+    _sweep._BASELINE_MEMO.clear()
+    _warmstate._SHARED.clear()
+
+
+def _time_sweep_once(spec, n_accesses: int, jobs: int, substrate: bool,
+                     warm_reuse: bool):
+    """One cold wall-clock measurement of one run_sweep() mode.
+
+    Cold means: process-wide caches cleared, a fresh trace cache, and a
+    private checkpoint directory (so no journal resume can skip cells).
+    Returns ``(seconds, rows)``.
+    """
+    import shutil
+    import tempfile
+    from .experiment import TraceCache
+    from .resilience import ResilientRunner
+    from .sweep import run_sweep
+    _clear_sweep_state()
+    tmp = tempfile.mkdtemp(prefix="repro-bench-sweep-")
+    try:
+        runner = ResilientRunner(jobs=jobs, checkpoint_dir=tmp)
+        start = time.perf_counter()
+        rows = run_sweep(spec, n_accesses=n_accesses,
+                         traces=TraceCache(), runner=runner,
+                         substrate=substrate, warm_reuse=warm_reuse)
+        return time.perf_counter() - start, rows
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _median(values) -> float:
+    """Median of a non-empty sequence (no statistics import needed)."""
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def run_sweep_bench(apps: Optional[Iterable[str]] = None,
+                    n_accesses: int = 8_000,
+                    configs: Optional[Iterable[str]] = None,
+                    seeds: Iterable[int] = (0, 1),
+                    jobs: int = 4,
+                    repeats: int = 2,
+                    label: Optional[str] = None) -> dict:
+    """Measure end-to-end sweep throughput; returns the trajectory point.
+
+    Times the same grid three ways:
+
+    * ``serial`` — ``--jobs 1``, the reference execution;
+    * ``parallel_plain`` — ``--jobs N`` with the shared trace substrate
+      and warm-state reuse disabled (every worker regenerates traces
+      and re-runs normalization baselines, as pre-substrate sweeps
+      did);
+    * ``substrate`` — ``--jobs N`` with both enabled (the default
+      parallel path).
+
+    The three modes must produce identical rows — the benchmark raises
+    :class:`~repro.errors.ConfigError` if they diverge, so a perf
+    trajectory point can never be recorded for a broken optimization.
+
+    Methodology: rounds are *interleaved* (serial, plain, substrate,
+    serial, plain, ...) so machine-load drift lands on every mode
+    equally rather than on whichever mode happened to run last. Each
+    mode reports its best wall time (the standard noise floor), but the
+    headline ``speedup_substrate`` is the **median of the per-round
+    plain/substrate ratios** — a paired estimator, robust against a
+    single lucky round in either mode.
+    """
+    if n_accesses <= 0:
+        raise ConfigError(f"n_accesses must be positive, got {n_accesses}")
+    if repeats <= 0:
+        raise ConfigError(f"repeats must be positive, got {repeats}")
+    if jobs < 2:
+        raise ConfigError(f"sweep bench needs jobs >= 2, got {jobs}")
+    apps = list(apps) if apps else list(SWEEP_BENCH_APPS)
+    configs = list(configs) if configs else list(SWEEP_BENCH_CONFIGS)
+    spec = _sweep_bench_spec(apps, configs, list(seeds))
+    n_cells = (len(spec.apps) * len(spec.configs) * len(spec.cores)
+               * len(spec.conditions) * len(spec.seeds))
+
+    modes = {
+        "serial": dict(jobs=1, substrate=False, warm_reuse=True),
+        "parallel_plain": dict(jobs=jobs, substrate=False,
+                               warm_reuse=False),
+        "substrate": dict(jobs=jobs, substrate=True, warm_reuse=True),
+    }
+    times: Dict[str, list] = {name: [] for name in modes}
+    row_blobs: Dict[str, str] = {}
+    for _ in range(repeats):
+        for name, kw in modes.items():
+            seconds, rows = _time_sweep_once(spec, n_accesses, **kw)
+            times[name].append(seconds)
+            row_blobs[name] = json.dumps(rows, sort_keys=True,
+                                         default=str)
+    if len(set(row_blobs.values())) != 1:
+        diverged = [m for m in row_blobs
+                    if row_blobs[m] != row_blobs["serial"]]
+        raise ConfigError(
+            f"sweep benchmark modes produced different rows: {diverged} "
+            f"diverged from serial — refusing to record a perf point "
+            f"for a correctness regression")
+    results: Dict[str, dict] = {}
+    for name, samples in times.items():
+        best = min(samples)
+        results[name] = {
+            "best_s": round(best, 6),
+            "median_s": round(_median(samples), 6),
+            "cells_per_s": round(n_cells / best, 2),
+        }
+
+    plain = results["parallel_plain"]["best_s"]
+    full = results["substrate"]["best_s"]
+    serial = results["serial"]["best_s"]
+    round_speedups = [p / f for p, f in
+                      zip(times["parallel_plain"], times["substrate"])]
+    report = {
+        "schema": SCHEMA,
+        "mode": "sweep",
+        "label": label or f"sweep-{n_accesses}-j{jobs}",
+        "created": datetime.now().isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "n_accesses": n_accesses,
+        "repeats": repeats,
+        "jobs": jobs,
+        "apps": list(apps),
+        "configs": list(configs),
+        "conditions": [c.value for c in spec.conditions],
+        "seeds": list(seeds),
+        "cells": n_cells,
+        "modes": results,
+        "rows_identical": True,
+        "aggregate_cells_per_s": results["substrate"]["cells_per_s"],
+        "speedup_substrate": round(_median(round_speedups), 3),
+        "speedup_substrate_rounds": [round(s, 3)
+                                     for s in round_speedups],
+        "speedup_substrate_best": round(plain / full, 3),
+        "speedup_vs_serial": round(serial / full, 3),
+    }
+    return report
+
+
 def write_report(report: dict, out: Union[str, Path] = ".") -> Path:
     """Write the trajectory point; returns the file path.
 
@@ -213,14 +407,27 @@ def check_regression(report: dict, baseline: Union[str, Path, dict],
     fell more than ``tolerance`` (fractional) below the baseline.
     Speedups and small fluctuations pass. Comparisons are only
     meaningful on the same machine class as the committed baseline.
+
+    The metric is whichever aggregate the two points share: hot-path
+    points carry ``aggregate_accesses_per_s``, sweep points carry
+    ``aggregate_cells_per_s``. Comparing a hot-path point against a
+    sweep baseline (no shared metric) is a :class:`ConfigError`.
     """
     if not isinstance(baseline, dict):
         baseline = json.loads(Path(baseline).read_text())
-    base = float(baseline["aggregate_accesses_per_s"])
-    now = float(report["aggregate_accesses_per_s"])
+    for metric, unit in (("aggregate_accesses_per_s", "acc/s"),
+                         ("aggregate_cells_per_s", "cells/s")):
+        if metric in report and metric in baseline:
+            break
+    else:
+        raise ConfigError(
+            "report and baseline share no throughput metric — are they "
+            "from different bench modes (hotpath vs sweep)?")
+    base = float(baseline[metric])
+    now = float(report[metric])
     if base <= 0:
         raise ConfigError("baseline has non-positive throughput")
     ratio = now / base
-    message = (f"throughput {now:,.0f} acc/s vs baseline {base:,.0f} "
-               f"acc/s ({ratio:.2f}x, tolerance -{tolerance:.0%})")
+    message = (f"throughput {now:,.0f} {unit} vs baseline {base:,.0f} "
+               f"{unit} ({ratio:.2f}x, tolerance -{tolerance:.0%})")
     return ratio >= (1.0 - tolerance), message

@@ -51,17 +51,13 @@ from typing import Any, Dict, Optional, Union
 
 from ..errors import CheckpointError
 from ..ioutil import atomic_write_text
+from ..stateutil import canonical_json as _canonical
 
 #: Schema tag stamped into (and verified on) every snapshot.
 SCHEMA = "repro-ckpt-1"
 
 #: Characters allowed in the human-readable part of checkpoint names.
 _SAFE_NAME = re.compile(r"[^A-Za-z0-9._-]+")
-
-
-def _canonical(payload: Any) -> str:
-    """Canonical JSON: sorted keys, compact separators."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def trace_identity(trace) -> Dict[str, Any]:
@@ -71,15 +67,16 @@ def trace_identity(trace) -> Dict[str, Any]:
     column — same idea as ``workloads.trace.stable_hash``, applied to
     the data instead of a label — so two traces that merely share
     (app, condition, length) but differ in content do not cross-resume.
+    The CRC comes from the trace's derived-column store
+    (:func:`repro.workloads.substrate.columns_for`), which memoizes it
+    per trace instance: periodic checkpoints, warm-state keys, and
+    substrate publication of the same trace all fingerprint once.
     """
-    crc = 0
-    for column in (trace.pc, trace.va, trace.is_write,
-                   trace.inst_gap, trace.dep_dist):
-        crc = zlib.crc32(column.tobytes(), crc)
+    from ..workloads.substrate import columns_for
     return {"app": trace.app,
             "condition": trace.condition.value,
             "n_accesses": len(trace),
-            "fingerprint": f"{crc & 0xFFFFFFFF:08x}"}
+            "fingerprint": columns_for(trace).fingerprint}
 
 
 def compute_digest(body_text: str) -> str:
@@ -173,49 +170,64 @@ def load_checkpoint(path: Union[str, Path], *, trace=None,
         # The one artifact an unsynced rename can leave after a power
         # loss: a zero-length file. Indistinguishable from "no snapshot
         # yet", and treated the same — start fresh. Any *partial*
-        # content still fails closed below.
+        # content still fails closed in verification.
         return None
+    return verify_checkpoint_text(text, source=str(path), trace=trace,
+                                  system_name=system_name)
+
+
+def verify_checkpoint_text(text: str, *, source: str = "checkpoint",
+                           trace=None,
+                           system_name: Optional[str] = None
+                           ) -> Dict[str, Any]:
+    """Verify and parse snapshot *text* (the two-line file format).
+
+    The verification core of :func:`load_checkpoint`, split out so
+    consumers that hold snapshot text without a file — the warm-state
+    cache keeps rendered snapshots in memory — run the identical
+    schema/digest/identity checks. ``source`` labels error messages.
+    """
     header_line, sep, body_text = text.partition("\n")
     body_text = body_text.rstrip("\n")
     if not sep or not body_text:
         raise CheckpointError(
-            f"checkpoint {path} is truncated (no body line)")
+            f"checkpoint {source} is truncated (no body line)")
     try:
         header = json.loads(header_line)
         payload = json.loads(body_text)
     except json.JSONDecodeError as exc:
         raise CheckpointError(
-            f"checkpoint {path} is unreadable or corrupt: {exc}")
+            f"checkpoint {source} is unreadable or corrupt: {exc}")
     if not isinstance(header, dict) or header.get("schema") != SCHEMA:
         raise CheckpointError(
-            f"checkpoint {path} has schema "
+            f"checkpoint {source} has schema "
             f"{header.get('schema') if isinstance(header, dict) else None!r},"
             f" expected {SCHEMA!r}")
     digest = header.get("digest")
     expected = compute_digest(body_text)
     if digest != expected:
         raise CheckpointError(
-            f"checkpoint {path} failed digest verification "
+            f"checkpoint {source} failed digest verification "
             f"(stored {str(digest)[:12]}..., computed {expected[:12]}...); "
             "the file is corrupt or was modified")
     if not isinstance(payload, dict):
         raise CheckpointError(
-            f"checkpoint {path} body is not a JSON object")
+            f"checkpoint {source} body is not a JSON object")
     if trace is not None:
         want = trace_identity(trace)
         if payload.get("trace") != want:
             raise CheckpointError(
-                f"checkpoint {path} belongs to trace "
+                f"checkpoint {source} belongs to trace "
                 f"{payload.get('trace')}, this run replays {want}")
     if system_name is not None and payload.get("system") != system_name:
         raise CheckpointError(
-            f"checkpoint {path} was taken on system "
+            f"checkpoint {source} was taken on system "
             f"{payload.get('system')!r}, this run simulates "
             f"{system_name!r}")
     position = payload.get("position")
     if not isinstance(position, int) or position < 0:
         raise CheckpointError(
-            f"checkpoint {path} carries invalid position {position!r}")
+            f"checkpoint {source} carries invalid position {position!r}")
     return payload
 
 

@@ -11,9 +11,10 @@ be scaled with the ``REPRO_ACCESSES`` environment variable.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..errors import ReproError
+from ..errors import ConfigError, ReproError
 from ..workloads.spec import EVALUATED_APPS
 from ..workloads.trace import MemoryCondition, Trace, generate_trace
 from .config import SystemConfig
@@ -26,16 +27,38 @@ def default_accesses() -> int:
     return int(os.environ.get("REPRO_ACCESSES", "50000"))
 
 
+#: Default :class:`TraceCache` capacity. A trace plus its page table
+#: and derived columns is a few MB at suite lengths; 64 covers the
+#: full 26-app suite across two conditions with headroom, while a long
+#: multi-condition, multi-seed campaign now evicts instead of growing
+#: without bound. Override per cache or with ``REPRO_TRACE_CACHE``.
+DEFAULT_TRACE_CAP = 64
+
+
 class TraceCache:
-    """Memoizes generated traces for reuse across systems.
+    """LRU-bounded memo of generated traces, shared across systems.
 
     Replaying a trace mutates only simulator-side state (caches, TLBs,
     predictor tables built per `simulate` call); the trace itself and its
     page table are read-only during replay, so sharing is safe.
+
+    The memo is capped (least-recently-used eviction) because long
+    suite/designspace campaigns touch hundreds of (app, length,
+    condition, seed) combinations and every retained trace pins its
+    page table and derived columns in memory. ``max_traces`` defaults
+    to :data:`DEFAULT_TRACE_CAP` (env override ``REPRO_TRACE_CACHE``);
+    an evicted trace simply regenerates on next use.
     """
 
-    def __init__(self):
-        self._traces: Dict[Tuple, Trace] = {}
+    def __init__(self, max_traces: Optional[int] = None):
+        if max_traces is None:
+            max_traces = int(os.environ.get("REPRO_TRACE_CACHE",
+                                            DEFAULT_TRACE_CAP))
+        if max_traces < 1:
+            raise ConfigError(
+                f"max_traces must be >= 1, got {max_traces}")
+        self.max_traces = max_traces
+        self._traces: "OrderedDict[Tuple, Trace]" = OrderedDict()
 
     def get(self, app: str, n_accesses: Optional[int] = None,
             condition: MemoryCondition = MemoryCondition.NORMAL,
@@ -43,10 +66,18 @@ class TraceCache:
         """Return the memoized trace for this cell, generating once."""
         n = n_accesses or default_accesses()
         key = (app, n, condition, seed)
-        if key not in self._traces:
-            self._traces[key] = generate_trace(app, n, condition=condition,
-                                               seed=seed)
-        return self._traces[key]
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = generate_trace(app, n, condition=condition, seed=seed)
+            self._traces[key] = trace
+            while len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
+        else:
+            self._traces.move_to_end(key)
+        return trace
+
+    def __len__(self) -> int:
+        return len(self._traces)
 
     def clear(self) -> None:
         """Drop all memoized traces (frees their page tables too)."""
@@ -65,7 +96,9 @@ def run_app(app: str, system: SystemConfig,
             decision_trace=None,
             checkpoint_every: Optional[int] = None,
             checkpoint_path=None,
-            resume_checkpoint=None) -> SimResult:
+            resume_checkpoint=None,
+            trace: Optional[Trace] = None,
+            warm_state=None) -> SimResult:
     """Simulate one app on one system (trace memoized).
 
     ``interval``, ``decision_trace``, and the checkpoint controls
@@ -77,18 +110,27 @@ def run_app(app: str, system: SystemConfig,
     per-access SIPT decisions, or point the checkpoint controls at a
     snapshot file for crash-safe mid-simulation resume.
 
+    ``trace`` overrides the cache entirely — the shared-trace
+    substrate passes a zero-copy attached trace here, so ``--jobs``
+    workers skip generation altogether. ``warm_state`` (a
+    :class:`~repro.sim.warmstate.WarmStateCache`) lets deterministic
+    sibling runs of the same (trace, system) restore a completed
+    snapshot instead of replaying; see :func:`simulate`.
+
     Typed errors from trace generation or simulation gain the
     (app, seed) cell context on the way out, so sweeps can journal the
     failing coordinates.
     """
-    cache = cache or SHARED_TRACES
     try:
-        trace = cache.get(app, n_accesses, condition, seed)
+        if trace is None:
+            cache = cache or SHARED_TRACES
+            trace = cache.get(app, n_accesses, condition, seed)
         return simulate(trace, system, interval=interval,
                         decision_trace=decision_trace,
                         checkpoint_every=checkpoint_every,
                         checkpoint_path=checkpoint_path,
-                        resume_checkpoint=resume_checkpoint)
+                        resume_checkpoint=resume_checkpoint,
+                        warm_state=warm_state)
     except ReproError as exc:
         raise exc.with_context(app=app, seed=seed)
 

@@ -362,6 +362,16 @@ class ResilientRunner:
 
     # -- execution ----------------------------------------------------
 
+    def completed_ok(self, key: Dict[str, Any]) -> bool:
+        """Whether the resume journal already holds an ``ok`` row for
+        ``key`` (such cells replay their journaled row; they never
+        execute). Lets grid builders skip per-cell setup — the sweep's
+        trace substrate only publishes traces that a *pending* cell
+        will actually attach.
+        """
+        record = self._completed.get(cell_id(key))
+        return record is not None and record.get("status") == STATUS_OK
+
     def _heartbeat_for(self, key: Dict[str, Any]) -> Optional[Path]:
         if self.checkpoint_dir is None:
             return None

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import csv
 import io
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
@@ -32,11 +34,14 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..errors import ConfigError, ReproError
 from ..ioutil import atomic_write_text
+from ..workloads.substrate import TraceHandle, TraceStore, attach
 from ..workloads.trace import MemoryCondition
+from . import faults as _faults
 from .checkpoint import checkpoint_path_for
 from .config import L1Config, SystemConfig, inorder_system, ooo_system
 from .experiment import TraceCache, run_app
 from .resilience import ResilientRunner
+from .warmstate import WarmStateCache, warm_cache_for
 
 #: The columns every sweep row carries, in CSV order. ``status`` is
 #: "ok" for a completed cell, "error"/"timeout" for a degraded one
@@ -149,12 +154,26 @@ _BASELINE_MEMO: Dict[tuple, object] = {}
 
 def _baseline_result(app: str, core: str, condition: MemoryCondition,
                      seed: int, n_accesses: Optional[int],
-                     baseline_cfg: L1Config):
+                     baseline_cfg: L1Config, trace=None, warm=None):
     key = (app, core, condition.value, seed, n_accesses, baseline_cfg)
     if key not in _BASELINE_MEMO:
-        _BASELINE_MEMO[key] = run_app(
-            app, _system_for(core, baseline_cfg), condition=condition,
-            n_accesses=n_accesses, seed=seed, cache=None)
+        system = _system_for(core, baseline_cfg)
+        result = None
+        # The result-level warm cache needs the trace's fingerprint
+        # (substrate-attached traces have it precomputed) and must
+        # never serve a memoized result while data faults are armed —
+        # a faulted baseline run is *supposed* to diverge.
+        reuse = (warm is not None and trace is not None
+                 and not _faults.any_armed())
+        if reuse:
+            result = warm.fetch_result(trace, system)
+        if result is None:
+            result = run_app(app, system, condition=condition,
+                             n_accesses=n_accesses, seed=seed, cache=None,
+                             trace=trace, warm_state=warm)
+            if reuse and not _faults.any_armed():
+                warm.store_result(trace, system, result)
+        _BASELINE_MEMO[key] = result
     return _BASELINE_MEMO[key]
 
 
@@ -163,27 +182,48 @@ def _parallel_cell(app: str, name: str, cfg: L1Config, core: str,
                    n_accesses: Optional[int],
                    baseline_cfg: Optional[L1Config],
                    checkpoint_every: Optional[int] = None,
-                   checkpoint_path: Optional[Path] = None) -> dict:
+                   checkpoint_path: Optional[Path] = None,
+                   handle: Optional[TraceHandle] = None,
+                   warm_dir: Optional[str] = None,
+                   share_warm: bool = False) -> dict:
     """One sweep cell as a picklable, self-contained worker task.
 
-    Runs inside a pool worker process: traces come from the worker's
-    module-level ``SHARED_TRACES`` (``cache=None``), and the baseline
-    result is memoized per worker via :func:`_baseline_result`. Both
-    are deterministic, so the row matches the serial closure in
-    :func:`run_sweep` exactly — including under checkpointing, where
-    ``checkpoint_path`` doubles as the resume source (a missing file
-    just means a fresh start).
+    Runs inside a pool worker process. With a substrate ``handle`` the
+    trace is a zero-copy attach of the parent's published segment
+    (memoized per worker); without one it comes from the worker's
+    module-level ``SHARED_TRACES`` (``cache=None``). The baseline
+    result is memoized per worker via :func:`_baseline_result`, and —
+    with ``warm_dir`` — fetched from the cross-worker warm-state cache
+    instead of re-simulated. ``share_warm`` marks the baseline-config
+    cell itself, whose completed state is the one worth publishing.
+    All of it is deterministic, so the row matches the serial closure
+    in :func:`run_sweep` exactly — including under checkpointing,
+    where ``checkpoint_path`` doubles as the resume source (a missing
+    file just means a fresh start).
     """
     try:
+        trace = attach(handle) if handle is not None else None
+        warm = warm_cache_for(warm_dir) if warm_dir is not None else None
+        faulted = _faults.any_armed()
         result = run_app(app, _system_for(core, cfg), condition=condition,
                          n_accesses=n_accesses, seed=seed, cache=None,
                          checkpoint_every=checkpoint_every,
                          checkpoint_path=checkpoint_path,
-                         resume_checkpoint=checkpoint_path)
+                         resume_checkpoint=checkpoint_path,
+                         trace=trace,
+                         warm_state=warm if share_warm else None)
+        if (share_warm and warm is not None and trace is not None
+                and not faulted):
+            # The baseline-config cell runs first in grid order; its
+            # finished result seeds the cross-worker result cache so
+            # sibling cells' normalization runs skip even the
+            # state-restore cost.
+            warm.store_result(trace, _system_for(core, cfg), result)
         base = None
         if baseline_cfg is not None:
             base = _baseline_result(app, core, condition, seed,
-                                    n_accesses, baseline_cfg)
+                                    n_accesses, baseline_cfg,
+                                    trace=trace, warm=warm)
     except ReproError as exc:
         raise exc.with_context(app=app, config=name, seed=seed)
     return {
@@ -204,11 +244,22 @@ def _parallel_cell(app: str, name: str, cfg: L1Config, core: str,
 
 def _parallel_cells(spec: SweepSpec, n_accesses: Optional[int],
                     checkpoint_every: Optional[int] = None,
-                    checkpoint_dir: Optional[Path] = None
+                    checkpoint_dir: Optional[Path] = None,
+                    handles: Optional[Dict[tuple, TraceHandle]] = None,
+                    warm_dir: Optional[str] = None
                     ) -> List[Tuple[dict, partial]]:
-    """The grid as (key, picklable task) pairs, in serial row order."""
+    """The grid as (key, picklable task) pairs, in serial row order.
+
+    ``handles`` maps (app, condition value, seed) to the parent's
+    published shared-memory trace segments — cells with an entry attach
+    it instead of regenerating the trace worker-side. ``warm_dir``
+    points all cells at one cross-process warm-state directory; only
+    baseline-config cells run *with* warm reuse for their own result
+    (``share_warm``), every cell uses it for the normalization run.
+    """
     baseline_cfg = (spec.configs[spec.baseline]
                     if spec.baseline is not None else None)
+    handles = handles or {}
     cells = []
     for core in spec.cores:
         for condition in spec.conditions:
@@ -218,10 +269,13 @@ def _parallel_cells(spec: SweepSpec, n_accesses: Optional[int],
                         key = cell_key(app, name, core, condition, seed)
                         ckpt = (checkpoint_path_for(checkpoint_dir, key)
                                 if checkpoint_every else None)
+                        handle = handles.get(
+                            (app, condition.value, seed))
                         task = partial(_parallel_cell, app, name, cfg,
                                        core, condition, seed, n_accesses,
                                        baseline_cfg, checkpoint_every,
-                                       ckpt)
+                                       ckpt, handle, warm_dir,
+                                       name == spec.baseline)
                         cells.append((key, task))
     return cells
 
@@ -229,7 +283,9 @@ def _parallel_cells(spec: SweepSpec, n_accesses: Optional[int],
 def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
               traces: Optional[TraceCache] = None,
               runner: Optional[ResilientRunner] = None,
-              checkpoint_every: Optional[int] = None) -> List[dict]:
+              checkpoint_every: Optional[int] = None,
+              substrate: Optional[bool] = None,
+              warm_reuse: bool = True) -> List[dict]:
     """Run the grid; returns one dict per combination, FIELDS keys.
 
     Cells execute through ``runner`` (a default, journal-less
@@ -254,6 +310,24 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
     process pool (see :meth:`ResilientRunner.run_cells`); row order,
     journal semantics, and resume behaviour are identical to the serial
     path — the CSV is byte-for-byte the same.
+
+    Two redundancy eliminations apply on top (both deterministic, both
+    leaving rows byte-identical — see ``docs/architecture.md``):
+
+    * ``substrate`` — under ``jobs > 1``, render each pending cell's
+      trace *once* in the parent and publish it as a shared-memory
+      segment (:class:`~repro.workloads.substrate.TraceStore`);
+      workers attach zero-copy instead of regenerating per process.
+      ``None`` (default) enables it whenever the runner is parallel;
+      ``False`` forces per-worker regeneration. Segments are unlinked
+      in a ``finally`` — worker crashes and ``KeyboardInterrupt``
+      included.
+    * ``warm_reuse`` — snapshot the first completed baseline run per
+      (trace, config) through :class:`WarmStateCache` and restore it
+      for the sibling runs (the baseline grid cell and every cell's
+      normalization run), instead of re-simulating. Serial sweeps use
+      an in-memory cache; parallel sweeps exchange snapshots through a
+      temporary directory removed on exit.
     """
     traces = traces or TraceCache()
     runner = runner or ResilientRunner()
@@ -263,9 +337,56 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
             "checkpoint_dir= (the per-cell snapshot directory)")
     blank = {name: "" for name in FIELDS}
     if runner.jobs > 1:
-        cells = _parallel_cells(spec, n_accesses, checkpoint_every,
-                                runner.checkpoint_dir)
-        return [{**blank, **row} for row in runner.run_cells(cells)]
+        use_substrate = substrate if substrate is not None else True
+        store: Optional[TraceStore] = None
+        warm_dir: Optional[str] = None
+        try:
+            handles: Dict[tuple, TraceHandle] = {}
+            if use_substrate:
+                pending = set()
+                for core in spec.cores:
+                    for condition in spec.conditions:
+                        for seed in spec.seeds:
+                            for name in spec.configs:
+                                for app in spec.apps:
+                                    key = cell_key(app, name, core,
+                                                   condition, seed)
+                                    if not runner.completed_ok(key):
+                                        pending.add((app, condition, seed))
+                store = TraceStore()
+                for app, condition, seed in sorted(
+                        pending, key=lambda c: (c[0], c[1].value, c[2])):
+                    trace = traces.get(app, n_accesses, condition, seed)
+                    handles[(app, condition.value, seed)] = store.publish(
+                        trace, key=(app, len(trace), condition.value, seed))
+            if warm_reuse:
+                warm_dir = tempfile.mkdtemp(prefix="repro-warm-")
+            cells = _parallel_cells(spec, n_accesses, checkpoint_every,
+                                    runner.checkpoint_dir, handles=handles,
+                                    warm_dir=warm_dir)
+            # Baseline-first scheduling: submit every baseline-config
+            # cell before any sibling, so by the time the siblings'
+            # normalization runs look for the baseline result it is
+            # already in the warm cache — otherwise concurrent workers
+            # race the baseline cell and each re-simulates the baseline
+            # themselves. The sort is stable (grid order within each
+            # half) and the inverse permutation restores row order, so
+            # the CSV stays byte-identical to a serial run.
+            order = list(range(len(cells)))
+            if warm_dir is not None and spec.baseline is not None:
+                order.sort(key=lambda i:
+                           cells[i][0]["config"] != spec.baseline)
+            permuted = runner.run_cells([cells[i] for i in order])
+            rows: List[dict] = [blank] * len(cells)
+            for rank, i in enumerate(order):
+                rows[i] = {**blank, **permuted[rank]}
+            return rows
+        finally:
+            if store is not None:
+                store.close()
+            if warm_dir is not None:
+                shutil.rmtree(warm_dir, ignore_errors=True)
+    warm = WarmStateCache() if warm_reuse else None
     rows: List[dict] = []
     for core in spec.cores:
         for condition in spec.conditions:
@@ -281,7 +402,7 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
                             app,
                             _system_for(core, spec.configs[spec.baseline]),
                             condition=condition, n_accesses=n_accesses,
-                            seed=seed, cache=traces)
+                            seed=seed, cache=traces, warm_state=warm)
                     return baselines[app]
 
                 for name, cfg in spec.configs.items():
@@ -302,7 +423,10 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
                                     cache=traces,
                                     checkpoint_every=checkpoint_every,
                                     checkpoint_path=ckpt,
-                                    resume_checkpoint=ckpt)
+                                    resume_checkpoint=ckpt,
+                                    warm_state=(warm
+                                                if name == spec.baseline
+                                                else None))
                                 base = baseline_for(app)
                             except ReproError as exc:
                                 raise exc.with_context(app=app, config=name,

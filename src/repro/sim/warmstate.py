@@ -1,0 +1,224 @@
+"""Warm-state reuse: share one (trace, system) run's end state.
+
+A sweep with a ``baseline`` config simulates every (app, core,
+condition, seed) group's baseline *twice*: once as the baseline-config
+grid cell, and once more as the normalization run behind every other
+cell's ``speedup``/``energy_ratio`` columns (``_baseline_result`` in
+:mod:`repro.sim.sweep`). Under ``--jobs N`` the duplication multiplies
+— each pool worker memoizes its *own* baseline run. The simulations
+are deterministic, so every one of those repeats computes bit-for-bit
+the same component state.
+
+:class:`WarmStateCache` eliminates the repeats. The first completed
+run of a (trace, system, length) triple snapshots its full component
+state through PR 4's ``state_dict()`` machinery, rendered into the
+digest-protected "repro-ckpt-1" text format; sibling cells restore
+that snapshot into a freshly built context and harvest the result
+without replaying a single access. Restore correctness is exactly the
+checkpoint/resume guarantee already proven byte-identical by
+``tests/test_checkpoint_resume.py`` — a warm snapshot is a resume
+from ``position == len(trace)``.
+
+Reuse rules (enforced by the driver, documented in
+``docs/architecture.md``):
+
+* keyed by (trace content fingerprint, system name, access count) —
+  the same binding a checkpoint verifies, so a snapshot can never warm
+  a different trace or config;
+* disabled for runs with interval sampling, decision tracing, mid-sim
+  checkpointing, or armed fault injection — those paths have
+  side-channel outputs or intentional divergence a restored result
+  would silently skip;
+* a damaged cache entry is a *miss*, never an error: warm state is an
+  optimization, and verification failures fall back to simulating.
+
+The cache is two-level: an in-process dict of rendered snapshot text,
+plus an optional shared directory so ``--jobs`` workers (separate
+processes) exchange snapshots through the filesystem. Writes are
+atomic (temp + ``os.replace``), and concurrent writers racing on one
+key are benign — determinism means they write identical bytes.
+
+On top of state snapshots the cache memoizes finished
+:class:`~repro.sim.results.SimResult` objects
+(:meth:`WarmStateCache.fetch_result` / :meth:`~WarmStateCache.
+store_result`): restoring a state snapshot still pays for building a
+fresh simulation context, but a sweep's *normalization* runs
+(``_baseline_result``) only need the result, which pickles and loads
+in well under a millisecond. Result files live in the same private
+per-sweep directory as the snapshots — it is created by the sweep,
+never user-supplied, so unpickling from it stays within the process's
+own trust domain.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..errors import CheckpointError
+from ..ioutil import atomic_write_text
+from ..stateutil import canonical_json
+from ..workloads.substrate import columns_for
+from .checkpoint import render_checkpoint, trace_identity, \
+    verify_checkpoint_text
+from .results import SimResult
+
+
+class WarmStateCache:
+    """Memoizes completed-run component state per (trace, system).
+
+    With ``directory=None`` the cache is process-local (the serial
+    sweep path). With a directory, snapshots are also published as
+    files so sibling pool workers share them; the in-memory layer then
+    acts as a read cache over the directory.
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None):
+        self.directory = Path(directory) if directory else None
+        self._memory: Dict[Tuple[str, str, int], str] = {}
+        self._results: Dict[Tuple[str, str, int], SimResult] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _key(self, trace, system) -> Tuple[str, str, int]:
+        return (columns_for(trace).fingerprint, system.name, len(trace))
+
+    def _path(self, key: Tuple[str, str, int]) -> Path:
+        canon = canonical_json(list(key))
+        tag = f"{zlib.crc32(canon.encode('utf-8')) & 0xFFFFFFFF:08x}"
+        return self.directory / f"warm-{key[0]}-{tag}.json"
+
+    def fetch(self, trace, system) -> Optional[Dict[str, Any]]:
+        """The verified snapshot payload for this run, or ``None``.
+
+        Checks the in-memory layer, then the shared directory. The
+        text is verified exactly like a checkpoint file (schema,
+        digest, trace identity, system name) plus the completeness
+        marker ``position == len(trace)``; anything that fails
+        verification is treated as a miss — the caller simulates, it
+        never errors.
+        """
+        key = self._key(trace, system)
+        text = self._memory.get(key)
+        if text is None and self.directory is not None:
+            path = self._path(key)
+            try:
+                text = path.read_text()
+            except OSError:
+                text = None
+        if not text:
+            self.misses += 1
+            return None
+        try:
+            payload = verify_checkpoint_text(
+                text, source=f"warm state {key}", trace=trace,
+                system_name=system.name)
+        except CheckpointError:
+            self.misses += 1
+            return None
+        if payload.get("position") != len(trace):
+            self.misses += 1
+            return None
+        self._memory[key] = text
+        self.hits += 1
+        return payload
+
+    def store(self, trace, system, state: Dict[str, Any]) -> None:
+        """Publish a completed run's component state for siblings.
+
+        ``position`` is stamped as ``len(trace)`` — the completeness
+        marker :meth:`fetch` requires — and the snapshot carries the
+        same trace/system binding a mid-run checkpoint would, so the
+        verification path is shared end to end.
+        """
+        key = self._key(trace, system)
+        if key in self._memory:
+            return
+        text = render_checkpoint(
+            state=state, position=len(trace), trace=trace,
+            system_name=system.name,
+            identity=trace_identity(trace))
+        self._memory[key] = text
+        self.stores += 1
+        if self.directory is not None:
+            try:
+                atomic_write_text(self._path(key), text, fsync=False)
+            except OSError:  # pragma: no cover - best-effort publish
+                pass
+
+    def _result_path(self, key: Tuple[str, str, int]) -> Path:
+        return self._path(key).with_suffix(".result.pkl")
+
+    def fetch_result(self, trace, system) -> Optional[SimResult]:
+        """The memoized finished result for this run, or ``None``.
+
+        Same two-level lookup and same (fingerprint, system, length)
+        binding as :meth:`fetch`, but returning the pickled
+        :class:`SimResult` directly — no context rebuild. Anything
+        unreadable or of the wrong type is a miss, never an error.
+        """
+        key = self._key(trace, system)
+        result = self._results.get(key)
+        if result is None and self.directory is not None:
+            try:
+                with open(self._result_path(key), "rb") as handle:
+                    result = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError):
+                result = None
+            if not isinstance(result, SimResult):
+                result = None
+        if result is None:
+            self.misses += 1
+            return None
+        self._results[key] = result
+        self.hits += 1
+        return result
+
+    def store_result(self, trace, system, result: SimResult) -> None:
+        """Publish a finished result for this run's siblings.
+
+        File writes are atomic (temp + ``os.replace``) so a reader can
+        never observe a torn pickle; racing writers produce identical
+        bytes by determinism.
+        """
+        key = self._key(trace, system)
+        if key in self._results:
+            return
+        self._results[key] = result
+        self.stores += 1
+        if self.directory is not None:
+            path = self._result_path(key)
+            try:
+                fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                                           prefix=path.name + ".")
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(result, handle)
+                os.replace(tmp, path)
+            except OSError:  # pragma: no cover - best-effort publish
+                pass
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (shared files are left alone)."""
+        self._memory.clear()
+        self._results.clear()
+
+
+#: Per-process memo of directory-backed caches, so every cell a pool
+#: worker runs shares one in-memory layer (and therefore fetches a
+#: given snapshot text from disk at most once per process).
+_SHARED: Dict[str, WarmStateCache] = {}
+
+
+def warm_cache_for(directory: Union[str, Path]) -> WarmStateCache:
+    """The process-wide :class:`WarmStateCache` over ``directory``."""
+    key = str(directory)
+    cache = _SHARED.get(key)
+    if cache is None:
+        cache = _SHARED[key] = WarmStateCache(directory)
+    return cache

@@ -30,6 +30,7 @@ that ``json.dumps`` copies through in microseconds.
 from __future__ import annotations
 
 import base64
+import json
 import zlib
 from array import array
 from dataclasses import fields
@@ -37,6 +38,17 @@ from typing import Any, Dict, List, Sequence
 
 #: Typecodes in widening order, for overflow fallback.
 _WIDER = {"B": "h", "b": "h", "h": "i", "i": "q"}
+
+
+def canonical_json(payload: Any) -> str:
+    """Canonical JSON text: sorted keys, compact separators.
+
+    The one serialization every identity-sensitive consumer shares —
+    journal cell ids, checkpoint headers and file names, warm-state
+    cache keys — so the same logical payload always maps to the same
+    bytes (and therefore the same CRC/digest) everywhere.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def stats_state(stats: Any) -> Dict[str, Any]:

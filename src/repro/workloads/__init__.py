@@ -5,6 +5,14 @@ from .mixes import MIX_NAMES, MIXES, get_mix
 from .patterns import PATTERNS, make_pattern
 from .shared import SHARING_KINDS, SharedWorkload, generate_shared_traces
 from .storage import load_trace, save_trace
+from .substrate import (
+    TraceColumns,
+    TraceHandle,
+    TraceStore,
+    attach,
+    columns_for,
+    trace_fingerprint,
+)
 from .spec import (
     EVALUATED_APPS,
     LOW_SPECULATION_APPS,
@@ -38,7 +46,13 @@ __all__ = [
     "SHARING_KINDS",
     "SharedWorkload",
     "Trace",
+    "TraceColumns",
+    "TraceHandle",
+    "TraceStore",
+    "attach",
     "build_memory_image",
+    "columns_for",
+    "trace_fingerprint",
     "generate_shared_traces",
     "generate_trace",
     "get_mix",

@@ -26,6 +26,42 @@ from .trace import MemoryCondition, Trace
 _FORMAT_VERSION = 1
 
 
+def flatten_page_table(table: PageTable):
+    """Flatten a page table to ``(vpns, pfns, flags)`` numpy arrays.
+
+    Flag bits: 1 = huge, 2 = writable. This is the interchange format
+    shared by the ``.npz`` trace files here and the shared-memory
+    substrate (:mod:`repro.workloads.substrate`) — both need the
+    VA->PA mapping as plain arrays a reader can rebuild from. The
+    arrays are sorted by vpn: a canonical order (independent of page
+    fault order) that lets readers binary-search instead of building a
+    dict (see ``substrate.ArrayPageTable``).
+    """
+    vpns = []
+    pfns = []
+    flags = []
+    for vpn, entry in table.entries():
+        vpns.append(vpn)
+        pfns.append(entry.pfn)
+        flags.append((1 if entry.huge else 0)
+                     | (2 if entry.writable else 0))
+    vpn_arr = np.asarray(vpns, dtype=np.int64)
+    order = np.argsort(vpn_arr, kind="stable")
+    return (vpn_arr[order],
+            np.asarray(pfns, dtype=np.int64)[order],
+            np.asarray(flags, dtype=np.int8)[order])
+
+
+def build_page_table(vpns, pfns, flags, asid: int) -> PageTable:
+    """Rebuild a page table from :func:`flatten_page_table` arrays."""
+    table = PageTable(asid=asid)
+    for vpn, pfn, flag in zip(vpns, pfns, flags):
+        table.map_page(int(vpn), int(pfn),
+                       huge=bool(flag & 1),
+                       writable=bool(flag & 2))
+    return table
+
+
 def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
     """Write a trace (access stream + translations) to ``path``.
 
@@ -34,14 +70,7 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    vpns = []
-    pfns = []
-    flags = []
-    for vpn, entry in trace.process.page_table.entries():
-        vpns.append(vpn)
-        pfns.append(entry.pfn)
-        flags.append((1 if entry.huge else 0)
-                     | (2 if entry.writable else 0))
+    vpns, pfns, flags = flatten_page_table(trace.process.page_table)
     meta = {
         "version": _FORMAT_VERSION,
         "app": trace.app,
@@ -55,14 +84,12 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
         meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
         pc=trace.pc, va=trace.va, is_write=trace.is_write,
         inst_gap=trace.inst_gap, dep_dist=trace.dep_dist,
-        vpns=np.asarray(vpns, dtype=np.int64),
-        pfns=np.asarray(pfns, dtype=np.int64),
-        flags=np.asarray(flags, dtype=np.int8),
+        vpns=vpns, pfns=pfns, flags=flags,
     )
     return path
 
 
-class _ReplayProcess(Process):
+class ReplayProcess(Process):
     """A read-only process shell reconstructed from a saved trace."""
 
     def __init__(self, page_table: PageTable):
@@ -78,6 +105,10 @@ class _ReplayProcess(Process):
                            "cannot fault new pages")
 
 
+#: Backwards-compatible alias (pre-substrate name).
+_ReplayProcess = ReplayProcess
+
+
 def load_trace(path: Union[str, Path]) -> Trace:
     """Load a trace previously written by :func:`save_trace`."""
     path = Path(path)
@@ -86,16 +117,12 @@ def load_trace(path: Union[str, Path]) -> Trace:
         if meta.get("version") != _FORMAT_VERSION:
             raise ValueError(
                 f"unsupported trace format version {meta.get('version')}")
-        table = PageTable(asid=int(meta["asid"]))
-        for vpn, pfn, flag in zip(data["vpns"], data["pfns"],
-                                  data["flags"]):
-            table.map_page(int(vpn), int(pfn),
-                           huge=bool(flag & 1),
-                           writable=bool(flag & 2))
+        table = build_page_table(data["vpns"], data["pfns"],
+                                 data["flags"], asid=int(meta["asid"]))
         return Trace(
             app=meta["app"],
             condition=MemoryCondition(meta["condition"]),
-            process=_ReplayProcess(table),
+            process=ReplayProcess(table),
             pc=data["pc"].copy(),
             va=data["va"].copy(),
             is_write=data["is_write"].copy(),

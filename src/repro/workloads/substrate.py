@@ -1,0 +1,491 @@
+"""Shared trace substrate: derived columns + zero-copy distribution.
+
+Every figure in the SIPT evaluation is a grid of (app x system) cells
+over the *same* per-app traces, yet before this module each ``--jobs``
+pool worker regenerated every trace it touched — re-running the buddy
+allocator, page tables, and demand paging from :mod:`repro.mem` once
+per worker — and every :class:`~repro.sim.driver._CoreContext`
+re-derived the per-access columns (``tolist()`` conversions, page
+numbers, index deltas) per cell. This module amortizes both:
+
+* :class:`TraceColumns` is a per-trace **derived-column store**,
+  memoized on the :class:`~repro.workloads.trace.Trace` instance via
+  :func:`columns_for`. It computes each derived view lazily and
+  exactly once per process: the plain-list copies of the five raw
+  columns the replay hot loop indexes, the vectorized virtual/physical
+  page-number columns (``vpn``/``ppn``) whose XOR is the set-index
+  delta SIPT speculates over, and the CRC-32 content fingerprint the
+  checkpoint and warm-state layers key on.
+
+* :class:`TraceStore` **publishes** a rendered trace (raw columns,
+  page-table arrays, and the precomputed derived columns) into one
+  ``multiprocessing.shared_memory`` segment, returning a picklable
+  :class:`TraceHandle`. Pool workers :func:`attach` the handle and get
+  a read-only, zero-copy :class:`~repro.workloads.trace.Trace` backed
+  by the parent's pages — no regeneration, no column copies, and the
+  derived columns arrive precomputed.
+
+Lifecycle guarantees (exercised by ``tests/test_trace_substrate.py``):
+the parent owns every segment; ``TraceStore.close()`` unlinks them and
+runs from ``run_sweep``'s ``finally`` on normal exit, worker crash
+(``BrokenProcessPool``), and ``KeyboardInterrupt``. A module-level
+``atexit`` net unlinks anything a bypassed ``finally`` leaves behind,
+and the interpreter's ``resource_tracker`` covers hard kills of the
+parent. Workers only ever attach — they never own, and therefore never
+unlink, a segment (see :func:`_untrack` for the CPython < 3.13
+tracker workaround this requires).
+"""
+
+from __future__ import annotations
+
+import atexit
+import weakref
+import zlib
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..mem.address import PAGE_SHIFT, PAGE_SIZE, page_number
+from ..mem.page_table import PageTable, PageTableEntry
+from .storage import ReplayProcess, flatten_page_table
+from .trace import MemoryCondition, Trace
+
+#: Raw trace columns shipped through (and fingerprinted over), in the
+#: canonical order shared with ``checkpoint.trace_identity``.
+RAW_COLUMNS = ("pc", "va", "is_write", "inst_gap", "dep_dist")
+
+#: Segment layout alignment: every column starts on a 16-byte boundary
+#: so the attached numpy views are safely aligned for any dtype.
+_ALIGN = 16
+
+
+def trace_fingerprint(trace: Trace) -> str:
+    """CRC-32 hex fingerprint over the raw column bytes.
+
+    The same chained CRC ``repro.sim.checkpoint.trace_identity`` always
+    used (column order is :data:`RAW_COLUMNS`), so fingerprints written
+    into pre-existing checkpoints keep verifying.
+    """
+    crc = 0
+    for name in RAW_COLUMNS:
+        crc = zlib.crc32(getattr(trace, name).tobytes(), crc)
+    return f"{crc & 0xFFFFFFFF:08x}"
+
+
+class TraceColumns:
+    """Lazy, compute-once derived columns for one :class:`Trace`.
+
+    Obtain instances through :func:`columns_for` — the memo is what
+    makes "once" true: every cell, resumed run, or baseline sibling in
+    the same process that replays the same trace object shares one
+    instance, so the ``tolist()`` conversions and the page-number
+    vectorization are paid a single time.
+
+    Attached (shared-memory) traces arrive with ``vpn``/``ppn`` and the
+    fingerprint pre-populated from the parent's computation; only the
+    plain-list views are per-process (they must be, being Python
+    objects).
+    """
+
+    __slots__ = ("_trace", "_vpn", "_ppn", "_index_delta",
+                 "_fingerprint", "_lists", "__weakref__")
+
+    def __init__(self, trace: Trace,
+                 vpn: Optional[np.ndarray] = None,
+                 ppn: Optional[np.ndarray] = None,
+                 fingerprint: Optional[str] = None):
+        self._trace = trace
+        self._vpn = vpn
+        self._ppn = ppn
+        self._index_delta: Optional[np.ndarray] = None
+        self._fingerprint = fingerprint
+        self._lists: Optional[Tuple[list, list, list, list, list]] = None
+
+    @property
+    def vpn(self) -> np.ndarray:
+        """Per-access virtual page number (``va >> PAGE_SHIFT``)."""
+        if self._vpn is None:
+            self._vpn = self._trace.va >> PAGE_SHIFT
+        return self._vpn
+
+    @property
+    def ppn(self) -> np.ndarray:
+        """Per-access physical page number.
+
+        ``pa >> PAGE_SHIFT`` for every access: the page table is only
+        consulted once per *unique* page (``np.unique`` gathers the
+        inverse mapping), not once per access — the part worth
+        precomputing. Huge pages need no special case: the page table
+        stores a 4K-granular ``pfn`` for every mapped vpn, so
+        ``pa = (pfn << PAGE_SHIFT) | page_offset`` holds universally.
+        """
+        if self._ppn is None:
+            vpn = self.vpn
+            unique, inverse = np.unique(vpn, return_inverse=True)
+            lookup = self._trace.process.page_table.lookup
+            pfns = np.fromiter(
+                (lookup(int(v)).pfn for v in unique),
+                dtype=np.int64, count=len(unique))
+            self._ppn = pfns[inverse]
+        return self._ppn
+
+    @property
+    def index_delta(self) -> np.ndarray:
+        """``vpn ^ ppn`` — the bits where virtual and physical set
+        index candidates disagree. An access misspeculates under a
+        geometry using ``b`` index bits above the page offset iff
+        ``index_delta & ((1 << b) - 1)`` is non-zero.
+        """
+        if self._index_delta is None:
+            self._index_delta = self.vpn ^ self.ppn
+        return self._index_delta
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint (see :func:`trace_fingerprint`)."""
+        if self._fingerprint is None:
+            self._fingerprint = trace_fingerprint(self._trace)
+        return self._fingerprint
+
+    def lists(self) -> Tuple[list, list, list, list, list]:
+        """The five raw columns as plain Python lists, converted once.
+
+        Indexing a numpy array returns numpy scalars whose
+        ``int()``/``bool()`` conversion dominates the per-access cost
+        in the replay hot loop, so the driver replays from these lists;
+        hoisting the conversion here means sibling cells sharing a
+        trace pay it once per process instead of once per cell.
+        Order matches :data:`RAW_COLUMNS`.
+        """
+        if self._lists is None:
+            trace = self._trace
+            self._lists = (trace.pc.tolist(), trace.va.tolist(),
+                           trace.is_write.tolist(),
+                           trace.inst_gap.tolist(),
+                           trace.dep_dist.tolist())
+        return self._lists
+
+    def spec_change_fraction(self, index_bits: int) -> float:
+        """Fraction of accesses whose set index changes under
+        ``index_bits`` speculative bits — the paper's "how often does
+        VA-indexing lie" statistic, free once ``index_delta`` exists.
+        """
+        if index_bits <= 0:
+            return 0.0
+        mask = (1 << index_bits) - 1
+        return float(np.count_nonzero(self.index_delta & mask)
+                     / len(self.index_delta))
+
+
+def columns_for(trace: Trace) -> TraceColumns:
+    """The (memoized) derived-column store for ``trace``.
+
+    The store is cached on the trace instance itself, so any code path
+    holding the same ``Trace`` object — driver contexts, checkpoint
+    fingerprinting, warm-state keys, substrate publication — shares
+    one instance. A structurally-copied trace (e.g.
+    ``dataclasses.replace`` in the fault injector) naturally drops the
+    memo and recomputes, which is exactly right: its content differs.
+    """
+    cols = getattr(trace, "_columns", None)
+    if cols is None:
+        cols = TraceColumns(trace)
+        trace._columns = cols
+    return cols
+
+
+class ArrayPageTable(PageTable):
+    """A read-only :class:`PageTable` view over flattened arrays.
+
+    Rebuilding a dict-backed page table on attach costs one
+    :class:`PageTableEntry` construction per mapped page — tens of
+    milliseconds per worker per trace, which at pool scale rivals a
+    whole simulation. Replay only ever *looks up* the pages the TLB
+    walks on, so this view binary-searches the (vpn-sorted, see
+    :func:`~repro.workloads.storage.flatten_page_table`) shared arrays
+    directly and constructs entries lazily, memoizing each in the
+    inherited ``_entries`` dict so a given page's entry is built at
+    most once per process. Lookups return values identical to the
+    eager table's, keeping replay byte-identical.
+    """
+
+    def __init__(self, vpns: np.ndarray, pfns: np.ndarray,
+                 flags: np.ndarray, asid: int = 0):
+        super().__init__(asid=asid)
+        if len(vpns) > 1 and not bool(np.all(vpns[:-1] < vpns[1:])):
+            order = np.argsort(vpns, kind="stable")
+            vpns, pfns, flags = vpns[order], pfns[order], flags[order]
+        self._vpns = vpns
+        self._pfns = pfns
+        self._flags = flags
+
+    def __len__(self) -> int:
+        return int(self._vpns.shape[0])
+
+    def __contains__(self, vpn: int) -> bool:
+        return self._find(vpn) >= 0
+
+    def _find(self, vpn: int) -> int:
+        index = int(np.searchsorted(self._vpns, vpn))
+        if (index < self._vpns.shape[0]
+                and int(self._vpns[index]) == vpn):
+            return index
+        return -1
+
+    def map_page(self, vpn: int, pfn: int, huge: bool = False,
+                 writable: bool = True) -> None:
+        raise ValueError("attached page tables are read-only")
+
+    def unmap_page(self, vpn: int) -> PageTableEntry:
+        raise ValueError("attached page tables are read-only")
+
+    def lookup(self, vpn: int) -> Optional[PageTableEntry]:
+        """Return the entry for ``vpn`` or ``None`` if unmapped."""
+        entry = self._entries.get(vpn)
+        if entry is None:
+            index = self._find(vpn)
+            if index < 0:
+                return None
+            flag = int(self._flags[index])
+            entry = PageTableEntry(pfn=int(self._pfns[index]),
+                                   huge=bool(flag & 1),
+                                   writable=bool(flag & 2))
+            self._entries[vpn] = entry
+        return entry
+
+    def translate(self, va: int) -> int:
+        entry = self.lookup(page_number(va))
+        if entry is None:
+            from ..mem.page_table import TranslationFault
+            raise TranslationFault(va)
+        return (entry.pfn << PAGE_SHIFT) | (va & (PAGE_SIZE - 1))
+
+    def translate_entry(self, va: int):
+        entry = self.lookup(page_number(va))
+        if entry is None:
+            from ..mem.page_table import TranslationFault
+            raise TranslationFault(va)
+        return (entry.pfn << PAGE_SHIFT) | (va & (PAGE_SIZE - 1)), entry
+
+    def is_mapped(self, va: int) -> bool:
+        return page_number(va) in self
+
+    def entries(self):
+        """Iterate (vpn, entry) pairs — materializes lazily once."""
+        for index in range(len(self)):
+            vpn = int(self._vpns[index])
+            yield vpn, self.lookup(vpn)
+
+    def mapped_bytes(self) -> int:
+        return len(self) * PAGE_SIZE
+
+
+# ---------------------------------------------------------------------
+# Shared-memory publication
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceHandle:
+    """A picklable reference to one published trace segment.
+
+    ``layout`` maps column name -> ``(dtype string, length, byte
+    offset)`` inside the segment; ``meta`` carries the scalar trace
+    fields (app, condition, mlp, huge_fraction, asid, fingerprint)
+    needed to rebuild the :class:`Trace` shell on attach.
+    """
+
+    name: str
+    layout: Tuple[Tuple[str, str, int, int], ...]
+    meta: Tuple[Tuple[str, object], ...]
+
+    def meta_dict(self) -> Dict[str, object]:
+        """The ``meta`` pairs as a dict (handles are hashable tuples)."""
+        return dict(self.meta)
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Keep an *attached* segment off this process's resource tracker.
+
+    CPython < 3.13 registers every ``SharedMemory`` — even an attach —
+    with the ``multiprocessing.resource_tracker``, whose cleanup then
+    unlinks "leaked" segments and warns about them. Only the parent
+    (the creator) owns our segments, so an attaching process must not
+    contribute its own tracker claim. Under the ``fork`` start method
+    (Linux default, what the sweep pool uses) workers *share* the
+    parent's tracker: the duplicate registration is idempotent there,
+    and unregistering would strip the parent's own entry — so this is
+    a no-op. Under ``spawn``, each worker runs a private tracker that
+    would unlink the segment when the worker exits (bpo-39959), so
+    there the attach-side registration is withdrawn. 3.13+ has
+    ``track=False`` for exactly this; the guarded private-API call
+    keeps us portable to older interpreters.
+    """
+    try:
+        import multiprocessing
+        if multiprocessing.get_start_method() == "fork":
+            return
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker API unavailable
+        pass
+
+
+#: Worker-side attach memo: segment name -> (SharedMemory, Trace). The
+#: SharedMemory object must stay referenced for as long as the numpy
+#: views over its buffer live; the process-lifetime memo guarantees it
+#: (and makes repeat attaches free for sibling cells in one worker).
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, Trace]] = {}
+
+#: Live stores, for the atexit safety net. Weak so a store that was
+#: closed and dropped does not linger here.
+_LIVE_STORES: "weakref.WeakSet[TraceStore]" = weakref.WeakSet()
+
+
+def _cleanup_live_stores() -> None:  # pragma: no cover - atexit path
+    for store in list(_LIVE_STORES):
+        store.close()
+
+
+atexit.register(_cleanup_live_stores)
+
+
+class TraceStore:
+    """Parent-side registry of traces published to shared memory.
+
+    Content-addressed: :meth:`publish` keys each segment by the cell
+    coordinates ``(app, n_accesses, condition, seed)`` (or any hashable
+    key the caller supplies) and is idempotent per key. The store owns
+    its segments — :meth:`close` unlinks every one, and construction
+    registers the store with an ``atexit`` net so even an exit path
+    that skips the owning ``finally`` cannot leak ``/dev/shm`` entries.
+    """
+
+    def __init__(self):
+        self._segments: Dict[object, Tuple[shared_memory.SharedMemory,
+                                           TraceHandle]] = {}
+        _LIVE_STORES.add(self)
+
+    def publish(self, trace: Trace, key: Optional[object] = None
+                ) -> TraceHandle:
+        """Render ``trace`` into a shared segment; returns its handle.
+
+        Raw columns, the flattened page table, and the precomputed
+        derived columns (``vpn``/``ppn``) are packed contiguously
+        (16-byte aligned) into one segment. Publishing the same key
+        again returns the existing handle without re-rendering.
+        """
+        cols = columns_for(trace)
+        if key is None:
+            key = cols.fingerprint
+        if key in self._segments:
+            return self._segments[key][1]
+        vpns, pfns, flags = flatten_page_table(
+            trace.process.page_table)
+        arrays = {name: np.ascontiguousarray(getattr(trace, name))
+                  for name in RAW_COLUMNS}
+        arrays["vpn"] = np.ascontiguousarray(cols.vpn)
+        arrays["ppn"] = np.ascontiguousarray(cols.ppn)
+        arrays["pt_vpn"] = vpns
+        arrays["pt_pfn"] = pfns
+        arrays["pt_flags"] = flags
+        layout = []
+        offset = 0
+        for name, array in arrays.items():
+            offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+            layout.append((name, array.dtype.str, len(array), offset))
+            offset += array.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for (name, dtype, length, off), array in zip(layout,
+                                                     arrays.values()):
+            view = np.ndarray((length,), dtype=dtype, buffer=shm.buf,
+                              offset=off)
+            view[:] = array
+        handle = TraceHandle(
+            name=shm.name,
+            layout=tuple(layout),
+            meta=(("app", trace.app),
+                  ("condition", trace.condition.value),
+                  ("mlp", trace.mlp),
+                  ("huge_fraction", trace.huge_fraction),
+                  ("asid", trace.process.page_table.asid),
+                  ("fingerprint", cols.fingerprint)))
+        self._segments[key] = (shm, handle)
+        return handle
+
+    def handle(self, key: object) -> Optional[TraceHandle]:
+        """The handle published under ``key``, or ``None``."""
+        entry = self._segments.get(key)
+        return entry[1] if entry else None
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Names of every live segment (tests assert these vanish)."""
+        return tuple(shm.name for shm, _ in self._segments.values())
+
+    def close(self) -> None:
+        """Unlink every published segment (idempotent).
+
+        Workers that already attached keep their mappings until they
+        exit (POSIX unlink semantics); the backing pages are freed once
+        the last mapping goes away. A segment that something else
+        already removed is not an error.
+        """
+        segments, self._segments = self._segments, {}
+        for shm, _ in segments.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        _LIVE_STORES.discard(self)
+
+    def __enter__(self) -> "TraceStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach(handle: TraceHandle) -> Trace:
+    """Open a published segment as a read-only, zero-copy Trace.
+
+    Memoized per process and per segment: sibling cells running in the
+    same pool worker share one ``Trace`` instance (and therefore one
+    :class:`TraceColumns`, including the hot-loop lists). The returned
+    arrays are numpy views straight over the shared pages with the
+    writeable flag cleared — replay only reads, and the fault
+    injector's ``corrupt_trace`` copies before mutating, so read-only
+    sharing is safe by construction.
+    """
+    cached = _ATTACHED.get(handle.name)
+    if cached is not None:
+        return cached[1]
+    shm = shared_memory.SharedMemory(name=handle.name)
+    _untrack(shm)
+    views: Dict[str, np.ndarray] = {}
+    for name, dtype, length, offset in handle.layout:
+        view = np.ndarray((length,), dtype=dtype, buffer=shm.buf,
+                          offset=offset)
+        view.flags.writeable = False
+        views[name] = view
+    meta = handle.meta_dict()
+    table = ArrayPageTable(views["pt_vpn"], views["pt_pfn"],
+                           views["pt_flags"], asid=int(meta["asid"]))
+    trace = Trace(
+        app=str(meta["app"]),
+        condition=MemoryCondition(meta["condition"]),
+        process=ReplayProcess(table),
+        pc=views["pc"],
+        va=views["va"],
+        is_write=views["is_write"],
+        inst_gap=views["inst_gap"],
+        dep_dist=views["dep_dist"],
+        mlp=float(meta["mlp"]),
+        huge_fraction=float(meta["huge_fraction"]))
+    trace._columns = TraceColumns(trace, vpn=views["vpn"],
+                                  ppn=views["ppn"],
+                                  fingerprint=str(meta["fingerprint"]))
+    _ATTACHED[handle.name] = (shm, trace)
+    return trace

@@ -78,6 +78,17 @@ class Trace:
     def total_instructions(self) -> int:
         return int(self.inst_gap.sum()) + len(self.va)
 
+    def columns(self):
+        """This trace's derived-column store (lazy, computed once).
+
+        Convenience for :func:`repro.workloads.substrate.columns_for`;
+        the store memoizes the hot-loop list views, the vectorized
+        page-number columns, and the content fingerprint on this
+        instance, so repeated calls are free.
+        """
+        from .substrate import columns_for
+        return columns_for(self)
+
     def validate(self) -> None:
         """Reject corrupt records before replay.
 

@@ -10,6 +10,7 @@ from repro.sim.bench import (
     SCHEMA,
     check_regression,
     run_bench,
+    run_sweep_bench,
     write_report,
 )
 
@@ -99,3 +100,47 @@ def test_check_regression_reads_baseline_file(tmp_path):
     bad_path.write_text(json.dumps(bad))
     with pytest.raises(ConfigError):
         check_regression(report, bad_path)
+
+
+# ---------------------------------------------------------------------
+# Sweep mode
+# ---------------------------------------------------------------------
+
+def tiny_sweep_report():
+    return run_sweep_bench(apps=["povray"], n_accesses=300,
+                           configs=["32K_2w"], seeds=(0,), jobs=2,
+                           repeats=1)
+
+
+def test_sweep_report_shape():
+    report = tiny_sweep_report()
+    assert report["schema"] == SCHEMA and report["mode"] == "sweep"
+    assert report["rows_identical"] is True
+    assert set(report["modes"]) == {"serial", "parallel_plain",
+                                    "substrate"}
+    for point in report["modes"].values():
+        assert point["best_s"] > 0 and point["cells_per_s"] > 0
+    assert report["aggregate_cells_per_s"] == \
+        report["modes"]["substrate"]["cells_per_s"]
+    assert report["speedup_substrate"] > 0
+    assert report["cells"] == 4  # 1 app x 2 configs x 2 conds x 1 seed
+
+
+def test_sweep_input_validation():
+    with pytest.raises(ConfigError):
+        run_sweep_bench(jobs=1)
+    with pytest.raises(ConfigError):
+        run_sweep_bench(n_accesses=0)
+    with pytest.raises(ConfigError):
+        run_sweep_bench(repeats=0)
+    with pytest.raises(ConfigError):
+        run_sweep_bench(configs=["no-such-geometry"])
+
+
+def test_check_regression_spans_bench_modes():
+    sweep = tiny_sweep_report()
+    ok, message = check_regression(sweep, dict(sweep))
+    assert ok and "cells/s" in message
+    hotpath_base = {"aggregate_accesses_per_s": 1.0}
+    with pytest.raises(ConfigError):
+        check_regression(sweep, hotpath_base)

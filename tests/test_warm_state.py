@@ -1,0 +1,152 @@
+"""Tests for warm-state reuse (``repro.sim.warmstate``).
+
+The load-bearing property: warm-state reuse is a pure redundancy
+elimination. Rows must be byte-identical with it on or off, serial or
+parallel, and composed with per-cell checkpointing and journal resume.
+The cache itself must treat anything unverifiable as a miss, never an
+error.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.sim import BASELINE_L1, SIPT_GEOMETRIES, inorder_system, simulate
+from repro.sim.experiment import TraceCache
+from repro.sim.resilience import ResilientRunner
+from repro.sim.sweep import SweepSpec, run_sweep
+from repro.sim.warmstate import WarmStateCache, warm_cache_for
+from repro.workloads import generate_trace
+
+
+@pytest.fixture
+def trace():
+    return generate_trace("gamess", 1200, seed=7)
+
+
+def spec_small():
+    return SweepSpec(apps=["gamess"],
+                     configs={"base": BASELINE_L1,
+                              "sipt": SIPT_GEOMETRIES["32K_2w"]},
+                     seeds=[0],
+                     baseline="base")
+
+
+def rows_blob(rows):
+    return json.dumps(rows, sort_keys=True, default=str)
+
+
+# ---------------------------------------------------------------------
+# Cache mechanics
+# ---------------------------------------------------------------------
+
+def test_state_store_fetch_round_trip(trace, tmp_path):
+    cache = WarmStateCache(tmp_path)
+    system = inorder_system(BASELINE_L1)
+    assert cache.fetch(trace, system) is None  # cold
+    cold = simulate(trace, system, warm_state=cache)
+    assert cache.stores >= 1
+    payload = cache.fetch(trace, system)
+    assert payload is not None
+    assert payload["position"] == len(trace)
+    # A warm re-run restores the snapshot and reproduces the result.
+    hits = cache.hits
+    warm = simulate(trace, inorder_system(BASELINE_L1), warm_state=cache)
+    assert cache.hits > hits
+    assert warm.ipc == cold.ipc
+    # A sibling cache over the same directory sees the published file.
+    twin = WarmStateCache(tmp_path)
+    assert twin.fetch(trace, system) is not None
+
+
+def test_result_store_fetch_round_trip(trace, tmp_path):
+    system = inorder_system(BASELINE_L1)
+    result = simulate(trace, system)
+    cache = WarmStateCache(tmp_path)
+    assert cache.fetch_result(trace, system) is None
+    cache.store_result(trace, system, result)
+    assert cache.fetch_result(trace, system) is result
+    twin = WarmStateCache(tmp_path)
+    got = twin.fetch_result(trace, system)
+    assert got is not None and got.ipc == result.ipc
+
+
+def test_corrupt_published_files_are_misses(trace, tmp_path):
+    system = inorder_system(BASELINE_L1)
+    cache = WarmStateCache(tmp_path)
+    result = simulate(trace, system, warm_state=cache)
+    cache.store_result(trace, system, result)
+    for path in tmp_path.iterdir():
+        path.write_bytes(b"\x00 not a snapshot \x00")
+    fresh = WarmStateCache(tmp_path)
+    assert fresh.fetch(trace, system) is None
+    assert fresh.fetch_result(trace, system) is None
+
+
+def test_clear_drops_memory_not_files(trace, tmp_path):
+    system = inorder_system(BASELINE_L1)
+    cache = WarmStateCache(tmp_path)
+    simulate(trace, system, warm_state=cache)
+    cache.clear()
+    assert cache.fetch(trace, system) is not None  # re-read from disk
+
+
+def test_warm_cache_for_memoizes_per_directory(tmp_path):
+    assert warm_cache_for(tmp_path) is warm_cache_for(tmp_path)
+    assert warm_cache_for(tmp_path) is not warm_cache_for(tmp_path / "x")
+
+
+# ---------------------------------------------------------------------
+# End-to-end identity: warm reuse must not change a single byte
+# ---------------------------------------------------------------------
+
+def test_serial_rows_identical_warm_on_off():
+    want = run_sweep(spec_small(), n_accesses=600, traces=TraceCache(),
+                     warm_reuse=False)
+    got = run_sweep(spec_small(), n_accesses=600, traces=TraceCache(),
+                    warm_reuse=True)
+    assert rows_blob(got) == rows_blob(want)
+
+
+def test_parallel_rows_identical_warm_on_off(tmp_path):
+    kw = dict(n_accesses=600, substrate=True)
+    want = run_sweep(spec_small(), traces=TraceCache(),
+                     runner=ResilientRunner(jobs=2,
+                                            checkpoint_dir=tmp_path / "a"),
+                     warm_reuse=False, **kw)
+    got = run_sweep(spec_small(), traces=TraceCache(),
+                    runner=ResilientRunner(jobs=2,
+                                           checkpoint_dir=tmp_path / "b"),
+                    warm_reuse=True, **kw)
+    assert rows_blob(got) == rows_blob(want)
+
+
+def test_warm_rows_identical_under_checkpoint_every(tmp_path):
+    want = run_sweep(spec_small(), n_accesses=600, traces=TraceCache(),
+                     warm_reuse=False)
+    runner = ResilientRunner(jobs=2, checkpoint_dir=tmp_path)
+    got = run_sweep(spec_small(), n_accesses=600, traces=TraceCache(),
+                    runner=runner, checkpoint_every=200,
+                    substrate=True, warm_reuse=True)
+    assert rows_blob(got) == rows_blob(want)
+
+
+def test_warm_rows_identical_under_resume(tmp_path):
+    spec = spec_small()
+    want = run_sweep(spec, n_accesses=600, traces=TraceCache(),
+                     warm_reuse=False)
+    journal = tmp_path / "journal.jsonl"
+    first = ResilientRunner(jobs=2, journal=journal,
+                            checkpoint_dir=tmp_path / "c1")
+    run_sweep(spec, n_accesses=600, traces=TraceCache(), runner=first,
+              substrate=True, warm_reuse=True)
+    # Drop the last journal record so the resume has real work to do.
+    lines = journal.read_text().splitlines()
+    journal.write_text("\n".join(lines[:-1]) + "\n")
+    resumed = ResilientRunner(jobs=2, journal=journal,
+                              resume_from=journal,
+                              checkpoint_dir=tmp_path / "c2")
+    got = run_sweep(spec, n_accesses=600, traces=TraceCache(),
+                    runner=resumed, substrate=True, warm_reuse=True)
+    assert rows_blob(got) == rows_blob(want)
