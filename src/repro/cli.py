@@ -18,10 +18,14 @@ Examples::
     python -m repro stats --app mcf --out snap.json --interval 10000
     python -m repro stats --diff base.json sipt.json
     python -m repro trace --app mcf --sample 64 --tail 5
+    python -m repro sweep --jobs 2 --inject kill_worker@1 \
+        --journal chaos.jsonl                    # chaos-test the pool
 
 Exit codes: ``0`` success, ``1`` a typed error (printed to stderr) or
-failed validation, ``2`` the grid completed but degraded (error rows)
-under ``--strict``, ``3`` a simulated worker crash (fault injection).
+failed validation, ``2`` the grid completed but degraded (error,
+timeout, or crashed rows) under ``--strict``, ``3`` a simulated worker
+crash (fault injection), ``130`` interrupted (Ctrl-C; the journal stays
+resumable).
 """
 
 from __future__ import annotations
@@ -106,7 +110,9 @@ def _runner(args) -> ResilientRunner:
         retry=RetryPolicy(max_retries=getattr(args, "retries", 2)),
         faults=faults,
         jobs=getattr(args, "jobs", 1),
-        checkpoint_dir=checkpoint_dir)
+        checkpoint_dir=checkpoint_dir,
+        max_cell_crashes=getattr(args, "max_cell_crashes", 2),
+        max_worker_restarts=getattr(args, "max_worker_restarts", None))
 
 
 def _finish(args, runner: ResilientRunner) -> int:
@@ -521,9 +527,21 @@ def build_parser() -> argparse.ArgumentParser:
                      "error row")
             group.add_argument(
                 "--jobs", type=int, default=1, metavar="N",
-                help="run grid cells in N worker processes (rows, "
-                     "journal, and --resume stay identical to serial; "
-                     "attempt-level --inject kinds require jobs=1)")
+                help="run grid cells in N supervised worker processes "
+                     "(rows, journal, and --resume stay identical to "
+                     "serial; worker death costs one cell, not the "
+                     "sweep; attempt-level --inject kinds require "
+                     "jobs=1)")
+            group.add_argument(
+                "--max-cell-crashes", type=int, default=2, metavar="K",
+                help="quarantine a cell with status=crashed after its "
+                     "execution kills K workers (default 2)")
+            group.add_argument(
+                "--max-worker-restarts", type=int, default=None,
+                metavar="K",
+                help="pool rebuilds allowed after worker deaths before "
+                     "the remaining cells degrade to serial in-process "
+                     "execution (default: jobs x 3)")
         group.add_argument("--timeout", type=float, default=None,
                            metavar="SECONDS", help="per-cell deadline")
         group.add_argument("--retries", type=int, default=2,
@@ -532,8 +550,9 @@ def build_parser() -> argparse.ArgumentParser:
             "--inject", action="append", default=[], metavar="FAULT",
             help="inject a deterministic fault: crash@N, crash@N@ACCESS "
                  "(mid-simulation), transient@N[xK], stall@N:SECONDS, "
-                 "corrupt_trace@N[xK], poison_predictor@N[xK] "
-                 "(repeatable; data-level kinds work with --jobs)")
+                 "corrupt_trace@N[xK], poison_predictor@N[xK], "
+                 "kill_worker@N[xK] (repeatable; data-level kinds work "
+                 "with --jobs; kill_worker requires --jobs >= 2)")
 
     def checkpointing(p, single_cell=False):
         group = p.add_argument_group("checkpointing")

@@ -32,6 +32,15 @@ from .experiment import (
     run_app,
     run_suite,
 )
+from .executors import (
+    CellOutcome,
+    CellTask,
+    Executor,
+    ExecutorStats,
+    SerialExecutor,
+    SupervisedPoolExecutor,
+    executor_for,
+)
 from .faults import FaultInjector, FaultSpec, WorkerCrash, parse_fault
 from .resilience import (
     ResilientRunner,
@@ -49,9 +58,16 @@ from .sweep import SweepSpec, run_sweep, to_csv
 from .warmstate import WarmStateCache, warm_cache_for
 
 __all__ = [
+    "CellOutcome",
+    "CellTask",
+    "Executor",
+    "ExecutorStats",
     "FaultInjector",
     "FaultSpec",
     "ResilientRunner",
+    "SerialExecutor",
+    "SupervisedPoolExecutor",
+    "executor_for",
     "RetryPolicy",
     "RunnerStats",
     "WorkerCrash",

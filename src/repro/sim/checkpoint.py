@@ -282,3 +282,27 @@ def read_heartbeat(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
     except (OSError, json.JSONDecodeError):
         return None
     return payload if isinstance(payload, dict) else None
+
+
+def sweep_stale_heartbeats(directory: Union[str, Path]) -> int:
+    """Delete every ``*.heartbeat`` file under ``directory``.
+
+    Heartbeats are scratch state for the in-flight watchdog: a worker
+    that exits cleanly removes its own, but a SIGKILLed worker cannot,
+    and a leaked beat would make the *next* run's watchdog misread
+    stale progress. The runner calls this when a run finishes
+    (``ResilientRunner.close()``), at which point no cell is in flight
+    and every surviving heartbeat is by definition stale. Returns the
+    number of files removed; missing files and races are ignored.
+    """
+    removed = 0
+    root = Path(directory)
+    if not root.is_dir():
+        return 0
+    for beat in root.glob("*.heartbeat"):
+        try:
+            beat.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed

@@ -28,6 +28,19 @@ cell executes, keyed on the cell's execution ordinal (0-based order of
   the predictor's finite-activation guard reports
   :class:`~repro.errors.SimulationError` at first use.
 
+**Dispatch-level faults** fire in a pool *worker* as it picks up a
+cell, and are only legal under ``--jobs N`` (N >= 2):
+
+* ``kill_worker`` — the worker SIGKILLs itself after marking the cell
+  in flight, modelling a hard worker death (OOM kill, segfault).
+  Exercises the :class:`~repro.sim.executors.SupervisedPoolExecutor`:
+  pool rebuild, bystander rescheduling, and crash attribution /
+  quarantine. ``kill_worker@N`` kills on *every* dispatch of cell
+  ordinal N (the cell is quarantined as ``crashed`` after
+  ``--max-cell-crashes`` deaths); ``kill_worker@NxK`` kills only the
+  first K dispatches (with K below the crash limit, the cell
+  ultimately succeeds and the fault purely exercises rescheduling).
+
 Data-level faults can also be *injected by spec* — the injector arms
 them in a process-local channel (:func:`arm_fault`) that
 :func:`repro.sim.driver.simulate` consumes at entry, so the corruption
@@ -50,6 +63,8 @@ Fault specs parse from compact strings (CLI ``--inject``)::
     corrupt_trace@0x4   corrupt 4 records instead
     poison_predictor@1  NaN-poison every perceptron entry of cell 1
     poison_predictor@1x8  poison 8 deterministic entries
+    kill_worker@1       SIGKILL the worker on every dispatch of cell 1
+    kill_worker@1x1     SIGKILL only the first dispatch of cell 1
 """
 
 from __future__ import annotations
@@ -81,19 +96,23 @@ class FaultSpec:
     at_cell: int         # 0-based execution ordinal within the run
     count: int = 1       # transient: failing attempts before success
                          # corrupt_trace: records; poison_predictor:
-                         # entries (0 = all)
+                         # entries (0 = all); kill_worker: dispatches
+                         # to kill (0 = every dispatch)
     seconds: float = 0.0  # stall: sleep before the cell body
     at_access: Optional[int] = None  # crash: trace ordinal to die at
                                      # (None = before the cell runs)
 
     KINDS = ("crash", "transient", "stall",
-             "corrupt_trace", "poison_predictor")
+             "corrupt_trace", "poison_predictor", "kill_worker")
 
     #: Kinds that must fire in the parent's serial submission loop.
     ATTEMPT_KINDS = ("crash", "transient", "stall")
 
     #: Kinds armed into the worker and applied inside ``simulate``.
     DATA_KINDS = ("corrupt_trace", "poison_predictor")
+
+    #: Kinds applied by the supervised pool at dispatch (jobs >= 2).
+    DISPATCH_KINDS = ("kill_worker",)
 
     def __post_init__(self):
         if self.kind not in self.KINDS:
@@ -112,7 +131,8 @@ _FAULT_RE = re.compile(
     r"(?:x(?P<count>\d+))?(?::(?P<seconds>[0-9.]+))?$")
 
 #: Default ``count`` per kind when the spec omits ``xK``.
-_DEFAULT_COUNT = {"corrupt_trace": 16, "poison_predictor": 0}
+_DEFAULT_COUNT = {"corrupt_trace": 16, "poison_predictor": 0,
+                  "kill_worker": 0}
 
 
 def parse_fault(text: str) -> FaultSpec:
@@ -122,7 +142,8 @@ def parse_fault(text: str) -> FaultSpec:
         raise ConfigError(
             f"bad fault spec {text!r}; expected forms: crash@N, "
             "crash@N@ACCESS, transient@N[xK], stall@N:SECONDS, "
-            "corrupt_trace@N[xK], poison_predictor@N[xK]")
+            "corrupt_trace@N[xK], poison_predictor@N[xK], "
+            "kill_worker@N[xK]")
     kind = match.group("kind")
     access = match.group("access")
     spec = FaultSpec(kind=kind, at_cell=int(match.group("cell")),
@@ -200,6 +221,26 @@ class FaultInjector:
         cell, so a campaign of only those is ``--jobs N``-safe.
         """
         return any(f.kind in FaultSpec.ATTEMPT_KINDS for f in self.faults)
+
+    @property
+    def requires_parallel(self) -> bool:
+        """True when any spec SIGKILLs a pool worker (needs jobs >= 2).
+
+        ``kill_worker`` kills the process executing the cell; in serial
+        mode that process is the parent, so the spec is rejected there.
+        """
+        return any(f.kind in FaultSpec.DISPATCH_KINDS for f in self.faults)
+
+    def kill_plan(self) -> Dict[int, int]:
+        """``{cell ordinal: kill count}`` for the supervised pool.
+
+        A count of 0 means "kill on every dispatch" (the cell ends
+        quarantined); K > 0 kills only the first K dispatches. Later
+        specs for the same ordinal win, matching attempt-level
+        injection order semantics.
+        """
+        return {f.at_cell: f.count for f in self.faults
+                if f.kind in FaultSpec.DISPATCH_KINDS}
 
     def data_specs_for(self, ordinal: int) -> Tuple[FaultSpec, ...]:
         """Data-level specs targeting cell ``ordinal`` (for workers)."""

@@ -16,10 +16,15 @@ row. :class:`ResilientRunner` executes grids cell-by-cell instead:
   instead of recomputing them — an interrupted sweep continues from
   exactly the cells it was missing;
 * with ``jobs > 1``, :meth:`ResilientRunner.run_cells` fans independent
-  cells out to a ``concurrent.futures.ProcessPoolExecutor``. Retries
-  and the per-cell timeout run *inside* each worker; journaling, resume
-  and stats stay in the parent, and rows come back in submission order,
-  so the resulting CSV is byte-identical to a serial run.
+  cells out to a :class:`~repro.sim.executors.SupervisedPoolExecutor`
+  (see :mod:`repro.sim.executors`): worker death costs one cell, not
+  the sweep — the supervisor rebuilds the pool, reschedules innocent
+  in-flight bystanders without consuming their retry budget, and
+  quarantines a cell that keeps killing its workers with a
+  ``status="crashed"`` row. Retries and the per-cell timeout run
+  *inside* each worker; journaling, resume and stats stay in the
+  parent, and rows come back in submission order, so the resulting CSV
+  is byte-identical to a serial run.
 
 Journal format (one JSON object per line)::
 
@@ -36,24 +41,35 @@ from __future__ import annotations
 
 import json
 import sys
-import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import CellTimeout, ConfigError, ReproError, TransientError
-from .checkpoint import checkpoint_path_for, heartbeat_path, read_heartbeat
-from .faults import arm_data_specs, clear_armed
+from .checkpoint import (
+    checkpoint_path_for,
+    heartbeat_path,
+    sweep_stale_heartbeats,
+)
+from .executors import (  # noqa: F401 — re-exported (historical home)
+    STATUS_CRASHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CellTask,
+    Executor,
+    RetryPolicy,
+    SerialExecutor,
+    SupervisedPoolExecutor,
+    _execute_cell,
+    call_with_timeout,
+    executor_for,
+)
 
 #: Keys the runner adds to every row it returns.
 STATUS_FIELDS = ["status", "error"]
 
-#: Row statuses the runner can produce.
-STATUS_OK = "ok"
-STATUS_ERROR = "error"
-STATUS_TIMEOUT = "timeout"
 #: A failed cell that left a mid-simulation checkpoint behind: resuming
 #: the run re-executes it from the snapshot, not from access 0.
 STATUS_RESUMABLE = "resumable"
@@ -62,19 +78,6 @@ STATUS_RESUMABLE = "resumable"
 def cell_id(key: Dict[str, Any]) -> str:
     """Canonical journal identity of a cell key."""
     return json.dumps(key, sort_keys=True, separators=(",", ":"))
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Bounded exponential backoff for :class:`TransientError` cells."""
-
-    max_retries: int = 2
-    backoff_s: float = 0.05
-    backoff_factor: float = 2.0
-
-    def delay(self, attempt: int) -> float:
-        """Sleep before retry number ``attempt`` (1-based)."""
-        return self.backoff_s * (self.backoff_factor ** (attempt - 1))
 
 
 @dataclass
@@ -88,10 +91,17 @@ class RunnerStats:
     timeouts: int = 0
     retries: int = 0
     resumable: int = 0
+    #: Cells quarantined because their execution kept killing workers.
+    crashed: int = 0
+    #: Pool rebuilds performed after worker deaths.
+    worker_restarts: int = 0
+    #: Cell re-dispatches caused by worker loss (no retry budget spent).
+    rescheduled: int = 0
 
     @property
     def degraded(self) -> bool:
-        return self.errors > 0 or self.timeouts > 0 or self.resumable > 0
+        return (self.errors > 0 or self.timeouts > 0
+                or self.resumable > 0 or self.crashed > 0)
 
     def summary(self) -> str:
         """One-line human-readable tally for the CLI epilogue."""
@@ -100,116 +110,12 @@ class RunnerStats:
                 f" {self.timeouts} timeouts, {self.retries} retries")
         if self.resumable:
             text += f", {self.resumable} resumable"
+        if self.crashed:
+            text += f", {self.crashed} crashed"
+        if self.worker_restarts or self.rescheduled:
+            text += (f", {self.worker_restarts} worker restarts, "
+                     f"{self.rescheduled} rescheduled")
         return text
-
-
-def call_with_timeout(fn: Callable[[], Dict[str, Any]],
-                      key: Dict[str, Any],
-                      timeout_s: Optional[float],
-                      name: str = "cell",
-                      heartbeat: Optional[Path] = None) -> Dict[str, Any]:
-    """Run ``fn`` with an optional deadline; raises :class:`CellTimeout`.
-
-    The cell runs in a daemon worker thread; on expiry the thread is
-    abandoned (it cannot be killed) and the caller degrades the cell.
-    Used by the serial runner in the parent process and by pool workers
-    in parallel mode, so both enforce the same per-cell deadline.
-
-    With a ``heartbeat`` path (written by the checkpointed replay loop
-    after every chunk), the deadline is a *watchdog*: it measures time
-    since the last observed **progress** — a change in the heartbeat's
-    access position — not since the cell started. A slow cell that
-    keeps advancing keeps extending its deadline; a hung one (position
-    frozen for ``timeout_s``) still fires. That is the distinction a
-    fixed wall-clock deadline cannot make.
-    """
-    if not timeout_s:
-        return fn()
-    box: Dict[str, Any] = {}
-
-    def target():
-        try:
-            box["row"] = fn()
-        except BaseException as exc:  # noqa: BLE001 — re-raised below
-            box["exc"] = exc
-
-    worker = threading.Thread(target=target, daemon=True, name=name)
-    worker.start()
-    if heartbeat is None:
-        worker.join(timeout_s)
-    else:
-        deadline = time.monotonic() + timeout_s
-        last_position: Optional[int] = None
-        while worker.is_alive():
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                break
-            worker.join(min(0.05, remaining))
-            beat = read_heartbeat(heartbeat)
-            position = beat.get("position") if beat else None
-            if position is not None and position != last_position:
-                last_position = position
-                deadline = time.monotonic() + timeout_s
-    if worker.is_alive():
-        raise CellTimeout(
-            f"cell exceeded {timeout_s:g}s "
-            + ("without-progress watchdog" if heartbeat is not None
-               else "deadline"),
-            timeout_s=timeout_s,
-            app=key.get("app"), config=key.get("config"),
-            seed=key.get("seed"))
-    if "exc" in box:
-        raise box["exc"]
-    return box["row"]
-
-
-def _execute_cell(fn: Callable[[], Dict[str, Any]],
-                  key: Dict[str, Any],
-                  timeout_s: Optional[float],
-                  retry: RetryPolicy,
-                  data_specs: Tuple = (),
-                  heartbeat: Optional[Path] = None) -> Tuple[str, Any, int]:
-    """One cell's full retry/timeout lifecycle, inside a pool worker.
-
-    Returns a picklable ``(status, payload, retries)`` triple: payload
-    is the raw row dict on success, or the formatted error string on
-    failure. The parent turns it into the same row a serial
-    :meth:`ResilientRunner.run_cell` would have produced.
-
-    ``data_specs`` are data-level fault specs targeting this cell; they
-    are armed (re-armed on every retry attempt) in this worker process
-    and consumed inside ``simulate``. The armed channel is cleared
-    afterwards either way, so a cell that never consumed its faults
-    cannot leak them into the next cell this worker runs.
-    """
-    attempt = 0
-    retries = 0
-    while True:
-        try:
-            if data_specs:
-                arm_data_specs(data_specs)
-            try:
-                row = call_with_timeout(fn, key, timeout_s,
-                                        heartbeat=heartbeat)
-            finally:
-                if data_specs:
-                    clear_armed()
-            if not isinstance(row, dict):
-                raise TypeError(
-                    f"cell {cell_id(key)} returned {type(row).__name__}, "
-                    "expected dict")
-            return STATUS_OK, row, retries
-        except TransientError as exc:
-            if attempt < retry.max_retries:
-                attempt += 1
-                retries += 1
-                time.sleep(retry.delay(attempt))
-                continue
-            return STATUS_ERROR, f"{type(exc).__name__}: {exc}", retries
-        except CellTimeout as exc:
-            return STATUS_TIMEOUT, f"{type(exc).__name__}: {exc}", retries
-        except Exception as exc:  # noqa: BLE001 — degrade unknowns too
-            return STATUS_ERROR, f"{type(exc).__name__}: {exc}", retries
 
 
 def load_journal(path: Union[str, Path]) -> Dict[str, dict]:
@@ -293,8 +199,21 @@ class ResilientRunner:
     jobs:
         Default worker-process count for :meth:`run_cells`. ``1`` (the
         default) runs cells serially in-process; ``N > 1`` fans them
-        out to a process pool. Cell callables must then be picklable
-        (module-level functions or ``functools.partial`` of them).
+        out to a supervised process pool. Cell callables must then be
+        picklable (module-level functions or ``functools.partial`` of
+        them).
+    max_worker_restarts:
+        Pool rebuilds allowed after worker deaths before the remainder
+        of the grid degrades to serial in-process execution
+        (``None`` = ``jobs * 3``; see
+        :class:`~repro.sim.executors.SupervisedPoolExecutor`).
+    max_cell_crashes:
+        Times one cell may be executing when its worker dies before it
+        is quarantined with a ``status="crashed"`` row (default 2).
+    executor:
+        A pre-built :class:`~repro.sim.executors.Executor` to run
+        parallel batches on, overriding the default supervised pool —
+        the seam alternative backends (e.g. multi-node) plug into.
     """
 
     def __init__(self, journal: Optional[Union[str, Path]] = None,
@@ -304,16 +223,16 @@ class ResilientRunner:
                  faults: Optional[Any] = None,
                  sleep: Callable[[float], None] = time.sleep,
                  jobs: int = 1,
-                 checkpoint_dir: Optional[Union[str, Path]] = None):
+                 checkpoint_dir: Optional[Union[str, Path]] = None,
+                 max_worker_restarts: Optional[int] = None,
+                 max_cell_crashes: int = 2,
+                 executor: Optional[Executor] = None):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
-        if (faults is not None and jobs > 1
-                and getattr(faults, "requires_serial", True)):
-            raise ConfigError(
-                "attempt-level fault injection (crash/transient/stall) "
-                "is keyed on serial execution ordinals; use jobs=1, or "
-                "inject only data-level faults "
-                "(corrupt_trace/poison_predictor)")
+        self._check_fault_mode(faults, jobs)
+        self.max_worker_restarts = max_worker_restarts
+        self.max_cell_crashes = max_cell_crashes
+        self.executor = executor
         self.journal_path = Path(journal) if journal else None
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir \
             else None
@@ -336,6 +255,22 @@ class ResilientRunner:
                 print(f"[resilience] resume journal {self._resume_path}"
                       " not found; starting fresh", file=sys.stderr)
 
+    @staticmethod
+    def _check_fault_mode(faults: Optional[Any], jobs: int) -> None:
+        """Reject fault campaigns that the execution mode cannot honor."""
+        if faults is None:
+            return
+        if jobs > 1 and getattr(faults, "requires_serial", True):
+            raise ConfigError(
+                "attempt-level fault injection (crash/transient/stall) "
+                "is keyed on serial execution ordinals; use jobs=1, or "
+                "inject only data-level faults "
+                "(corrupt_trace/poison_predictor)")
+        if jobs == 1 and getattr(faults, "requires_parallel", False):
+            raise ConfigError(
+                "kill_worker faults SIGKILL a pool worker process, "
+                "which only exists under --jobs N; use jobs >= 2")
+
     # -- journal ------------------------------------------------------
 
     def _record(self, key: Dict[str, Any], status: str,
@@ -349,10 +284,22 @@ class ResilientRunner:
         self._handle.flush()
 
     def close(self) -> None:
-        """Flush and close the journal (idempotent)."""
+        """Flush and close the journal; sweep stale heartbeat files.
+
+        A SIGKILLed worker never reaches the completion path that
+        deletes its heartbeat, so finished runs used to leak one
+        ``*.heartbeat`` file per killed worker into the checkpoint
+        directory. Heartbeats only carry liveness for the run that is
+        writing them — they are never resumed from — so closing the
+        runner deletes every one left under ``checkpoint_dir``
+        (checkpoint snapshots, which *are* resumed from, stay).
+        Idempotent.
+        """
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        if self.checkpoint_dir is not None:
+            sweep_stale_heartbeats(self.checkpoint_dir)
 
     def __enter__(self) -> "ResilientRunner":
         return self
@@ -451,33 +398,29 @@ class ResilientRunner:
         """Execute a batch of ``(key, fn)`` cells; rows in input order.
 
         With ``jobs == 1`` this is exactly ``[run_cell(k, f) for ...]``.
-        With ``jobs > 1`` the non-resumed cells run in a process pool:
-        each worker handles its own retries and per-cell timeout (via
-        :func:`_execute_cell`), while resume checks, journaling, and
-        stats stay in this process. Journal records are appended in
-        completion order — resume semantics only depend on the set of
-        records, not their order — and the returned list preserves the
-        submission order, so downstream CSVs are byte-identical to a
-        serial run. Cell callables must be picklable in parallel mode.
+        With ``jobs > 1`` the non-resumed cells run on an
+        :class:`~repro.sim.executors.Executor` — by default a
+        :class:`~repro.sim.executors.SupervisedPoolExecutor`, which
+        survives worker death (see :mod:`repro.sim.executors`) — while
+        resume checks, journaling, and stats stay in this process. Each
+        worker handles its own retries and per-cell timeout. Journal
+        records are appended in completion order — resume semantics
+        only depend on the set of records, not their order — and the
+        returned list preserves the submission order, so downstream
+        CSVs are byte-identical to a serial run. Cell callables must be
+        picklable in parallel mode.
         """
         jobs = self.jobs if jobs is None else jobs
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self._check_fault_mode(self.faults, jobs)
         if jobs == 1:
             return [self.run_cell(key, fn) for key, fn in cells]
-        if (self.faults is not None
-                and getattr(self.faults, "requires_serial", True)):
-            raise ConfigError(
-                "attempt-level fault injection (crash/transient/stall) "
-                "is keyed on serial execution ordinals; use jobs=1, or "
-                "inject only data-level faults "
-                "(corrupt_trace/poison_predictor)")
         rows: List[Optional[Dict[str, Any]]] = [None] * len(cells)
-        # (submission index, key, fn, serial-equivalent ordinal): the
-        # ordinal counts non-resumed cells in submission order, exactly
-        # like run_cell's, so data-level fault specs target the same
-        # cell whichever mode executes the grid.
-        pending: List[Tuple[int, Dict[str, Any], Callable, int]] = []
+        # The task ordinal counts non-resumed cells in submission
+        # order, exactly like run_cell's, so fault specs target the
+        # same cell whichever mode executes the grid.
+        pending: List[CellTask] = []
         for index, (key, fn) in enumerate(cells):
             self.stats.total += 1
             record = self._completed.get(cell_id(key))
@@ -489,46 +432,67 @@ class ResilientRunner:
                     self._record(key, STATUS_OK, record.get("row", {}))
                 rows[index] = dict(record.get("row", {}))
             else:
-                pending.append((index, key, fn, self._ordinal))
+                pending.append(CellTask(
+                    index=index, key=key, fn=fn, ordinal=self._ordinal,
+                    data_specs=(self.faults.data_specs_for(self._ordinal)
+                                if self.faults is not None else ()),
+                    heartbeat=self._heartbeat_for(key)))
                 self._ordinal += 1
         if pending:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = {
-                    pool.submit(
-                        _execute_cell, fn, key, self.timeout_s,
-                        self.retry,
-                        (self.faults.data_specs_for(ordinal)
-                         if self.faults is not None else ()),
-                        self._heartbeat_for(key)): (index, key)
-                    for index, key, fn, ordinal in pending
-                }
-                for future in as_completed(futures):
-                    index, key = futures[future]
-                    try:
-                        status, payload, retries = future.result()
-                    except Exception as exc:  # noqa: BLE001 — e.g. a
-                        # crashed worker process (BrokenProcessPool) or
-                        # an unpicklable result; degrade just this cell.
-                        status = STATUS_ERROR
-                        payload = f"{type(exc).__name__}: {exc}"
-                        retries = 0
-                    self.stats.retries += retries
-                    if status == STATUS_OK:
-                        row = {**payload, "status": STATUS_OK, "error": ""}
+            executor = self.executor
+            if executor is None:
+                executor = SupervisedPoolExecutor(
+                    jobs, timeout_s=self.timeout_s, retry=self.retry,
+                    max_worker_restarts=self.max_worker_restarts,
+                    max_cell_crashes=self.max_cell_crashes,
+                    kill_plan=(self.faults.kill_plan()
+                               if self.faults is not None else None))
+            try:
+                for outcome in executor.run(pending):
+                    key = outcome.key
+                    self.stats.retries += outcome.retries
+                    if outcome.status == STATUS_OK:
+                        row = {**outcome.payload, "status": STATUS_OK,
+                               "error": ""}
                         self.stats.ok += 1
+                        status = STATUS_OK
                     else:
-                        status = self._classify_failure(key, status)
-                        row = {**key, "status": status, "error": payload}
+                        status = self._classify_failure(key,
+                                                        outcome.status)
+                        row = {**key, "status": status,
+                               "error": outcome.payload}
+                        if outcome.status == STATUS_CRASHED:
+                            # Quarantined cells never reach the normal
+                            # completion path; drop their watchdog file
+                            # now rather than leaking it.
+                            self._drop_heartbeat(key)
                     self._record(key, status, row)
-                    rows[index] = row
+                    rows[outcome.index] = row
+            finally:
+                stats = executor.stats
+                self.stats.worker_restarts += stats.worker_restarts
+                self.stats.rescheduled += stats.rescheduled
+                if self.executor is None:
+                    executor.close()
         return rows  # type: ignore[return-value]
+
+    def _drop_heartbeat(self, key: Dict[str, Any]) -> None:
+        beat = self._heartbeat_for(key)
+        if beat is not None:
+            try:
+                beat.unlink()
+            except OSError:
+                pass
 
     def _classify_failure(self, key: Dict[str, Any], status: str) -> str:
         """Final status of a failed cell, tallying the runner stats.
 
         A failed cell whose mid-simulation checkpoint file exists
         becomes ``resumable``: the work up to the last snapshot is not
-        lost, and rerunning the grid resumes from it.
+        lost, and rerunning the grid resumes from it. (A quarantined
+        ``crashed`` cell with a snapshot is likewise ``resumable`` —
+        the resumed run re-executes it from the snapshot, which also
+        re-tests whether the crash was environmental.)
         """
         if self.checkpoint_dir is not None:
             if checkpoint_path_for(self.checkpoint_dir, key).exists():
@@ -536,6 +500,8 @@ class ResilientRunner:
                 return STATUS_RESUMABLE
         if status == STATUS_TIMEOUT:
             self.stats.timeouts += 1
+        elif status == STATUS_CRASHED:
+            self.stats.crashed += 1
         else:
             self.stats.errors += 1
         return status

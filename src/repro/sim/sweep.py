@@ -9,7 +9,11 @@ Grids execute through :class:`~repro.sim.resilience.ResilientRunner`:
 a failing cell degrades into a ``status="error"`` row instead of
 discarding the completed part of the grid, transient faults retry with
 backoff, and (with a journal) an interrupted sweep resumes from the
-cells it already finished.
+cells it already finished. Under ``jobs > 1`` the runner drives a
+:class:`~repro.sim.executors.SupervisedPoolExecutor`, so even a worker
+process dying mid-sweep (SIGKILL, OOM) costs at most the cell that was
+executing — bystanders are rescheduled and a repeatedly lethal cell is
+quarantined as ``status="crashed"``.
 
 Example::
 
@@ -44,8 +48,9 @@ from .resilience import ResilientRunner
 from .warmstate import WarmStateCache, warm_cache_for
 
 #: The columns every sweep row carries, in CSV order. ``status`` is
-#: "ok" for a completed cell, "error"/"timeout" for a degraded one
-#: (metric columns then stay blank and ``error`` holds the typed error).
+#: "ok" for a completed cell; "error"/"timeout"/"crashed"/"resumable"
+#: for a degraded one (metric columns then stay blank and ``error``
+#: holds the typed error).
 FIELDS = ["app", "config", "core", "condition", "seed", "ipc",
           "speedup", "l1_miss_rate", "fast_fraction",
           "extra_access_fraction", "energy_j", "energy_ratio",
@@ -307,9 +312,11 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
     one. Baseline runs are cheap shared work and stay uncheckpointed.
 
     A runner constructed with ``jobs > 1`` executes the cells in a
-    process pool (see :meth:`ResilientRunner.run_cells`); row order,
-    journal semantics, and resume behaviour are identical to the serial
-    path — the CSV is byte-for-byte the same.
+    supervised process pool (see :meth:`ResilientRunner.run_cells` and
+    :class:`~repro.sim.executors.SupervisedPoolExecutor`): worker death
+    is contained to the executing cell, bystanders are rescheduled, and
+    row order, journal semantics, and resume behaviour are identical to
+    the serial path — the CSV is byte-for-byte the same.
 
     Two redundancy eliminations apply on top (both deterministic, both
     leaving rows byte-identical — see ``docs/architecture.md``):

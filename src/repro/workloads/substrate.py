@@ -29,20 +29,25 @@ Lifecycle guarantees (exercised by ``tests/test_trace_substrate.py``):
 the parent owns every segment; ``TraceStore.close()`` unlinks them and
 runs from ``run_sweep``'s ``finally`` on normal exit, worker crash
 (``BrokenProcessPool``), and ``KeyboardInterrupt``. A module-level
-``atexit`` net unlinks anything a bypassed ``finally`` leaves behind,
-and the interpreter's ``resource_tracker`` covers hard kills of the
-parent. Workers only ever attach — they never own, and therefore never
-unlink, a segment (see :func:`_untrack` for the CPython < 3.13
-tracker workaround this requires).
+``atexit`` net unlinks anything a bypassed ``finally`` leaves behind.
+A parent SIGKILL defeats every in-process net, so segments carry their
+owner's pid in the name (``repro-trace-<pid>-<seq>``) and the next
+run's first ``publish`` scavenges segments whose owner is dead
+(:func:`scavenge_orphan_segments`). Workers only ever attach — they
+never own, and therefore never unlink, a segment (see :func:`_untrack`
+for the CPython < 3.13 tracker workaround this requires).
 """
 
 from __future__ import annotations
 
 import atexit
+import os
+import re
 import weakref
 import zlib
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -351,6 +356,72 @@ def _cleanup_live_stores() -> None:  # pragma: no cover - atexit path
 atexit.register(_cleanup_live_stores)
 
 
+# ---------------------------------------------------------------------
+# Orphan scavenging
+# ---------------------------------------------------------------------
+# Segments are named ``repro-trace-<pid>-<seq>`` so their owner is
+# recoverable from the name alone. Every in-process cleanup net
+# (``finally``, atexit, resource_tracker) dies with a SIGKILLed parent,
+# so a hard-killed sweep leaks its segments until reboot; the next
+# sweep's first ``publish`` scavenges them by checking whether the pid
+# baked into each name is still alive.
+
+_SEGMENT_RE = re.compile(r"^repro-trace-(\d+)-(\d+)$")
+_SHM_DIR = Path("/dev/shm")
+_segment_seq = 0
+_scavenged = False
+
+
+def _next_segment_name() -> str:
+    global _segment_seq
+    _segment_seq += 1
+    return f"repro-trace-{os.getpid()}-{_segment_seq}"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe; unknown (EPERM) counts as alive."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # pragma: no cover - e.g. EPERM: someone else's
+        return True
+    return True
+
+
+def scavenge_orphan_segments() -> int:
+    """Unlink ``repro-trace-*`` segments whose owner pid is dead.
+
+    Returns the number of segments removed. Strictly guarded: only
+    names matching the exact ``repro-trace-<pid>-<seq>`` format are
+    considered (never other ``/dev/shm`` tenants), and only when the
+    embedded pid no longer exists — a segment owned by a concurrently
+    running sweep is left alone. No-op on platforms without a
+    ``/dev/shm`` (the leak cannot outlive the boot elsewhere either).
+    """
+    removed = 0
+    if not _SHM_DIR.is_dir():  # pragma: no cover - non-Linux
+        return 0
+    for entry in _SHM_DIR.iterdir():
+        match = _SEGMENT_RE.match(entry.name)
+        if match is None or _pid_alive(int(match.group(1))):
+            continue
+        try:
+            entry.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - raced another scavenger
+            pass
+    return removed
+
+
+def _scavenge_once() -> None:
+    """Run the orphan scan once per process, at first publication."""
+    global _scavenged
+    if not _scavenged:
+        _scavenged = True
+        scavenge_orphan_segments()
+
+
 class TraceStore:
     """Parent-side registry of traces published to shared memory.
 
@@ -373,9 +444,13 @@ class TraceStore:
 
         Raw columns, the flattened page table, and the precomputed
         derived columns (``vpn``/``ppn``) are packed contiguously
-        (16-byte aligned) into one segment. Publishing the same key
-        again returns the existing handle without re-rendering.
+        (16-byte aligned) into one segment named
+        ``repro-trace-<pid>-<seq>``. Publishing the same key again
+        returns the existing handle without re-rendering. The first
+        publication in a process also scavenges orphan segments left by
+        hard-killed earlier runs (:func:`scavenge_orphan_segments`).
         """
+        _scavenge_once()
         cols = columns_for(trace)
         if key is None:
             key = cols.fingerprint
@@ -396,7 +471,14 @@ class TraceStore:
             offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
             layout.append((name, array.dtype.str, len(array), offset))
             offset += array.nbytes
-        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        while True:
+            try:
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(offset, 1),
+                    name=_next_segment_name())
+                break
+            except FileExistsError:  # pragma: no cover - stale name
+                continue  # seq advances; collides only with a leak
         for (name, dtype, length, off), array in zip(layout,
                                                      arrays.values()):
             view = np.ndarray((length,), dtype=dtype, buffer=shm.buf,

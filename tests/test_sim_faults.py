@@ -154,6 +154,35 @@ def test_runner_rejects_attempt_faults_in_parallel_mode():
     ResilientRunner(jobs=2, faults=FaultInjector(["corrupt_trace@0"]))
 
 
+def test_parse_kill_worker_forms():
+    spec = parse_fault("kill_worker@1")
+    assert spec == FaultSpec("kill_worker", 1, count=0)  # every dispatch
+    assert parse_fault("kill_worker@2x1") == FaultSpec("kill_worker", 2,
+                                                       count=1)
+    with pytest.raises(ConfigError):  # @ACCESS is crash-only
+        FaultSpec("kill_worker", 1, at_access=5)
+
+
+def test_kill_worker_requires_parallel_mode():
+    injector = FaultInjector(["kill_worker@1"])
+    assert injector.requires_parallel
+    assert not injector.requires_serial  # legal under --jobs N
+    assert injector.kill_plan() == {1: 0}
+    assert FaultInjector(["kill_worker@2x1"]).kill_plan() == {2: 1}
+    assert not FaultInjector(["transient@0"]).requires_parallel
+
+
+def test_runner_rejects_kill_worker_in_serial_mode():
+    from repro.errors import ConfigError as CE
+    from repro.sim.resilience import ResilientRunner
+    injector = FaultInjector(["kill_worker@0"])
+    with pytest.raises(CE, match="jobs >= 2"):
+        ResilientRunner(jobs=1, faults=injector)
+    runner = ResilientRunner(jobs=2, faults=injector)  # legal
+    with pytest.raises(CE, match="jobs >= 2"):
+        runner.run_cells([], jobs=1)
+
+
 def test_armed_channel_consume_and_clear():
     from repro.sim.faults import (
         any_armed,

@@ -227,3 +227,75 @@ def test_trace_cache_clear():
     a = cache.get("povray", 400, seed=0)
     cache.clear()
     assert cache.get("povray", 400, seed=0) is not a
+
+
+# ---------------------------------------------------------------------
+# Orphan-segment scavenging (parent SIGKILL recovery)
+# ---------------------------------------------------------------------
+
+def _shm_dir():
+    from repro.workloads.substrate import _SHM_DIR
+    if not _SHM_DIR.is_dir():
+        pytest.skip("no /dev/shm on this platform")
+    return _SHM_DIR
+
+
+def _dead_pid():
+    """A pid guaranteed dead: a child we spawn and reap."""
+    import subprocess
+    import sys
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+def test_segments_are_named_after_owner_pid(trace):
+    import os
+    with TraceStore() as store:
+        store.publish(trace)
+        (name,) = store.names
+        assert name.startswith(f"repro-trace-{os.getpid()}-")
+
+
+def test_scavenger_unlinks_dead_owner_segments(trace):
+    from repro.workloads.substrate import scavenge_orphan_segments
+    shm_dir = _shm_dir()
+    orphan = shm_dir / f"repro-trace-{_dead_pid()}-1"
+    orphan.write_bytes(b"stale segment from a SIGKILLed run")
+    try:
+        assert scavenge_orphan_segments() >= 1
+        assert not orphan.exists()
+    finally:
+        orphan.unlink(missing_ok=True)
+
+
+def test_scavenger_spares_live_owner_and_foreign_names(trace):
+    import os
+    from repro.workloads.substrate import scavenge_orphan_segments
+    shm_dir = _shm_dir()
+    foreign = shm_dir / f"not-repro-trace-{_dead_pid()}-1"
+    foreign.write_bytes(b"someone else's tenant")
+    try:
+        with TraceStore() as store:
+            store.publish(trace)  # live segment, owned by this pid
+            (live,) = store.names
+            scavenge_orphan_segments()
+            assert (shm_dir / live).exists()
+            assert foreign.exists()
+    finally:
+        foreign.unlink(missing_ok=True)
+    assert not (shm_dir / live).exists()  # close() still unlinks
+
+
+def test_first_publish_scavenges_orphans(trace, monkeypatch):
+    import repro.workloads.substrate as substrate
+    shm_dir = _shm_dir()
+    orphan = shm_dir / f"repro-trace-{_dead_pid()}-7"
+    orphan.write_bytes(b"stale")
+    monkeypatch.setattr(substrate, "_scavenged", False)
+    try:
+        with TraceStore() as store:
+            store.publish(trace)
+        assert not orphan.exists()
+    finally:
+        orphan.unlink(missing_ok=True)
