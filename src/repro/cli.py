@@ -181,11 +181,12 @@ def cmd_run(args) -> int:
             n_accesses=args.accesses, cache=traces,
             checkpoint_every=args.checkpoint_every,
             checkpoint_path=ckpt if args.checkpoint_every else None,
-            resume_checkpoint=ckpt)
+            resume_checkpoint=ckpt, engine=args.engine)
         if args.compare_baseline:
             holder["baseline"] = run_app(
                 args.app, _system(args, BASELINE_L1), condition=condition,
-                n_accesses=args.accesses, cache=traces)
+                n_accesses=args.accesses, cache=traces,
+                engine=args.engine)
         result = holder["result"]
         return {"app": args.app, "ipc": result.ipc}
 
@@ -200,7 +201,8 @@ def cmd_run(args) -> int:
 
 def _suite_cell(app: str, base_system, sipt_system, condition,
                 n_accesses: int, checkpoint_every: Optional[int] = None,
-                checkpoint_path: Optional[Path] = None) -> dict:
+                checkpoint_path: Optional[Path] = None,
+                engine: str = "python") -> dict:
     """One suite row as a picklable task (module-level for ``--jobs``).
 
     Traces come from the process-local shared cache (``cache=None``),
@@ -211,12 +213,13 @@ def _suite_cell(app: str, base_system, sipt_system, condition,
     sweep baselines.
     """
     base = run_app(app, base_system, condition=condition,
-                   n_accesses=n_accesses, cache=None)
+                   n_accesses=n_accesses, cache=None, engine=engine)
     result = run_app(app, sipt_system, condition=condition,
                      n_accesses=n_accesses, cache=None,
                      checkpoint_every=checkpoint_every,
                      checkpoint_path=checkpoint_path,
-                     resume_checkpoint=checkpoint_path)
+                     resume_checkpoint=checkpoint_path,
+                     engine=engine)
     return {"app": app, "ipc": result.ipc,
             "speedup": result.speedup_over(base),
             "fast": result.fast_fraction,
@@ -240,7 +243,8 @@ def cmd_suite(args) -> int:
                 if args.checkpoint_every else None)
         cells.append((key, partial(_suite_cell, app, base_system,
                                    sipt_system, condition, args.accesses,
-                                   args.checkpoint_every, ckpt)))
+                                   args.checkpoint_every, ckpt,
+                                   args.engine)))
     rows = runner.run_cells(cells)
     speedups = []
     print(f"{'app':>14s} {'IPC':>7s} {'speedup':>8s} {'fast':>6s} "
@@ -279,7 +283,8 @@ def cmd_sweep(args) -> int:
                      runner=runner,
                      checkpoint_every=args.checkpoint_every,
                      substrate=False if args.no_substrate else None,
-                     warm_reuse=not args.no_warm_reuse)
+                     warm_reuse=not args.no_warm_reuse,
+                     engine=args.engine)
     path = to_csv(rows, args.out)
     print(f"wrote {len(rows)} rows to {path}")
     return _finish(args, runner)
@@ -316,6 +321,10 @@ def cmd_bench(args) -> int:
     if unknown:
         raise ConfigError(f"unknown apps {unknown}; see `repro list`")
     if args.mode == "sweep":
+        if args.engine != "python":
+            raise ConfigError(
+                "--engine applies to hotpath mode; the sweep bench "
+                "times the pipeline around replay, not replay itself")
         seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
         report = run_sweep_bench(apps=apps, n_accesses=accesses,
                                  seeds=seeds, jobs=args.jobs,
@@ -332,7 +341,8 @@ def cmd_bench(args) -> int:
                            l1=_l1(args), repeats=args.repeats,
                            profile=args.profile, label=args.label,
                            interval=args.interval,
-                           checkpoint_every=args.checkpoint_every)
+                           checkpoint_every=args.checkpoint_every,
+                           engine=args.engine)
         agg = report["aggregate_accesses_per_s"]
         print(f"aggregate throughput : {agg:,.0f} accesses/s")
         for app, point in report["apps"].items():
@@ -386,7 +396,7 @@ def cmd_stats(args) -> int:
     result = run_app(args.app, _system(args, _l1(args)),
                      condition=CONDITIONS[args.condition],
                      n_accesses=args.accesses, cache=TraceCache(),
-                     interval=args.interval)
+                     interval=args.interval, engine=args.engine)
     _print_metrics(result.metrics, args.filter)
     if args.out:
         meta = {"app": args.app, "system": result.system,
@@ -511,6 +521,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--accesses", type=int, default=30_000)
         p.add_argument("--way-prediction", action="store_true")
 
+    def engine(p):
+        p.add_argument(
+            "--engine", default="python", choices=("python", "kernel"),
+            help="replay implementation: the pure-python oracle or the "
+                 "byte-identical array-compiled kernel (faster; falls "
+                 "back to python per run when a config is outside the "
+                 "kernel's envelope)")
+
     def resilience(p, with_journal=True):
         group = p.add_argument_group("resilience")
         if with_journal:
@@ -573,6 +591,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="simulate one app")
     common(run_p, with_app=True)
+    engine(run_p)
     resilience(run_p, with_journal=False)
     checkpointing(run_p, single_cell=True)
     run_p.add_argument("--compare-baseline", action="store_true",
@@ -580,6 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     suite_p = sub.add_parser("suite", help="simulate the full 26-app suite")
     common(suite_p)
+    engine(suite_p)
     resilience(suite_p)
     checkpointing(suite_p)
 
@@ -604,6 +624,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--no-warm-reuse", action="store_true",
                          help="re-simulate every baseline run instead of "
                               "restoring the first run's completed state")
+    engine(sweep_p)
     resilience(sweep_p)
     checkpointing(sweep_p)
 
@@ -662,6 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--tolerance", type=float, default=0.30,
                          help="allowed fractional throughput loss for "
                               "--check (default 0.30)")
+    engine(bench_p)
 
     stats_p = sub.add_parser(
         "stats", help="dump/diff metrics snapshots, export interval CSV")
@@ -699,6 +721,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "snapshots instead of simulating")
     stats_p.add_argument("--zeros", action="store_true",
                          help="with --diff, also print zero deltas")
+    engine(stats_p)
 
     trace_p = sub.add_parser(
         "trace", help="record sampled per-access SIPT decisions")

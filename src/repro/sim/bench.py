@@ -62,14 +62,15 @@ DEFAULT_APPS = ("perlbench", "calculix", "libquantum")
 def _time_simulate(trace, system, repeats: int,
                    interval: Optional[int] = None,
                    checkpoint_every: Optional[int] = None,
-                   checkpoint_path: Optional[Path] = None) -> float:
+                   checkpoint_path: Optional[Path] = None,
+                   engine: str = "python") -> float:
     """Best-of-``repeats`` wall time of one simulate() call."""
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
         simulate(trace, system, interval=interval,
                  checkpoint_every=checkpoint_every,
-                 checkpoint_path=checkpoint_path)
+                 checkpoint_path=checkpoint_path, engine=engine)
         best = min(best, time.perf_counter() - start)
     return best
 
@@ -113,7 +114,8 @@ def run_bench(apps: Optional[Iterable[str]] = None,
               traces: Optional[TraceCache] = None,
               label: Optional[str] = None,
               interval: Optional[int] = None,
-              checkpoint_every: Optional[int] = None) -> dict:
+              checkpoint_every: Optional[int] = None,
+              engine: str = "python") -> dict:
     """Measure simulate() throughput; returns the trajectory-point dict.
 
     ``l1`` overrides ``geometry`` when given (the CLI passes a resolved
@@ -123,6 +125,10 @@ def run_bench(apps: Optional[Iterable[str]] = None,
     the observability overhead gets its own guarded trajectory point;
     ``checkpoint_every`` does the same for the checkpointed replay path
     (snapshots land in a temp directory that is cleaned up afterwards).
+    ``engine`` selects the replay implementation; the warm-up replay
+    also builds the kernel engine's memoized per-trace streams, so a
+    kernel point times steady-state replay — the regime sweeps live in
+    — not one-off stream construction.
     """
     if n_accesses <= 0:
         raise ConfigError(f"n_accesses must be positive, got {n_accesses}")
@@ -158,11 +164,11 @@ def run_bench(apps: Optional[Iterable[str]] = None,
             # dict sizes.
             simulate(trace, system, interval=interval,
                      checkpoint_every=checkpoint_every,
-                     checkpoint_path=ckpt)
+                     checkpoint_path=ckpt, engine=engine)
             best = _time_simulate(trace, system, repeats,
                                   interval=interval,
                                   checkpoint_every=checkpoint_every,
-                                  checkpoint_path=ckpt)
+                                  checkpoint_path=ckpt, engine=engine)
             total_time += best
             per_app[app] = {
                 "best_s": round(best, 6),
@@ -177,7 +183,8 @@ def run_bench(apps: Optional[Iterable[str]] = None,
         "label": label or (f"{l1.label}-{n_accesses}"
                            + (f"-i{interval}" if interval else "")
                            + (f"-c{checkpoint_every}"
-                              if checkpoint_every else "")),
+                              if checkpoint_every else "")
+                           + ("-kernel" if engine == "kernel" else "")),
         "created": datetime.now().isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -185,6 +192,7 @@ def run_bench(apps: Optional[Iterable[str]] = None,
         "repeats": repeats,
         "interval": interval,
         "checkpoint_every": checkpoint_every,
+        "engine": engine,
         "geometry": l1.label,
         "apps": per_app,
         "aggregate_accesses_per_s": round(

@@ -21,8 +21,9 @@ a shared LLC/DRAM, recycling shorter traces until the longest completes
 from __future__ import annotations
 
 import threading
+from itertools import islice
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..cache.hierarchy import CacheHierarchy
 from ..cache.set_assoc import SetAssociativeCache
@@ -175,6 +176,11 @@ class _CoreContext:
         self._line_shift = self.l1.cache.line_shift
         self._conflict_window = self.PORT_CONFLICT_WINDOW
         self._conflict_cycles = self.PORT_CONFLICT_CYCLES
+        # (position, column iterator) carried between chunked
+        # _replay_range calls: sequential chunks (interval sampling,
+        # checkpointing) continue one zip instead of re-slicing the
+        # columns per chunk, keeping a whole chunked replay O(n).
+        self._cursor = None
 
     def step(self):
         """Replay one trace record (recycling at the end).
@@ -303,11 +309,29 @@ def _replay_range(ctx: _CoreContext, start: int, end: int) -> None:
     conflict_cycles = ctx._conflict_cycles
     port_busy = ctx._port_busy
     port_conflicts = ctx.port_conflicts
-    whole = start == 0 and end == ctx._len
-    columns = zip(ctx._gap, ctx._pc, ctx._va, ctx._is_write, ctx._dep) \
-        if whole else zip(ctx._gap[start:end], ctx._pc[start:end],
-                          ctx._va[start:end], ctx._is_write[start:end],
-                          ctx._dep[start:end])
+    if start == 0 and end == ctx._len:
+        columns = zip(ctx._gap, ctx._pc, ctx._va, ctx._is_write,
+                      ctx._dep)
+        it = None
+    else:
+        # Chunked replay (interval sampling, checkpointing) visits
+        # consecutive ranges: continue the previous chunk's iterator
+        # when it is parked exactly at `start`, so a whole chunked
+        # replay consumes one zip in O(n) instead of building
+        # O(chunks) column slices (O(chunks x n) copying for small
+        # --interval/--checkpoint-every values). A cold or mismatched
+        # cursor (resume, out-of-order use) skips forward in C via
+        # islice, never copying.
+        cursor = ctx._cursor
+        if cursor is not None and cursor[0] == start:
+            it = cursor[1]
+        else:
+            it = zip(ctx._gap, ctx._pc, ctx._va, ctx._is_write,
+                     ctx._dep)
+            if start:
+                next(islice(it, start - 1, start), None)
+        ctx._cursor = None
+        columns = islice(it, end - start)
     for gap, pc, va, is_write, dep in columns:
         retire(gap)
         result = l1_access(pc, va, is_write, page_table)
@@ -324,6 +348,8 @@ def _replay_range(ctx: _CoreContext, start: int, end: int) -> None:
         memory_access(latency, is_write, dep)
     ctx.port_conflicts = port_conflicts
     ctx._port_busy = port_busy
+    if it is not None:
+        ctx._cursor = (end, it)
 
 
 def _make_sampler(ctx: _CoreContext, interval: int) -> IntervalSampler:
@@ -333,19 +359,23 @@ def _make_sampler(ctx: _CoreContext, interval: int) -> IntervalSampler:
                            l1_data_energy_factor=ctx.energy_factor)
 
 
-def _replay_intervals(ctx: _CoreContext, interval: int) -> None:
+def _replay_intervals(ctx: _CoreContext, interval: int,
+                      replay: Callable = _replay_range) -> None:
     """Replay in interval-sized fused ranges, sampling between them.
 
     Per-access cost is identical to the plain fused loop — the sampler
     only runs at interval boundaries (plus once for a trailing partial
     interval), which is what keeps the measured overhead of
     ``interval=10000`` small (docs/observability.md quantifies it).
+    ``replay`` is the range replayer — the python oracle by default,
+    or the kernel engine's :meth:`~repro.sim.kernel.KernelEngine.replay`
+    under ``engine="kernel"``; both chain state through the context.
     """
     sampler = _make_sampler(ctx, interval)
     n = ctx._len
     for start in range(0, n, interval):
         end = min(start + interval, n)
-        _replay_range(ctx, start, end)
+        replay(ctx, start, end)
         sampler.sample(end)
     ctx.intervals = sampler.records
 
@@ -354,7 +384,8 @@ def _replay_checkpointed(ctx: _CoreContext, interval: Optional[int],
                          checkpoint_every: Optional[int],
                          checkpoint_path: Optional[Union[str, Path]],
                          resume_checkpoint: Optional[Union[str, Path]],
-                         crash_at: Optional[int]) -> None:
+                         crash_at: Optional[int],
+                         replay: Callable = _replay_range) -> None:
     """Chunked replay with periodic snapshots and/or mid-trace resume.
 
     The same :func:`_replay_range` chunking the interval sampler uses:
@@ -438,7 +469,7 @@ def _replay_checkpointed(ctx: _CoreContext, interval: Optional[int],
                 end = min(end, (start // interval + 1) * interval)
             if crash_at is not None:
                 end = min(end, crash_at)
-            _replay_range(ctx, start, end)
+            replay(ctx, start, end)
             ctx.position = 0 if end == n else end
             if sampler is not None and (end == n or end % interval == 0):
                 sampler.sample(end)
@@ -513,7 +544,7 @@ def simulate(trace: Trace, system: SystemConfig,
              checkpoint_every: Optional[int] = None,
              checkpoint_path: Optional[Union[str, Path]] = None,
              resume_checkpoint: Optional[Union[str, Path]] = None,
-             warm_state=None) -> SimResult:
+             warm_state=None, engine: str = "python") -> SimResult:
     """Run one trace through one system configuration.
 
     Parameters
@@ -562,6 +593,16 @@ def simulate(trace: Trace, system: SystemConfig,
         checkpointing, or armed fault injection is active: those paths
         produce side-channel outputs or intentional divergence that a
         restored result would skip.
+    engine:
+        ``"python"`` (default) replays through the pure-python fused
+        loop; ``"kernel"`` replays through the array-compiled engine
+        (:mod:`repro.sim.kernel`), which precomputes translation,
+        speculation, and latency columns and runs only the serial
+        residue per access. The two are byte-identical by construction
+        — the python loop is the kernel's differential oracle, and the
+        engine falls back to it (permanently, per run) for any
+        configuration or state it cannot prove it models, so
+        ``engine="kernel"`` never changes results, only speed.
 
     Returns
     -------
@@ -573,6 +614,9 @@ def simulate(trace: Trace, system: SystemConfig,
     seed produces identical results, metrics, and interval records —
     in this process or a ``--jobs`` worker, resumed or uninterrupted.
     """
+    if engine not in ("python", "kernel"):
+        raise ConfigError(
+            f"unknown engine {engine!r}: expected 'python' or 'kernel'")
     crash_at: Optional[int] = None
     faulted = _faults.any_armed()
     if faulted:
@@ -613,16 +657,26 @@ def simulate(trace: Trace, system: SystemConfig,
             ctx.load_state_dict(payload["state"])
             ctx.completed_once = True
             return ctx.result()
+    replay: Callable = _replay_range
+    if engine == "kernel" and decision_trace is None:
+        # Built after fault injection so a poisoned predictor is
+        # visible to the engine's first verification (which fails it
+        # over to the oracle); the decision-trace path needs the
+        # per-access L1AccessResult and always runs step().
+        from .kernel import make_engine
+        kernel = make_engine(ctx, _replay_range)
+        if kernel is not None:
+            replay = kernel.replay
     if decision_trace is not None:
         _replay_traced(ctx, interval, decision_trace)
     elif checkpointed:
         _replay_checkpointed(ctx, interval, checkpoint_every,
                              checkpoint_path, resume_checkpoint,
-                             crash_at)
+                             crash_at, replay)
     elif interval:
-        _replay_intervals(ctx, interval)
+        _replay_intervals(ctx, interval, replay)
     else:
-        _replay_range(ctx, 0, ctx._len)
+        replay(ctx, 0, ctx._len)
         if warm_state is not None:
             warm_state.store(trace, system, ctx.state_dict())
     ctx.completed_once = True

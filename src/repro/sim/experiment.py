@@ -22,9 +22,29 @@ from .driver import simulate
 from .results import SimResult
 
 
+def _env_int(name: str, default: int) -> int:
+    """An integer environment override, validated at the boundary.
+
+    A malformed value used to surface as a bare ``ValueError`` from
+    ``int()`` deep inside whatever first touched the setting (e.g.
+    ``TraceCache.__init__``), with no hint which variable was wrong.
+    Raise :class:`~repro.errors.ConfigError` naming the variable and
+    the offending value instead.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"environment variable {name} must be an integer, "
+            f"got {raw!r}") from None
+
+
 def default_accesses() -> int:
     """Experiment length: 50k accesses unless REPRO_ACCESSES overrides."""
-    return int(os.environ.get("REPRO_ACCESSES", "50000"))
+    return _env_int("REPRO_ACCESSES", 50000)
 
 
 #: Default :class:`TraceCache` capacity. A trace plus its page table
@@ -52,8 +72,7 @@ class TraceCache:
 
     def __init__(self, max_traces: Optional[int] = None):
         if max_traces is None:
-            max_traces = int(os.environ.get("REPRO_TRACE_CACHE",
-                                            DEFAULT_TRACE_CAP))
+            max_traces = _env_int("REPRO_TRACE_CACHE", DEFAULT_TRACE_CAP)
         if max_traces < 1:
             raise ConfigError(
                 f"max_traces must be >= 1, got {max_traces}")
@@ -98,7 +117,7 @@ def run_app(app: str, system: SystemConfig,
             checkpoint_path=None,
             resume_checkpoint=None,
             trace: Optional[Trace] = None,
-            warm_state=None) -> SimResult:
+            warm_state=None, engine: str = "python") -> SimResult:
     """Simulate one app on one system (trace memoized).
 
     ``interval``, ``decision_trace``, and the checkpoint controls
@@ -115,7 +134,9 @@ def run_app(app: str, system: SystemConfig,
     workers skip generation altogether. ``warm_state`` (a
     :class:`~repro.sim.warmstate.WarmStateCache`) lets deterministic
     sibling runs of the same (trace, system) restore a completed
-    snapshot instead of replaying; see :func:`simulate`.
+    snapshot instead of replaying; see :func:`simulate`. ``engine``
+    selects the replay implementation (``"python"`` oracle or the
+    byte-identical ``"kernel"`` array engine).
 
     Typed errors from trace generation or simulation gain the
     (app, seed) cell context on the way out, so sweeps can journal the
@@ -130,7 +151,7 @@ def run_app(app: str, system: SystemConfig,
                         checkpoint_every=checkpoint_every,
                         checkpoint_path=checkpoint_path,
                         resume_checkpoint=resume_checkpoint,
-                        warm_state=warm_state)
+                        warm_state=warm_state, engine=engine)
     except ReproError as exc:
         raise exc.with_context(app=app, seed=seed)
 
@@ -139,8 +160,10 @@ def run_suite(system: SystemConfig,
               apps: Optional[Iterable[str]] = None,
               condition: MemoryCondition = MemoryCondition.NORMAL,
               n_accesses: Optional[int] = None, seed: int = 0,
-              cache: Optional[TraceCache] = None) -> Dict[str, SimResult]:
+              cache: Optional[TraceCache] = None,
+              engine: str = "python") -> Dict[str, SimResult]:
     """Simulate the (default 26-app) suite on one system."""
     apps = list(apps) if apps is not None else list(EVALUATED_APPS)
-    return {app: run_app(app, system, condition, n_accesses, seed, cache)
+    return {app: run_app(app, system, condition, n_accesses, seed, cache,
+                         engine=engine)
             for app in apps}

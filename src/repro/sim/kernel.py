@@ -1,0 +1,828 @@
+"""Array-compiled replay engine with a pure-python differential oracle.
+
+The interpreter-level fused loop (``driver._replay_range``) pays the
+full per-access cost of the SIPT pipeline — TLB dict probes, a
+13-weight perceptron dot product, outcome bookkeeping, two result
+objects — on every access. This module splits that pipeline into
+**batch phases** and a **serial residue**:
+
+* Batch phases (precomputed once per trace/config, as numpy arrays and
+  plain lists, memoized on :meth:`TraceColumns.kernel_memo`):
+
+  - **Address columns** — physical addresses via ``ArrayPageTable``
+    (``cols.ppn``), line addresses, and set indices, array-wise.
+  - **TLB stream** — a scratch :class:`TlbHierarchy` is driven through
+    the whole trace once; each access is classified L1-hit / L2-hit /
+    walk, and structural snapshots are taken every :data:`STRIDE`
+    accesses so any position's TLB state can be reconstructed. TLB
+    state evolution is independent of the cache geometry and of the
+    walker (which only contributes latency), so one stream serves every
+    cell replaying the trace.
+  - **Speculation stream** — the *real* ``SiptL1Cache._speculate`` is
+    driven (unbound, over a minimal shim holding real perceptron/IDB
+    instances) to produce per-access fast/extra/outcome columns, again
+    with strided snapshots. Single source of truth: the kernel never
+    reimplements predictor semantics.
+  - **Latency/port columns** — speculative-hit latencies, port-conflict
+    chaining, and per-access instruction/cycle increments, vectorized.
+    Page-walk accesses get a sentinel latency and are resolved at
+    replay time through the real walker (walker loads are demand
+    traffic into the live L2/LLC and cannot be precomputed).
+
+* Serial residue (the generated ``_loop`` function, specialized per
+  core model and way-prediction setting): L1 array probes, LRU
+  touches, fills/evictions/writebacks through the real
+  ``SetAssociativeCache``/``CacheHierarchy`` objects, way prediction,
+  and the core's stall arithmetic in the oracle's exact
+  floating-point operation order.
+
+**Oracle equivalence.** ``simulate(engine="kernel")`` must produce
+byte-identical results to the python path. The engine verifies its
+assumptions (TLB/predictor state matches the stream reconstruction,
+port state matches the extra-access history) whenever it cannot prove
+continuity, and permanently falls back to the oracle callable on any
+mismatch or unsupported configuration — so a poisoned predictor, an
+exotic replacement policy, or a subclassed core silently gets the
+oracle's behaviour, including its exceptions.
+
+Stream scratch objects are shared per-process (like the
+``TraceColumns`` list conversions); the driver replays cells
+sequentially in a process, so no locking is needed.
+
+Float-exactness notes (all proven value-identical to the oracle):
+ternary substitutes for ``min``/``max`` use ``<=``/``>=`` so ties
+return the same value; ``max(df, 0.45)`` in the OOO L2 band is the
+constant ``0.45`` because every dep factor is below it; stall terms
+are accumulated onto locals seeded from the live stats in the same
+order the oracle adds them.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from itertools import islice
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..cache.replacement import LruPolicy
+from ..cache.tlb import TlbHierarchy
+from ..core.idb import IndexDeltaBuffer
+from ..core.outcomes import SpeculationOutcome
+from ..core.perceptron import PerceptronPredictor
+from ..core.sipt_cache import SiptL1Cache, SiptL1Stats
+from ..core.way_prediction import WayPredictor
+from ..mem.address import PAGE_SHIFT
+from ..stateutil import freeze_rows, load_rows
+from ..timing.inorder import InOrderCore
+from ..timing.ooo import OooCore
+from ..workloads.substrate import columns_for
+
+#: Accesses between structural snapshots in the precomputed streams.
+#: Reconstructing an arbitrary position costs at most one snapshot
+#: restore plus ``STRIDE - 1`` scratch replays.
+STRIDE = 1024
+
+_PAGE_OFF_MASK = (1 << PAGE_SHIFT) - 1
+
+_OUTCOME_CODE = {
+    SpeculationOutcome.CORRECT_SPECULATION: 1,
+    SpeculationOutcome.CORRECT_BYPASS: 2,
+    SpeculationOutcome.OPPORTUNITY_LOSS: 3,
+    SpeculationOutcome.EXTRA_ACCESS: 4,
+    SpeculationOutcome.IDB_HIT: 5,
+}
+
+
+def _cum(mask) -> np.ndarray:
+    """Length ``n + 1`` inclusive-prefix-sum with a leading zero.
+
+    ``out[j]`` counts true elements among the first ``j`` accesses, so
+    any range total is ``out[end] - out[start]``.
+    """
+    out = np.zeros(len(mask) + 1, dtype=np.int64)
+    np.cumsum(mask, out=out[1:])
+    return out
+
+
+# ----------------------------------------------------------------------
+# TLB snapshot / restore / copy (operates on _TlbArray internals, the
+# same planes TlbHierarchy.state_dict serializes)
+# ----------------------------------------------------------------------
+
+def _snap_tlb_array(arr) -> tuple:
+    """Immutable value snapshot of one ``_TlbArray``."""
+    return (freeze_rows(arr._tags), freeze_rows(arr._entries),
+            tuple(bytes(s) for s in arr._policy._stacks))
+
+
+def _load_tlb_array(arr, snap) -> None:
+    """Restore a ``_snap_tlb_array`` snapshot in place."""
+    tags, entries, stacks = snap
+    load_rows(arr._tags, tags)
+    load_rows(arr._entries, entries)
+    for stack, saved in zip(arr._policy._stacks, stacks):
+        stack[:] = saved
+    where = arr._where
+    where.clear()
+    for set_index, row in enumerate(arr._tags):
+        for way, key in enumerate(row):
+            if key is not None:
+                where[key] = (set_index, way)
+
+
+def _copy_tlb_array(src, dst) -> None:
+    """Copy one ``_TlbArray``'s state onto another, in place."""
+    load_rows(dst._tags, src._tags)
+    load_rows(dst._entries, src._entries)
+    for d, s in zip(dst._policy._stacks, src._policy._stacks):
+        d[:] = s
+    where = dst._where
+    where.clear()
+    where.update(src._where)
+
+
+def _snap_tlb(tlb: TlbHierarchy) -> tuple:
+    """Structural snapshot of all three TLB levels (stats excluded)."""
+    return (_snap_tlb_array(tlb._l1_4k), _snap_tlb_array(tlb._l1_2m),
+            _snap_tlb_array(tlb._l2))
+
+
+def _load_tlb(tlb: TlbHierarchy, snap) -> None:
+    """Restore a :func:`_snap_tlb` snapshot in place."""
+    _load_tlb_array(tlb._l1_4k, snap[0])
+    _load_tlb_array(tlb._l1_2m, snap[1])
+    _load_tlb_array(tlb._l2, snap[2])
+
+
+def _copy_tlb(src: TlbHierarchy, dst: TlbHierarchy) -> None:
+    """Copy scratch TLB structural state onto the live hierarchy."""
+    _copy_tlb_array(src._l1_4k, dst._l1_4k)
+    _copy_tlb_array(src._l1_2m, dst._l1_2m)
+    _copy_tlb_array(src._l2, dst._l2)
+
+
+# ----------------------------------------------------------------------
+# precomputed streams
+# ----------------------------------------------------------------------
+
+class _TlbStream:
+    """Per-trace TLB behaviour: classification columns + replayable state.
+
+    Built by driving a scratch :class:`TlbHierarchy` (walker-less — the
+    walker affects latency and its own stats, never which entries the
+    TLB holds) through the whole trace once. ``cls[i]`` is 0 for an L1
+    hit, 1 for an L2 hit, 2 for a walk. ``snaps[j]`` is the structural
+    state after ``j * STRIDE`` accesses; :meth:`advance` reconstructs
+    any position from the nearest snapshot at or below it.
+    """
+
+    def __init__(self, va: list, page_table, params: dict):
+        self.va = va
+        self.page_table = page_table
+        self.scratch = TlbHierarchy(**params)
+        n = len(va)
+        cls = np.empty(n, dtype=np.int8)
+        snaps = [_snap_tlb(self.scratch)]
+        translate = self.scratch.translate
+        for i, v in enumerate(va):
+            tr = translate(v, page_table)
+            cls[i] = 0 if tr.l1_hit else (2 if tr.walked else 1)
+            if (i + 1) % STRIDE == 0:
+                snaps.append(_snap_tlb(self.scratch))
+        self.cls = cls
+        self.snaps = snaps
+        self.cum_l1 = _cum(cls == 0)
+        self.cum_l2 = _cum(cls == 1)
+        self.cum_walk = _cum(cls == 2)
+        self.walk_pos: List[int] = np.nonzero(cls == 2)[0].tolist()
+        self.pos = n
+
+    def advance(self, target: int) -> None:
+        """Bring the scratch hierarchy to the state after ``target``."""
+        pos = self.pos
+        base = target - target % STRIDE
+        if pos > target or pos < base:
+            _load_tlb(self.scratch, self.snaps[target // STRIDE])
+            pos = base
+        if pos < target:
+            translate = self.scratch.translate
+            page_table = self.page_table
+            va = self.va
+            for i in range(pos, target):
+                translate(va[i], page_table)
+        self.pos = target
+
+    def snap_at(self, target: int) -> tuple:
+        """Snapshot of the state after ``target`` accesses."""
+        if target % STRIDE == 0:
+            return self.snaps[target // STRIDE]
+        self.advance(target)
+        return _snap_tlb(self.scratch)
+
+
+class _SpecShim:
+    """The slice of ``SiptL1Cache`` that ``_speculate`` reads.
+
+    Holds *real* predictor instances so the unbound method runs the
+    real policy logic — the kernel mirrors no speculation semantics.
+    """
+
+    __slots__ = ("_spec_mask", "stats", "_is_naive", "_is_bypass",
+                 "_predict_train", "_idb_predict_update",
+                 "perceptron", "idb")
+
+    def __init__(self, n_spec_bits: int, is_naive: bool, is_bypass: bool,
+                 perc_params: Optional[tuple],
+                 idb_params: Optional[tuple]):
+        self._spec_mask = (1 << n_spec_bits) - 1
+        self.stats = SiptL1Stats()
+        self._is_naive = is_naive
+        self._is_bypass = is_bypass
+        self.perceptron = (PerceptronPredictor(*perc_params)
+                           if perc_params is not None else None)
+        self.idb = (IndexDeltaBuffer(*idb_params)
+                    if idb_params is not None else None)
+        self._predict_train = (self.perceptron.predict_train
+                               if self.perceptron is not None else None)
+        self._idb_predict_update = (self.idb.predict_update
+                                    if self.idb is not None else None)
+
+
+def _snap_spec(perceptron, idb) -> tuple:
+    """Value snapshot of (perceptron, IDB) structural state."""
+    return (
+        (freeze_rows(perceptron._weights), tuple(perceptron._history))
+        if perceptron is not None else None,
+        (tuple(idb._deltas), tuple(idb._last_page))
+        if idb is not None else None,
+    )
+
+
+class _SpecStream:
+    """Per-(trace, spec-config) speculation outcomes + replayable state.
+
+    ``fast``/``extra``/``code``/``via`` columns come from driving the
+    real ``SiptL1Cache._speculate`` over a :class:`_SpecShim`;
+    ``corr[i + 1]`` is the perceptron's absolute correct count after
+    access ``i`` (its own prefix-sum). Snapshots every :data:`STRIDE`
+    accesses mirror :class:`_TlbStream`.
+    """
+
+    def __init__(self, pc: list, va: list, pa: list, shim_args: tuple):
+        self.pc, self.va, self.pa = pc, va, pa
+        shim = _SpecShim(*shim_args)
+        self.shim = shim
+        self.stateless = shim.perceptron is None and shim.idb is None
+        n = len(pc)
+        fast = np.empty(n, dtype=np.uint8)
+        extra = np.empty(n, dtype=np.uint8)
+        code = np.empty(n, dtype=np.uint8)
+        via = np.empty(n, dtype=np.uint8)
+        corr = np.zeros(n + 1, dtype=np.int64)
+        speculate = SiptL1Cache._speculate
+        perc = shim.perceptron
+        snaps = [_snap_spec(perc, shim.idb)]
+        for i in range(n):
+            f, e, outcome, v = speculate(shim, pc[i], va[i], pa[i])
+            fast[i] = f
+            extra[i] = e
+            code[i] = _OUTCOME_CODE[outcome]
+            via[i] = v
+            if perc is not None:
+                corr[i + 1] = perc.stats.correct
+            if (i + 1) % STRIDE == 0:
+                snaps.append(_snap_spec(perc, shim.idb))
+        self.fast = fast
+        self.extra = extra
+        self.snaps = snaps
+        self.cum_fast = _cum(fast)
+        self.cum_extra = _cum(extra)
+        self.cum_outcomes = {c: _cum(code == c) for c in range(1, 6)}
+        self.cum_via = _cum(via)
+        self.cum_ea_via = _cum((code == 4) & (via == 1))
+        # NAIVE/COMBINED probe on every access; BYPASS only on an
+        # endorsed speculation (outcomes CS or EA). None means "all".
+        is_bypass = shim_args[2]
+        self.cum_probes = (_cum((code == 1) | (code == 4))
+                           if is_bypass else None)
+        self.corr = corr
+        self.pos = n
+
+    def _snap(self) -> tuple:
+        return _snap_spec(self.shim.perceptron, self.shim.idb)
+
+    def _load(self, snap) -> None:
+        perc_snap, idb_snap = snap
+        shim = self.shim
+        if perc_snap is not None:
+            load_rows(shim.perceptron._weights, perc_snap[0])
+            shim.perceptron._history[:] = perc_snap[1]
+        if idb_snap is not None:
+            shim.idb._deltas[:] = idb_snap[0]
+            shim.idb._last_page[:] = idb_snap[1]
+
+    def advance(self, target: int) -> None:
+        """Bring the shim's predictors to the state after ``target``."""
+        if self.stateless:
+            self.pos = target
+            return
+        pos = self.pos
+        base = target - target % STRIDE
+        if pos > target or pos < base:
+            self._load(self.snaps[target // STRIDE])
+            pos = base
+        if pos < target:
+            speculate = SiptL1Cache._speculate
+            shim = self.shim
+            pc, va, pa = self.pc, self.va, self.pa
+            for i in range(pos, target):
+                speculate(shim, pc[i], va[i], pa[i])
+        self.pos = target
+
+    def snap_at(self, target: int) -> tuple:
+        """Snapshot of the predictor state after ``target`` accesses."""
+        if self.stateless or target % STRIDE == 0:
+            return self.snaps[min(target // STRIDE,
+                                  len(self.snaps) - 1)] \
+                if not self.stateless else self.snaps[0]
+        self.advance(target)
+        return self._snap()
+
+    def copy_into(self, perceptron, idb) -> None:
+        """Copy shim predictor state onto the live predictors."""
+        shim = self.shim
+        if perceptron is not None:
+            load_rows(perceptron._weights, shim.perceptron._weights)
+            perceptron._history[:] = shim.perceptron._history
+        if idb is not None:
+            idb._deltas[:] = shim.idb._deltas
+            idb._last_page[:] = shim.idb._last_page
+
+
+# ----------------------------------------------------------------------
+# the serial-residue loop, specialized per (core model, way prediction)
+# ----------------------------------------------------------------------
+
+#: Lines prefixed {OOO}/{INO}/{WP}/{NOWP} are kept only for the
+#: matching specialization. Core constants are literals, mirrored from
+#: OooCore/InOrderCore (the engine gate requires those exact types):
+#: PIPELINE_HIDE=2.0, NEAR_LATENCY=16, dep factors 0.22/0.08/0.02 at
+#: thresholds 2/8, L2_CLASS_EXPOSURE=0.45 (every dep factor is below
+#: it, so the oracle's max() is the constant), ROB absorb 0.4 and
+#: floor 0.04; in-order STORE_STALL_FRACTION=0.3 past 4 cycles,
+#: HIT_EXPOSURE=0.4 at latency<=8, MISS_EXPOSURE=1.0.
+_LOOP_TEMPLATE = """\
+def _loop(rows, walks, walk_i, walker_walk, walk_base, asid, hit_lat,
+          wheres, stacks, dirty, fill, miss_access, miss_writeback,
+          line_shift, wp_penalty, mlp, rob_half, inv_w, width,
+          cyc, ld_stall, st_stall):
+    hits = 0
+    wp_pred = 0
+    wp_corr = 0
+    wp_sec = 0
+    for gapw, is_write, dep, pa, line, sidx, lat, fast in rows:
+        if lat < 0:
+            ev = walks[walk_i]
+            walk_i += 1
+            t = walk_base + walker_walk(ev[0], asid)
+            lat = ((hit_lat if hit_lat > t else t) if fast
+                   else t + hit_lat)
+            lat += ev[1]
+{WP}        st = stacks[sidx]
+{WP}        predicted = st[0] if fast else -1
+        way = wheres[sidx].get(line, -1)
+        if way >= 0:
+            hits += 1
+{NOWP}            st = stacks[sidx]
+            if st[0] != way:
+                st.remove(way)
+                st.insert(0, way)
+            if is_write:
+                dirty[sidx][way] = 1
+{WP}            if predicted >= 0:
+{WP}                wp_pred += 1
+{WP}                if predicted == way:
+{WP}                    wp_corr += 1
+{WP}                else:
+{WP}                    wp_sec += 1
+{WP}                    lat += wp_penalty
+        else:
+            res = fill(sidx, line, is_write)
+            lat += miss_access(pa, is_write)
+            wb = res.writeback_line
+            if wb is not None:
+                miss_writeback(wb, line_shift)
+        cyc += gapw
+        cyc += inv_w
+{OOO}        if not is_write and lat > 2.0:
+{OOO}            exposed = lat - 2.0
+{OOO}            if lat <= 8:
+{OOO}                stall = exposed * (0.22 if dep <= 2 else
+{OOO}                                   (0.08 if dep <= 8 else 0.02))
+{OOO}            elif lat <= 16:
+{OOO}                stall = exposed * 0.45
+{OOO}            else:
+{OOO}                per_miss = exposed / mlp
+{OOO}                absorbed = (per_miss if per_miss <= rob_half
+{OOO}                            else rob_half)
+{OOO}                a = per_miss - absorbed * 0.4
+{OOO}                b = exposed * 0.04
+{OOO}                stall = a if a >= b else b
+{OOO}            ld_stall += stall
+{OOO}            cyc += stall
+{INO}        if is_write:
+{INO}            v = (lat - 4) * 0.3
+{INO}            exposed = v if v > 0.0 else 0.0
+{INO}            st_stall += exposed
+{INO}            cyc += exposed
+{INO}        else:
+{INO}            v = lat - 1.0 - dep / width
+{INO}            exposed = (v if v > 0.0 else 0.0) * (0.4 if lat <= 8
+{INO}                                                 else 1.0)
+{INO}            ld_stall += exposed
+{INO}            cyc += exposed
+    return (cyc, ld_stall, st_stall, hits, wp_pred, wp_corr, wp_sec,
+            walk_i)
+"""
+
+_LOOP_CACHE: dict = {}
+
+
+def _compile_loop(ooo: bool, way_pred: bool) -> Callable:
+    """The residue loop for one (core-kind, way-prediction) pair."""
+    key = (ooo, way_pred)
+    fn = _LOOP_CACHE.get(key)
+    if fn is None:
+        lines = []
+        for line in _LOOP_TEMPLATE.splitlines():
+            for marker, keep in (("{OOO}", ooo), ("{INO}", not ooo),
+                                 ("{WP}", way_pred),
+                                 ("{NOWP}", not way_pred)):
+                if line.startswith(marker):
+                    line = line[len(marker):] if keep else None
+                    break
+            if line is not None:
+                lines.append(line)
+        namespace: dict = {}
+        exec("\n".join(lines), namespace)  # noqa: S102 — own template
+        fn = namespace["_loop"]
+        _LOOP_CACHE[key] = fn
+    return fn
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+class KernelEngine:
+    """Replays ranges of one context's trace via precomputed streams.
+
+    Drop-in for ``driver._replay_range`` (same ``(ctx, start, end)``
+    signature via :meth:`replay`). Built by :func:`make_engine`; holds
+    the oracle callable and delegates to it permanently after any
+    verification failure, reproducing the oracle's behaviour —
+    including its exceptions — byte-for-byte.
+    """
+
+    def __init__(self, ctx, oracle, tlb_stream, spec_stream, columns,
+                 lat_parts, loop_fn):
+        self._ctx = ctx
+        self._oracle = oracle
+        self._tlb_stream = tlb_stream
+        self._spec_stream = spec_stream
+        # columns: (gapw, is_write, dep, pa, line, sidx, lat, fast)
+        self._columns = columns
+        (self._walk_events, self._walk_pos, self._cum_pconf,
+         self._cum_inst, self._extra) = lat_parts
+        self._loop = loop_fn
+        l1 = ctx.l1
+        self._l1 = l1
+        self._cache = l1.cache
+        self._tlb = l1.tlb
+        self._core = ctx.core
+        self._default_fast = l1._default_fast
+        self._synced: Optional[int] = None
+        self._fallback = False
+        self._cursor = None
+
+    # -- public protocol -------------------------------------------------
+    def replay(self, ctx, start: int, end: int) -> None:
+        """Replay accesses ``[start, end)``, chaining like the oracle."""
+        if self._fallback:
+            self._oracle(ctx, start, end)
+            return
+        if start != self._synced and not self._verify(start):
+            self._fallback = True
+            self._oracle(ctx, start, end)
+            return
+        if end > start:
+            self._run(start, end)
+        self._synced = end
+
+    # -- verification ----------------------------------------------------
+    def _verify(self, start: int) -> bool:
+        """Does the live context state match the streams at ``start``?
+
+        Checked: TLB structural state, predictor weights/history/
+        deltas, and the port-busy flag against the extra-access
+        history. Stats are *not* checked — they are carried by the
+        context and the kernel only ever adds deltas to them. The live
+        L1 array, miss path, and walker are driven directly and carry
+        no precomputed assumption.
+        """
+        try:
+            if _snap_tlb(self._tlb) != self._tlb_stream.snap_at(start):
+                return False
+            ss = self._spec_stream
+            if ss is not None and _snap_spec(
+                    self._l1.perceptron, self._l1.idb) != ss.snap_at(start):
+                return False
+            expect_busy = bool(self._extra[start - 1]) if start else False
+            if bool(self._ctx._port_busy) != expect_busy:
+                return False
+        except Exception:  # noqa: BLE001 — any doubt means oracle
+            return False
+        return True
+
+    # -- hot path --------------------------------------------------------
+    def _run(self, start: int, end: int) -> None:
+        ctx = self._ctx
+        cache = self._cache
+        core = self._core
+        cursor = self._cursor
+        if cursor is not None and cursor[0] == start:
+            it = cursor[1]
+        else:
+            it = zip(*self._columns)
+            if start:
+                next(islice(it, start - 1, start), None)
+        self._cursor = None
+        walker = self._tlb.walker
+        tlb = self._tlb
+        walk_base = tlb.l1_latency + tlb.l2_latency
+        if walker is not None:
+            walker_walk = walker.walk
+        else:
+            fixed = tlb.walk_latency
+            walker_walk = lambda va, asid: fixed  # noqa: E731
+        wp = self._l1.way_predictor
+        stats = core.stats
+        if type(core) is OooCore:
+            mlp = core.mlp
+            rob_half = core._rob_cover * 0.5
+        else:
+            mlp = 1.0
+            rob_half = 0.0
+        (cyc, ld_stall, st_stall, hits, wp_pred, wp_corr, wp_sec,
+         _walk_i) = self._loop(
+            islice(it, end - start),
+            self._walk_events, bisect_left(self._walk_pos, start),
+            walker_walk, walk_base, ctx._page_table.asid,
+            self._l1.hit_latency,
+            cache._where, cache.policy._stacks, cache._dirty,
+            cache._fill, ctx._miss_access, ctx._miss_writeback,
+            ctx._line_shift,
+            wp.mispredict_penalty if wp is not None else 0,
+            mlp, rob_half, 1.0 / core.width, core.width,
+            stats.cycles, stats.load_stall_cycles,
+            stats.store_stall_cycles)
+        stats.cycles = cyc
+        stats.load_stall_cycles = ld_stall
+        stats.store_stall_cycles = st_stall
+        self._cursor = (end, it)
+        self._flush(start, end, hits, wp_pred, wp_corr, wp_sec)
+
+    def _flush(self, start: int, end: int, hits: int,
+               wp_pred: int, wp_corr: int, wp_sec: int) -> None:
+        """Fold the range's counter deltas in and sync structures."""
+        ctx = self._ctx
+        d = end - start
+        ts = self._tlb_stream
+        tstats = self._tlb.stats
+        tstats.accesses += d
+        tstats.l1_hits += int(ts.cum_l1[end] - ts.cum_l1[start])
+        tstats.l2_hits += int(ts.cum_l2[end] - ts.cum_l2[start])
+        tstats.walks += int(ts.cum_walk[end] - ts.cum_walk[start])
+        cstats = self._cache.stats
+        cstats.accesses += d
+        cstats.hits += hits
+        cstats.misses += d - hits
+        self._core.stats.instructions += int(
+            self._cum_inst[end] - self._cum_inst[start])
+        ctx.port_conflicts += int(
+            self._cum_pconf[end] - self._cum_pconf[start])
+        ctx._port_busy = bool(self._extra[end - 1])
+        sstats = self._l1.stats
+        sstats.accesses += d
+        ss = self._spec_stream
+        if ss is not None:
+            fast_d = int(ss.cum_fast[end] - ss.cum_fast[start])
+            sstats.fast_accesses += fast_d
+            sstats.slow_accesses += d - fast_d
+            sstats.extra_l1_accesses += int(
+                ss.cum_extra[end] - ss.cum_extra[start])
+            if ss.cum_probes is None:
+                sstats.speculative_probes += d
+            else:
+                sstats.speculative_probes += int(
+                    ss.cum_probes[end] - ss.cum_probes[start])
+            outcomes = self._l1.outcomes
+            cums = ss.cum_outcomes
+            outcomes.correct_speculation += int(
+                cums[1][end] - cums[1][start])
+            outcomes.correct_bypass += int(cums[2][end] - cums[2][start])
+            outcomes.opportunity_loss += int(
+                cums[3][end] - cums[3][start])
+            outcomes.extra_access += int(cums[4][end] - cums[4][start])
+            outcomes.idb_hit += int(cums[5][end] - cums[5][start])
+            outcomes.extra_access_after_idb += int(
+                ss.cum_ea_via[end] - ss.cum_ea_via[start])
+            perc = self._l1.perceptron
+            if perc is not None:
+                perc.stats.predictions += d
+                perc.stats.correct += int(ss.corr[end] - ss.corr[start])
+            idb = self._l1.idb
+            if idb is not None:
+                idb_d = int(ss.cum_via[end] - ss.cum_via[start])
+                idb.stats.predictions += idb_d
+                idb.stats.updates += idb_d
+                idb.stats.hits += int(cums[5][end] - cums[5][start])
+        elif self._default_fast:
+            sstats.fast_accesses += d
+        else:
+            sstats.slow_accesses += d
+        wp = self._l1.way_predictor
+        if wp is not None:
+            wp.stats.predictions += wp_pred
+            wp.stats.correct += wp_corr
+            wp.stats.second_accesses += wp_sec
+        # Structural sync: scratch streams to `end`, then copy onto the
+        # live objects so state_dict()/checkpoints see oracle state.
+        ts.advance(end)
+        _copy_tlb(ts.scratch, self._tlb)
+        if ss is not None and not ss.stateless:
+            ss.advance(end)
+            ss.copy_into(self._l1.perceptron, self._l1.idb)
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+
+def make_engine(ctx, oracle) -> Optional[KernelEngine]:
+    """Build a :class:`KernelEngine` for ``ctx``, or ``None``.
+
+    ``oracle`` is the pure-python range replayer
+    (``driver._replay_range``), kept as the permanent fallback.
+    Returns ``None`` — meaning "use the oracle for everything" — for
+    configurations the kernel does not model (subclassed cores,
+    non-LRU replacement, PC way prediction, page-bound IDB) and for
+    any trace whose streams fail to build (e.g. unmapped pages: the
+    oracle then raises the same fault the python path would).
+    """
+    try:
+        return _build(ctx, oracle)
+    except Exception:  # noqa: BLE001 — build failure means oracle
+        return None
+
+
+def _build(ctx, oracle) -> Optional[KernelEngine]:
+    l1 = ctx.l1
+    cache = l1.cache
+    tlb = l1.tlb
+    core = ctx.core
+    if type(core) not in (OooCore, InOrderCore):
+        return None
+    if type(cache.policy) is not LruPolicy:
+        return None
+    if type(tlb) is not TlbHierarchy:
+        return None
+    wp = l1.way_predictor
+    if wp is not None and type(wp) is not WayPredictor:
+        return None
+    if l1.idb is not None and l1.idb.page_bound:
+        return None
+    n = ctx._len
+    if n == 0:
+        return None
+    trace = ctx.trace
+    page_table = ctx._page_table
+    gap_arr = np.asarray(trace.inst_gap, dtype=np.int64)
+    if int(gap_arr.min()) < 0:
+        return None   # the oracle raises the retire() ValueError
+    cols = columns_for(trace)
+    memo = cols.kernel_memo()
+    asid = page_table.asid
+
+    pa_pair = memo.get("pa")
+    if pa_pair is None:
+        pa_arr = ((cols.ppn << PAGE_SHIFT)
+                  | (np.asarray(trace.va, dtype=np.int64)
+                     & _PAGE_OFF_MASK))
+        pa_pair = memo["pa"] = (pa_arr, pa_arr.tolist())
+    pa_arr, pa_list = pa_pair
+
+    addr_key = ("addr", cache.line_shift, cache.index_mask)
+    addr = memo.get(addr_key)
+    if addr is None:
+        line_arr = pa_arr >> cache.line_shift
+        addr = memo[addr_key] = (line_arr.tolist(),
+                                 (line_arr & cache.index_mask).tolist())
+    line_list, sidx_list = addr
+
+    tlb_key = ("tlb", asid, tlb.l1_latency, tlb.l2_latency,
+               tlb._l1_4k.n_sets, tlb._l1_4k.n_ways,
+               tlb._l1_2m.n_sets, tlb._l1_2m.n_ways,
+               tlb._l2.n_sets, tlb._l2.n_ways)
+    ts = memo.get(tlb_key)
+    if ts is None:
+        params = dict(
+            l1_4k_entries=tlb._l1_4k.n_sets * tlb._l1_4k.n_ways,
+            l1_4k_ways=tlb._l1_4k.n_ways,
+            l1_2m_entries=tlb._l1_2m.n_sets * tlb._l1_2m.n_ways,
+            l1_2m_ways=tlb._l1_2m.n_ways,
+            l2_entries=tlb._l2.n_sets * tlb._l2.n_ways,
+            l2_ways=tlb._l2.n_ways,
+            l1_latency=tlb.l1_latency, l2_latency=tlb.l2_latency,
+            walk_latency=tlb.walk_latency)
+        ts = memo[tlb_key] = _TlbStream(ctx._va, page_table, params)
+
+    if l1._is_sipt:
+        perc = l1.perceptron
+        perc_params = ((perc.n_entries, perc.history_length,
+                        perc.weight_bits) if perc is not None else None)
+        idb = l1.idb
+        idb_params = ((idb.n_bits, idb.n_entries)
+                      if idb is not None else None)
+        spec_key = ("spec", l1.n_spec_bits, l1._is_naive, l1._is_bypass,
+                    perc_params, idb_params)
+        ss = memo.get(spec_key)
+        if ss is None:
+            ss = memo[spec_key] = _SpecStream(
+                ctx._pc, ctx._va, pa_list,
+                (l1.n_spec_bits, l1._is_naive, l1._is_bypass,
+                 perc_params, idb_params))
+    else:
+        spec_key = ("nospec", l1._default_fast)
+        ss = None
+
+    gapw_key = ("gapw", core.width)
+    gapw = memo.get(gapw_key)
+    if gapw is None:
+        width = core.width
+        seen: dict = {}
+        gapw = []
+        for g in ctx._gap:
+            w = seen.get(g)
+            if w is None:
+                w = seen[g] = g / width
+            gapw.append(w)
+        memo[gapw_key] = gapw
+
+    cum_inst = memo.get("inst")
+    if cum_inst is None:
+        cum_inst = memo["inst"] = _cum(gap_arr + 1)
+
+    lat_key = ("lat", tlb_key, spec_key, l1.hit_latency,
+               ctx._conflict_window, ctx._conflict_cycles)
+    lat_bundle = memo.get(lat_key)
+    if lat_bundle is None:
+        cls = ts.cls
+        l1l, l2l = tlb.l1_latency, tlb.l2_latency
+        tlat = np.where(cls == 0, l1l,
+                        np.where(cls == 1, l1l + l2l,
+                                 -1)).astype(np.int64)
+        if ss is not None:
+            fast_arr = ss.fast
+            extra_arr = ss.extra
+        else:
+            fast_arr = np.full(n, 1 if l1._default_fast else 0,
+                               dtype=np.uint8)
+            extra_arr = np.zeros(n, dtype=np.uint8)
+        hit_lat = l1.hit_latency
+        base = np.where(fast_arr != 0, np.maximum(hit_lat, tlat),
+                        tlat + hit_lat)
+        prev_extra = np.empty(n, dtype=np.uint8)
+        prev_extra[0] = 0
+        prev_extra[1:] = extra_arr[:-1]
+        conflict = (prev_extra != 0) & (gap_arr < ctx._conflict_window)
+        lat_arr = np.where(
+            tlat < 0, -1,
+            base + conflict.astype(np.int64) * ctx._conflict_cycles)
+        va_list = ctx._va
+        walk_events = [(va_list[i],
+                        int(conflict[i]) * ctx._conflict_cycles)
+                       for i in ts.walk_pos]
+        lat_bundle = memo[lat_key] = (
+            lat_arr.tolist(), fast_arr.tolist(), walk_events,
+            _cum(conflict), extra_arr)
+    lat_list, fast_list, walk_events, cum_pconf, extra_arr = lat_bundle
+
+    columns = (gapw, ctx._is_write, ctx._dep, pa_list, line_list,
+               sidx_list, lat_list, fast_list)
+    loop_fn = _compile_loop(type(core) is OooCore, wp is not None)
+    return KernelEngine(
+        ctx, oracle, ts, ss, columns,
+        (walk_events, ts.walk_pos, cum_pconf, cum_inst, extra_arr),
+        loop_fn)

@@ -159,8 +159,10 @@ _BASELINE_MEMO: Dict[tuple, object] = {}
 
 def _baseline_result(app: str, core: str, condition: MemoryCondition,
                      seed: int, n_accesses: Optional[int],
-                     baseline_cfg: L1Config, trace=None, warm=None):
-    key = (app, core, condition.value, seed, n_accesses, baseline_cfg)
+                     baseline_cfg: L1Config, trace=None, warm=None,
+                     engine: str = "python"):
+    key = (app, core, condition.value, seed, n_accesses, baseline_cfg,
+           engine)
     if key not in _BASELINE_MEMO:
         system = _system_for(core, baseline_cfg)
         result = None
@@ -175,7 +177,7 @@ def _baseline_result(app: str, core: str, condition: MemoryCondition,
         if result is None:
             result = run_app(app, system, condition=condition,
                              n_accesses=n_accesses, seed=seed, cache=None,
-                             trace=trace, warm_state=warm)
+                             trace=trace, warm_state=warm, engine=engine)
             if reuse and not _faults.any_armed():
                 warm.store_result(trace, system, result)
         _BASELINE_MEMO[key] = result
@@ -190,7 +192,8 @@ def _parallel_cell(app: str, name: str, cfg: L1Config, core: str,
                    checkpoint_path: Optional[Path] = None,
                    handle: Optional[TraceHandle] = None,
                    warm_dir: Optional[str] = None,
-                   share_warm: bool = False) -> dict:
+                   share_warm: bool = False,
+                   engine: str = "python") -> dict:
     """One sweep cell as a picklable, self-contained worker task.
 
     Runs inside a pool worker process. With a substrate ``handle`` the
@@ -216,7 +219,8 @@ def _parallel_cell(app: str, name: str, cfg: L1Config, core: str,
                          checkpoint_path=checkpoint_path,
                          resume_checkpoint=checkpoint_path,
                          trace=trace,
-                         warm_state=warm if share_warm else None)
+                         warm_state=warm if share_warm else None,
+                         engine=engine)
         if (share_warm and warm is not None and trace is not None
                 and not faulted):
             # The baseline-config cell runs first in grid order; its
@@ -228,7 +232,7 @@ def _parallel_cell(app: str, name: str, cfg: L1Config, core: str,
         if baseline_cfg is not None:
             base = _baseline_result(app, core, condition, seed,
                                     n_accesses, baseline_cfg,
-                                    trace=trace, warm=warm)
+                                    trace=trace, warm=warm, engine=engine)
     except ReproError as exc:
         raise exc.with_context(app=app, config=name, seed=seed)
     return {
@@ -251,7 +255,8 @@ def _parallel_cells(spec: SweepSpec, n_accesses: Optional[int],
                     checkpoint_every: Optional[int] = None,
                     checkpoint_dir: Optional[Path] = None,
                     handles: Optional[Dict[tuple, TraceHandle]] = None,
-                    warm_dir: Optional[str] = None
+                    warm_dir: Optional[str] = None,
+                    engine: str = "python"
                     ) -> List[Tuple[dict, partial]]:
     """The grid as (key, picklable task) pairs, in serial row order.
 
@@ -280,7 +285,8 @@ def _parallel_cells(spec: SweepSpec, n_accesses: Optional[int],
                                        core, condition, seed, n_accesses,
                                        baseline_cfg, checkpoint_every,
                                        ckpt, handle, warm_dir,
-                                       name == spec.baseline)
+                                       name == spec.baseline,
+                                       engine=engine)
                         cells.append((key, task))
     return cells
 
@@ -290,7 +296,8 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
               runner: Optional[ResilientRunner] = None,
               checkpoint_every: Optional[int] = None,
               substrate: Optional[bool] = None,
-              warm_reuse: bool = True) -> List[dict]:
+              warm_reuse: bool = True,
+              engine: str = "python") -> List[dict]:
     """Run the grid; returns one dict per combination, FIELDS keys.
 
     Cells execute through ``runner`` (a default, journal-less
@@ -335,6 +342,11 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
       normalization run), instead of re-simulating. Serial sweeps use
       an in-memory cache; parallel sweeps exchange snapshots through a
       temporary directory removed on exit.
+
+    ``engine`` selects the replay implementation for every cell and
+    baseline run (``"python"`` oracle or the byte-identical
+    ``"kernel"`` array engine — see ``repro.sim.kernel``); because the
+    kernel is oracle-equivalent, the CSV is identical either way.
     """
     traces = traces or TraceCache()
     runner = runner or ResilientRunner()
@@ -370,7 +382,7 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
                 warm_dir = tempfile.mkdtemp(prefix="repro-warm-")
             cells = _parallel_cells(spec, n_accesses, checkpoint_every,
                                     runner.checkpoint_dir, handles=handles,
-                                    warm_dir=warm_dir)
+                                    warm_dir=warm_dir, engine=engine)
             # Baseline-first scheduling: submit every baseline-config
             # cell before any sibling, so by the time the siblings'
             # normalization runs look for the baseline result it is
@@ -409,7 +421,8 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
                             app,
                             _system_for(core, spec.configs[spec.baseline]),
                             condition=condition, n_accesses=n_accesses,
-                            seed=seed, cache=traces, warm_state=warm)
+                            seed=seed, cache=traces, warm_state=warm,
+                            engine=engine)
                     return baselines[app]
 
                 for name, cfg in spec.configs.items():
@@ -433,7 +446,8 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
                                     resume_checkpoint=ckpt,
                                     warm_state=(warm
                                                 if name == spec.baseline
-                                                else None))
+                                                else None),
+                                    engine=engine)
                                 base = baseline_for(app)
                             except ReproError as exc:
                                 raise exc.with_context(app=app, config=name,

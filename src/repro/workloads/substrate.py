@@ -95,7 +95,7 @@ class TraceColumns:
     """
 
     __slots__ = ("_trace", "_vpn", "_ppn", "_index_delta",
-                 "_fingerprint", "_lists", "__weakref__")
+                 "_fingerprint", "_lists", "_kernel", "__weakref__")
 
     def __init__(self, trace: Trace,
                  vpn: Optional[np.ndarray] = None,
@@ -107,6 +107,7 @@ class TraceColumns:
         self._index_delta: Optional[np.ndarray] = None
         self._fingerprint = fingerprint
         self._lists: Optional[Tuple[list, list, list, list, list]] = None
+        self._kernel: Optional[dict] = None
 
     @property
     def vpn(self) -> np.ndarray:
@@ -171,6 +172,21 @@ class TraceColumns:
                            trace.inst_gap.tolist(),
                            trace.dep_dist.tolist())
         return self._lists
+
+    def kernel_memo(self) -> dict:
+        """Per-trace scratch store for ``repro.sim.kernel`` streams.
+
+        The kernel engine precomputes per-access streams (TLB
+        classification, speculation outcomes, address columns) that
+        depend only on this trace's content plus a small configuration
+        signature. Keying them here gives them exactly the lifetime and
+        sharing the ``lists()`` conversions already have: every cell,
+        repeat, or resumed run replaying the same trace object in this
+        process builds each stream once.
+        """
+        if self._kernel is None:
+            self._kernel = {}
+        return self._kernel
 
     def spec_change_fraction(self, index_bits: int) -> float:
         """Fraction of accesses whose set index changes under

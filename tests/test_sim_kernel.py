@@ -1,0 +1,281 @@
+"""Differential tests for the array-compiled replay kernel.
+
+``repro.sim.kernel`` must be *byte-identical* to the pure-python
+replay loop — the python path is its differential oracle. These tests
+enforce that on a grid of configurations (geometries, variants, cores,
+way prediction, memory conditions), through every chunked-replay shape
+(interval sampling, checkpointing, crash/resume), and via a
+hypothesis fuzz that drives randomized short traces through all three
+replay implementations (``_CoreContext.step``, ``_replay_range``, the
+kernel) at once.
+
+Also covers this PR's satellite fixes: the O(n) chunked-replay cursor
+in ``_replay_range`` and the ``ConfigError`` boundary for malformed
+integer environment overrides.
+"""
+
+import dataclasses
+import json
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.indexing import SiptVariant
+from repro.errors import ConfigError, SimulationError
+from repro.sim import (
+    BASELINE_L1,
+    SIPT_GEOMETRIES,
+    TraceCache,
+    inorder_system,
+    ooo_system,
+    run_app,
+    simulate,
+)
+from repro.sim.driver import _CoreContext, _replay_range
+from repro.sim.experiment import _env_int
+from repro.sim.faults import (
+    WorkerCrash,
+    arm_data_specs,
+    arm_fault,
+    clear_armed,
+    parse_fault,
+)
+from repro.sim.kernel import make_engine
+from repro.workloads.trace import MemoryCondition
+
+CACHE = TraceCache()
+N = 2500
+
+
+@pytest.fixture(autouse=True)
+def _clean_armed_channel():
+    clear_armed()
+    yield
+    clear_armed()
+
+
+def fingerprint(result):
+    """A byte-stable rendering of an entire SimResult."""
+    return json.dumps(dataclasses.asdict(result), sort_keys=True,
+                      default=str)
+
+
+def _grid():
+    cfg = SIPT_GEOMETRIES["32K_2w"]
+    return [
+        ("combined", ooo_system(cfg)),
+        ("naive", ooo_system(replace(cfg, variant=SiptVariant.NAIVE))),
+        ("bypass", ooo_system(replace(cfg, variant=SiptVariant.BYPASS))),
+        ("waypred", ooo_system(replace(cfg, way_prediction=True))),
+        ("inorder", inorder_system(cfg)),
+        ("vipt-baseline", ooo_system(BASELINE_L1)),
+        ("64K_4w", ooo_system(SIPT_GEOMETRIES["64K_4w"])),
+    ]
+
+
+# ---------------------------------------------------------------------
+# Oracle equivalence
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("name,system", _grid(),
+                         ids=[name for name, _ in _grid()])
+def test_kernel_is_byte_identical_across_grid(name, system):
+    trace = CACHE.get("perlbench", N)
+    python = simulate(trace, system)
+    kernel = simulate(trace, system, engine="kernel")
+    assert fingerprint(kernel) == fingerprint(python)
+
+
+@pytest.mark.parametrize("condition", list(MemoryCondition),
+                         ids=[c.value for c in MemoryCondition])
+def test_kernel_identical_across_memory_conditions(condition):
+    trace = CACHE.get("mcf", N, condition=condition)
+    system = ooo_system(SIPT_GEOMETRIES["32K_2w"])
+    python = simulate(trace, system)
+    kernel = simulate(trace, system, engine="kernel")
+    assert fingerprint(kernel) == fingerprint(python)
+
+
+def test_kernel_engages_and_stays_synced():
+    """The fast path must actually run (no silent permanent fallback)."""
+    trace = CACHE.get("perlbench", N)
+    ctx = _CoreContext(ooo_system(SIPT_GEOMETRIES["32K_2w"]), trace)
+    engine = make_engine(ctx, _replay_range)
+    assert engine is not None
+    engine.replay(ctx, 0, ctx._len)
+    assert engine._fallback is False
+    assert engine._synced == ctx._len
+
+
+def test_kernel_declines_unsupported_core_and_still_matches():
+    """ooo-detailed is outside the envelope: engine=None, oracle runs."""
+    system = replace(ooo_system(SIPT_GEOMETRIES["32K_2w"]),
+                     core="ooo-detailed")
+    trace = CACHE.get("perlbench", N)
+    ctx = _CoreContext(system, trace)
+    assert make_engine(ctx, _replay_range) is None
+    python = simulate(trace, system)
+    kernel = simulate(trace, system, engine="kernel")
+    assert fingerprint(kernel) == fingerprint(python)
+
+
+def test_kernel_interval_series_identical():
+    trace = CACHE.get("calculix", N)
+    system = ooo_system(SIPT_GEOMETRIES["32K_2w"])
+    python = simulate(trace, system, interval=700)
+    kernel = simulate(trace, system, interval=700, engine="kernel")
+    assert kernel.intervals == python.intervals
+    assert fingerprint(kernel) == fingerprint(python)
+
+
+def test_kernel_checkpointed_replay_identical(tmp_path):
+    trace = CACHE.get("mcf", N)
+    system = ooo_system(SIPT_GEOMETRIES["32K_2w"])
+    python = simulate(trace, system)
+    kernel = simulate(trace, system, checkpoint_every=500,
+                      checkpoint_path=tmp_path / "cell.json",
+                      engine="kernel")
+    assert fingerprint(kernel) == fingerprint(python)
+
+
+def test_kernel_crash_resume_identical(tmp_path):
+    """Kill a kernel run mid-trace; a kernel resume matches python."""
+    trace = CACHE.get("povray", N)
+    system = ooo_system(SIPT_GEOMETRIES["32K_2w"])
+    plain = simulate(trace, system)
+    ck = tmp_path / "cell.json"
+    arm_fault("sim_crash", 1300)
+    with pytest.raises(WorkerCrash):
+        simulate(trace, system, checkpoint_every=500,
+                 checkpoint_path=ck, engine="kernel")
+    resumed = simulate(trace, system, checkpoint_every=500,
+                       checkpoint_path=ck, resume_checkpoint=ck,
+                       engine="kernel")
+    assert fingerprint(resumed) == fingerprint(plain)
+
+
+def test_kernel_poisoned_predictor_fails_like_python():
+    """A NaN-poisoned perceptron must not survive the fast path."""
+    trace = CACHE.get("perlbench", N)
+    system = ooo_system(SIPT_GEOMETRIES["32K_2w"])
+    arm_data_specs([parse_fault("poison_predictor@0")])
+    with pytest.raises(SimulationError):
+        simulate(trace, system)
+    arm_data_specs([parse_fault("poison_predictor@0")])
+    with pytest.raises(SimulationError):
+        simulate(trace, system, engine="kernel")
+
+
+def test_unknown_engine_is_a_config_error():
+    trace = CACHE.get("perlbench", N)
+    system = ooo_system(BASELINE_L1)
+    with pytest.raises(ConfigError, match="unknown engine"):
+        simulate(trace, system, engine="numpy")
+    with pytest.raises(ConfigError, match="unknown engine"):
+        run_app("perlbench", system, n_accesses=N, cache=CACHE,
+                engine="numpy")
+
+
+# ---------------------------------------------------------------------
+# Satellite: O(n) chunked-replay cursor
+# ---------------------------------------------------------------------
+
+def test_chunked_replay_cursor_matches_full_replay():
+    """Many tiny chunks equal one fused range, and reuse one iterator."""
+    trace = CACHE.get("calculix", N)
+    system = ooo_system(SIPT_GEOMETRIES["32K_2w"])
+    full = _CoreContext(system, trace)
+    _replay_range(full, 0, full._len)
+    chunked = _CoreContext(system, trace)
+    for start in range(0, chunked._len, 97):
+        end = min(start + 97, chunked._len)
+        _replay_range(chunked, start, end)
+        # The parked cursor is what makes the whole pass O(n): every
+        # chunk after the first resumes the previous chunk's iterator.
+        if end < chunked._len:
+            assert chunked._cursor is not None
+            assert chunked._cursor[0] == end
+    assert fingerprint(chunked.result()) == fingerprint(full.result())
+
+
+def test_cold_cursor_mid_trace_start_matches():
+    """A resume-shaped call (cold start at i>0) islices, not slices."""
+    trace = CACHE.get("calculix", N)
+    system = ooo_system(SIPT_GEOMETRIES["32K_2w"])
+    reference = _CoreContext(system, trace)
+    _replay_range(reference, 0, 1000)
+    _replay_range(reference, 1000, reference._len)
+    split = _CoreContext(system, trace)
+    _replay_range(split, 0, 1000)
+    split._cursor = None   # simulate a fresh post-restore context
+    _replay_range(split, 1000, split._len)
+    assert fingerprint(split.result()) == fingerprint(reference.result())
+
+
+# ---------------------------------------------------------------------
+# Satellite: integer env overrides raise ConfigError, not ValueError
+# ---------------------------------------------------------------------
+
+def test_env_int_names_variable_and_value(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "lots")
+    with pytest.raises(ConfigError, match="REPRO_TRACE_CACHE.*'lots'"):
+        TraceCache()
+
+
+def test_env_int_valid_and_default(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "7")
+    assert TraceCache().max_traces == 7
+    monkeypatch.delenv("REPRO_TRACE_CACHE")
+    assert _env_int("REPRO_TRACE_CACHE", 64) == 64
+    monkeypatch.setenv("REPRO_ACCESSES", "12_000?!")
+    with pytest.raises(ConfigError, match="REPRO_ACCESSES"):
+        _env_int("REPRO_ACCESSES", 50000)
+
+
+# ---------------------------------------------------------------------
+# Differential fuzz: step() vs _replay_range vs kernel
+# ---------------------------------------------------------------------
+
+_FUZZ_SYSTEMS = {
+    "combined": ooo_system(SIPT_GEOMETRIES["32K_2w"]),
+    "naive": ooo_system(replace(SIPT_GEOMETRIES["32K_2w"],
+                                variant=SiptVariant.NAIVE)),
+    "bypass-small": ooo_system(replace(SIPT_GEOMETRIES["32K_2w"],
+                                       capacity=8 * 1024,
+                                       variant=SiptVariant.BYPASS)),
+    "waypred": ooo_system(replace(SIPT_GEOMETRIES["32K_4w"],
+                                  way_prediction=True)),
+    "inorder-small": inorder_system(replace(SIPT_GEOMETRIES["32K_2w"],
+                                            capacity=8 * 1024)),
+}
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.sampled_from(["mcf", "calculix", "libquantum", "povray"]),
+       st.sampled_from(sorted(_FUZZ_SYSTEMS)),
+       st.sampled_from(list(MemoryCondition)),
+       st.integers(min_value=0, max_value=3),
+       st.integers(min_value=150, max_value=900))
+def test_fuzz_three_replay_paths_agree(app, system_name, condition,
+                                       seed, n):
+    """step(), the fused loop, and the kernel are one implementation.
+
+    The small-capacity systems force misses, dirty writebacks, and
+    (with naive/bypass variants) slow accesses inside the
+    port-conflict window; the memory conditions cover huge-page and
+    fragmented translation paths.
+    """
+    system = _FUZZ_SYSTEMS[system_name]
+    trace = CACHE.get(app, n, condition=condition, seed=seed)
+    stepped = _CoreContext(system, trace)
+    for _ in range(n):
+        stepped.step()
+    fused = _CoreContext(system, trace)
+    _replay_range(fused, 0, n)
+    fused.completed_once = True
+    kernel = simulate(trace, system, engine="kernel")
+    want = fingerprint(stepped.result())
+    assert fingerprint(fused.result()) == want
+    assert fingerprint(kernel) == want
