@@ -37,10 +37,12 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
+        """Hits per access (0.0 when nothing was accessed)."""
         return self.hits / self.accesses if self.accesses else 0.0
 
     @property
     def miss_rate(self) -> float:
+        """Misses per access (0.0 when nothing was accessed)."""
         return self.misses / self.accesses if self.accesses else 0.0
 
 

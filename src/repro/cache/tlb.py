@@ -33,10 +33,12 @@ class TlbStats:
 
     @property
     def l1_hit_rate(self) -> float:
+        """L1-TLB hits per access."""
         return self.l1_hits / self.accesses if self.accesses else 0.0
 
     @property
     def walk_rate(self) -> float:
+        """Page walks triggered per access (both TLB levels missed)."""
         return self.walks / self.accesses if self.accesses else 0.0
 
 

@@ -36,6 +36,7 @@ class WalkerStats:
 
     @property
     def avg_levels(self) -> float:
+        """Mean page-table levels touched per walk (PWC hits skip some)."""
         return self.levels_walked / self.walks if self.walks else 0.0
 
 

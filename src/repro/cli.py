@@ -12,6 +12,10 @@ Examples::
         --checkpoint-every 10000 --checkpoint-dir ckpts  # mid-cell resume
     python -m repro run --app mcf --checkpoint-every 10000 \
         --checkpoint-dir ckpts                   # rerun resumes mid-trace
+    python -m repro sweep --apps perlbench,mcf --store   # reuse results
+    python -m repro jobs submit --apps perlbench,mcf --baseline baseline
+    python -m repro jobs run <id> --jobs 4   # execute the missing cells
+    python -m repro jobs result <id> --out grid.csv
     python -m repro mix --name mix0
     python -m repro designspace
     python -m repro validate --min-pass 6
@@ -262,15 +266,15 @@ def cmd_suite(args) -> int:
     return _finish(args, runner)
 
 
-def cmd_sweep(args) -> int:
-    """`repro sweep`: run an (apps x geometries x ...) grid to CSV."""
+def _sweep_spec(args) -> SweepSpec:
+    """Build (and validate) the sweep grid from the shared grid flags."""
     apps = [a.strip() for a in args.apps.split(",") if a.strip()]
     names = [g.strip() for g in args.geometries.split(",") if g.strip()]
     unknown = [g for g in names if g not in GEOMETRIES]
     if unknown:
         raise ConfigError(f"unknown geometries {unknown}; "
                           f"choose from {sorted(GEOMETRIES)}")
-    spec = SweepSpec(
+    return SweepSpec(
         apps=apps,
         configs={name: GEOMETRIES[name] for name in names},
         cores=[c.strip() for c in args.cores.split(",") if c.strip()],
@@ -278,16 +282,145 @@ def cmd_sweep(args) -> int:
                     for c in args.conditions.split(",") if c.strip()],
         seeds=[int(s) for s in args.seeds.split(",") if s.strip()],
         baseline=args.baseline)
+
+
+def _store_from(args):
+    """The :class:`~repro.store.ResultStore` the flags ask for, if any.
+
+    ``--store`` with no value means the default root
+    (``REPRO_STORE_DIR`` or ``~/.cache/repro-store``); with a value,
+    that directory. Absent (``None``) means no store participation.
+    """
+    value = getattr(args, "store", None)
+    if value is None:
+        return None
+    from .store import ResultStore
+    return ResultStore(value or None)
+
+
+def _store_report(store, runner) -> None:
+    """Print the store dedupe summary + run GC (the ``[store]`` line).
+
+    The line is stable and grep-able — CI's store-smoke job asserts
+    ``, 0 simulated`` on a fully warm rerun.
+    """
+    hits = runner.stats.store_hits
+    simulated = runner.stats.total - hits
+    print(f"[store] {hits} of {runner.stats.total} cells from store, "
+          f"{simulated} simulated (root {store.root})", file=sys.stderr)
+    removed, freed = store.gc()
+    if removed:
+        print(f"[store] gc evicted {removed} entries "
+              f"({freed / 1024:.0f} KiB) to honor the size cap",
+              file=sys.stderr)
+
+
+def cmd_sweep(args) -> int:
+    """`repro sweep`: run an (apps x geometries x ...) grid to CSV."""
+    spec = _sweep_spec(args)
     runner = _runner(args)
+    store = _store_from(args)
     rows = run_sweep(spec, n_accesses=args.accesses, traces=TraceCache(),
                      runner=runner,
                      checkpoint_every=args.checkpoint_every,
                      substrate=False if args.no_substrate else None,
                      warm_reuse=not args.no_warm_reuse,
-                     engine=args.engine)
+                     engine=args.engine,
+                     store=store)
     path = to_csv(rows, args.out)
     print(f"wrote {len(rows)} rows to {path}")
+    if store is not None:
+        _store_report(store, runner)
     return _finish(args, runner)
+
+
+def cmd_jobs(args) -> int:
+    """`repro jobs`: submit/track/run/collect store-backed sweep jobs.
+
+    The daemon-free async front end over the content-addressed store
+    (``docs/sweep-service.md``): ``submit`` journals a grid and dedupes
+    it against the store, ``status`` recomputes progress live, ``run``
+    executes the missing cells through :func:`run_sweep` with the
+    store attached, and ``result`` composes the CSV purely from store
+    entries — byte-identical to a cold ``sweep`` of the same grid.
+    """
+    from .sim.sweep import _system_for, grid_cells, rows_from_store
+    from .store import (job_status, list_jobs, load_job, release_claims,
+                        submit_job)
+    store = _store_from(args)
+    if args.action == "submit":
+        spec = _sweep_spec(args)
+        grid = {"apps": spec.apps, "geometries": list(spec.configs),
+                "baseline": spec.baseline, "cores": spec.cores,
+                "conditions": [c.value for c in spec.conditions],
+                "seeds": spec.seeds, "accesses": args.accesses}
+        traces = TraceCache()
+        cells = []
+        for key, app, name, cfg, core, condition, seed in grid_cells(spec):
+            trace = traces.get(app, args.accesses, condition, seed)
+            cells.append((key, store.digest(trace,
+                                            _system_for(core, cfg))))
+        summary = submit_job(store, grid, cells)
+        print(f"job {summary['id']}: {summary['cells']} cells, "
+              f"{summary['done']} already in store, "
+              f"{summary['shared']} in flight elsewhere, "
+              f"{summary['claimed']} claimed")
+        return 0
+    if args.action == "status":
+        records = ([load_job(store, args.id)] if args.id
+                   else list_jobs(store))
+        if not records:
+            print("no jobs submitted to this store")
+            return 0
+        for record in records:
+            st = job_status(store, record)
+            print(f"job {record['id']}: {st['done']}/{st['total']} done, "
+                  f"{st['inflight']} in flight elsewhere, "
+                  f"{st['pending']} pending")
+        return 0
+    record = load_job(store, args.id)
+    spec, accesses = _spec_from_grid(record["grid"])
+    if args.action == "run":
+        runner = _runner(args)
+        run_sweep(spec, n_accesses=accesses, traces=TraceCache(),
+                  runner=runner, engine=args.engine, store=store)
+        release_claims(store, record)
+        _store_report(store, runner)
+        return _finish(args, runner)
+    # action == "result"
+    rows, missing = rows_from_store(spec, accesses, store)
+    if missing:
+        print(f"job {record['id']}: {len(missing)} of {len(rows)} cells "
+              "not in the store yet — `repro jobs run` it (or wait for "
+              "the job holding them)", file=sys.stderr)
+        return 1
+    release_claims(store, record)
+    path = to_csv(rows, args.out)
+    print(f"wrote {len(rows)} rows to {path}")
+    return 0
+
+
+def _spec_from_grid(grid: dict):
+    """Rebuild ``(SweepSpec, accesses)`` from a job record's grid.
+
+    The inverse of ``jobs submit``'s grid payload; names resolve
+    through the same tables as the live flags, so a job submitted on
+    one machine runs identically on another sharing the store root.
+    """
+    try:
+        spec = SweepSpec(
+            apps=list(grid["apps"]),
+            configs={name: GEOMETRIES[name]
+                     for name in grid["geometries"]},
+            cores=list(grid["cores"]),
+            conditions=[CONDITIONS[c] for c in grid["conditions"]],
+            seeds=[int(s) for s in grid["seeds"]],
+            baseline=grid["baseline"])
+        return spec, grid["accesses"]
+    except KeyError as exc:
+        raise ConfigError(
+            f"job grid is missing {exc} — submitted by an incompatible "
+            "version? resubmit with this CLI") from None
 
 
 def cmd_mix(args) -> int:
@@ -603,18 +736,37 @@ def build_parser() -> argparse.ArgumentParser:
     resilience(suite_p)
     checkpointing(suite_p)
 
+    def grid_flags(p):
+        """The sweep-grid axes, shared by `sweep` and `jobs submit`."""
+        p.add_argument("--apps", default="perlbench,mcf,libquantum",
+                       help="comma-separated benchmark names")
+        p.add_argument("--geometries", default="baseline,32K_2w",
+                       help="comma-separated geometry names")
+        p.add_argument("--baseline", default=None,
+                       help="geometry name to normalize ratios against")
+        p.add_argument("--cores", default="ooo")
+        p.add_argument("--conditions", default="normal")
+        p.add_argument("--seeds", default="0")
+        p.add_argument("--accesses", type=int, default=30_000)
+
+    def store_flag(p, default=None):
+        """--store: content-addressed result-store participation.
+
+        The `jobs` subcommands pass ``default=""`` (the store is the
+        service's substrate, so it is always on, at the default root
+        unless pointed elsewhere); plain `sweep` defaults to off.
+        """
+        p.add_argument(
+            "--store", nargs="?", const="", default=default,
+            metavar="DIR",
+            help="dedupe against (and publish to) the persistent "
+                 "content-addressed result store; no value = "
+                 "$REPRO_STORE_DIR or ~/.cache/repro-store "
+                 "(see docs/sweep-service.md)")
+
     sweep_p = sub.add_parser(
         "sweep", help="run an (apps x geometries x ...) grid to CSV")
-    sweep_p.add_argument("--apps", default="perlbench,mcf,libquantum",
-                         help="comma-separated benchmark names")
-    sweep_p.add_argument("--geometries", default="baseline,32K_2w",
-                         help="comma-separated geometry names")
-    sweep_p.add_argument("--baseline", default=None,
-                         help="geometry name to normalize ratios against")
-    sweep_p.add_argument("--cores", default="ooo")
-    sweep_p.add_argument("--conditions", default="normal")
-    sweep_p.add_argument("--seeds", default="0")
-    sweep_p.add_argument("--accesses", type=int, default=30_000)
+    grid_flags(sweep_p)
     sweep_p.add_argument("--out", default="sweep.csv",
                          help="CSV output path")
     sweep_p.add_argument("--no-substrate", action="store_true",
@@ -624,9 +776,35 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--no-warm-reuse", action="store_true",
                          help="re-simulate every baseline run instead of "
                               "restoring the first run's completed state")
+    store_flag(sweep_p)
     engine(sweep_p)
     resilience(sweep_p)
     checkpointing(sweep_p)
+
+    jobs_p = sub.add_parser(
+        "jobs", help="submit/track/run/collect store-backed sweep jobs")
+    jobs_sub = jobs_p.add_subparsers(dest="action", required=True)
+    submit_p = jobs_sub.add_parser(
+        "submit", help="journal a grid as a job, deduped vs the store")
+    grid_flags(submit_p)
+    store_flag(submit_p, default="")
+    status_p = jobs_sub.add_parser(
+        "status", help="live done/in-flight/pending tallies per job")
+    status_p.add_argument("id", nargs="?", default=None,
+                          help="job id (default: every job on the store)")
+    store_flag(status_p, default="")
+    run_jp = jobs_sub.add_parser(
+        "run", help="execute one job's missing cells into the store")
+    run_jp.add_argument("id", help="job id from `jobs submit`")
+    store_flag(run_jp, default="")
+    engine(run_jp)
+    resilience(run_jp)
+    result_p = jobs_sub.add_parser(
+        "result", help="compose a job's CSV purely from store entries")
+    result_p.add_argument("id", help="job id from `jobs submit`")
+    result_p.add_argument("--out", default="job.csv",
+                          help="CSV output path")
+    store_flag(result_p, default="")
 
     mix_p = sub.add_parser("mix", help="simulate a Table III quad-core mix")
     common(mix_p)
@@ -751,6 +929,7 @@ COMMANDS = {
     "run": cmd_run,
     "suite": cmd_suite,
     "sweep": cmd_sweep,
+    "jobs": cmd_jobs,
     "mix": cmd_mix,
     "bench": cmd_bench,
     "designspace": cmd_designspace,

@@ -45,6 +45,7 @@ class IdbStats:
 
     @property
     def hit_rate(self) -> float:
+        """Index-delta predictions confirmed correct, per prediction."""
         return self.hits / self.predictions if self.predictions else 0.0
 
 

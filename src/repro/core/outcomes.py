@@ -79,19 +79,23 @@ class OutcomeCounts:
 
     @property
     def total(self) -> int:
+        """Total classified accesses across the five outcome buckets."""
         return (self.correct_speculation + self.correct_bypass
                 + self.opportunity_loss + self.extra_access + self.idb_hit)
 
     @property
     def fast_accesses(self) -> int:
+        """Accesses served at the fast (speculative or IDB) latency."""
         return self.correct_speculation + self.idb_hit
 
     @property
     def fast_fraction(self) -> float:
+        """Fraction of accesses served at the fast latency (Fig. 7)."""
         return self.fast_accesses / self.total if self.total else 0.0
 
     @property
     def extra_access_fraction(self) -> float:
+        """Fraction of accesses that cost a second L1 lookup (Fig. 8)."""
         return self.extra_access / self.total if self.total else 0.0
 
     @property

@@ -31,6 +31,7 @@ class PerceptronStats:
 
     @property
     def accuracy(self) -> float:
+        """Correct predictions per prediction issued."""
         return self.correct / self.predictions if self.predictions else 0.0
 
 

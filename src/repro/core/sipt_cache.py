@@ -91,10 +91,12 @@ class SiptL1Stats:
 
     @property
     def fast_fraction(self) -> float:
+        """Fraction of L1 accesses served at the speculative latency."""
         return self.fast_accesses / self.accesses if self.accesses else 0.0
 
     @property
     def extra_access_fraction(self) -> float:
+        """Fraction of L1 accesses that needed a second lookup."""
         return (self.extra_l1_accesses / self.accesses
                 if self.accesses else 0.0)
 

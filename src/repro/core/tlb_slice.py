@@ -36,6 +36,7 @@ class TlbSliceStats:
 
     @property
     def accuracy(self) -> float:
+        """Slice lookups whose low index bits matched the true PA."""
         return self.correct / self.lookups if self.lookups else 0.0
 
 
@@ -76,4 +77,5 @@ class TlbSlice:
 
     @property
     def storage_bits(self) -> int:
+        """Total SRAM bits this slice costs (entries x bits per entry)."""
         return self.n_entries * self.n_bits

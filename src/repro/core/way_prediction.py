@@ -28,6 +28,7 @@ class WayPredictionStats:
 
     @property
     def accuracy(self) -> float:
+        """Correct way predictions per prediction issued."""
         return self.correct / self.predictions if self.predictions else 0.0
 
 

@@ -20,6 +20,37 @@ from pathlib import Path
 from typing import Union
 
 
+def atomic_write_bytes(path: Union[str, Path], data: bytes,
+                       fsync: bool = True) -> Path:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The binary twin of :func:`atomic_write_text`, used for artifacts
+    that are not line-oriented text — the content-addressed result
+    store's pickled :class:`~repro.sim.results.SimResult` entries.
+    Same guarantees: the temp file lands in the destination directory,
+    is flushed (and fsynced unless ``fsync=False``), and replaces the
+    destination atomically, so a reader can never observe a torn file
+    and racing writers of identical content are benign.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                    prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def atomic_write_text(path: Union[str, Path], text: str,
                       fsync: bool = True) -> Path:
     """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).

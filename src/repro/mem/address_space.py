@@ -43,11 +43,13 @@ class VmStats:
 
     @property
     def huge_fault_fraction(self) -> float:
+        """Faults satisfied by a huge page, over all faults."""
         total = self.huge_page_faults + self.base_page_faults
         return self.huge_page_faults / total if total else 0.0
 
     @property
     def coloring_success_rate(self) -> float:
+        """Faults whose frame matched the requested color, over all."""
         total = self.colored_faults + self.uncolored_faults
         return self.colored_faults / total if total else 0.0
 
@@ -65,6 +67,7 @@ class VmRegion:
 
     @property
     def end(self) -> int:
+        """One past the region's last virtual address."""
         return self.start + self.length
 
     def __contains__(self, va: int) -> bool:
@@ -87,6 +90,7 @@ class SharedSegment:
 
     @property
     def length(self) -> int:
+        """The segment's size in bytes (frames x page size)."""
         return len(self.frames) * PAGE_SIZE
 
 
@@ -102,6 +106,7 @@ class PhysicalMemory:
 
     @property
     def total_frames(self) -> int:
+        """Physical frames managed by the buddy allocator."""
         return self.buddy.total_frames
 
     def free_bytes(self) -> int:

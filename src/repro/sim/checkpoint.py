@@ -33,6 +33,12 @@ Writes are crash-safe (temp file + ``os.replace`` via
 :mod:`repro.ioutil`): a kill during a checkpoint leaves the previous
 complete snapshot, never a torn file.
 
+The content-addressed result store (``repro.store``,
+``docs/sweep-service.md``) reuses this text format verbatim for its
+``.state.json`` warm-predictor entries — same trace-identity
+verification, same fail-closed stance, except the store downgrades a
+failed verification to a cache miss instead of raising.
+
 Alongside each checkpoint lives a **watchdog heartbeat**
 (``<ckpt>.heartbeat``), rewritten after every replay chunk with the
 current access position. :func:`repro.sim.resilience.call_with_timeout`

@@ -49,6 +49,7 @@ class CoherentRunResult:
 
     @property
     def sum_ipc(self) -> float:
+        """Sum of per-core IPCs (the multicore throughput metric)."""
         return sum(result.ipc for result in self.cores)
 
 

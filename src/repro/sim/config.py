@@ -70,6 +70,7 @@ class L1Config:
 
     @property
     def label(self) -> str:
+        """Compact display name: capacity/ways/latency/scheme."""
         scheme = self.scheme.value
         if self.scheme is IndexingScheme.SIPT:
             scheme = f"sipt-{self.variant.value}"
@@ -107,6 +108,7 @@ class SystemConfig:
 
     @property
     def has_l2(self) -> bool:
+        """Whether the hierarchy models a private L2 (capacity > 0)."""
         return self.l2_capacity > 0
 
 

@@ -97,9 +97,15 @@ class RunnerStats:
     worker_restarts: int = 0
     #: Cell re-dispatches caused by worker loss (no retry budget spent).
     rescheduled: int = 0
+    #: Cells satisfied from the content-addressed result store
+    #: (counted inside ``ok``; they never executed).
+    store_hits: int = 0
 
     @property
     def degraded(self) -> bool:
+        """Whether any cell finished as something other than ``ok``
+        (error, timeout, resumable, or crashed) — the condition
+        ``--strict`` turns into exit code 2."""
         return (self.errors > 0 or self.timeouts > 0
                 or self.resumable > 0 or self.crashed > 0)
 
@@ -108,6 +114,8 @@ class RunnerStats:
         text = (f"{self.total} cells: {self.ok} ok"
                 f" ({self.resumed} resumed), {self.errors} errors,"
                 f" {self.timeouts} timeouts, {self.retries} retries")
+        if self.store_hits:
+            text += f", {self.store_hits} store hits"
         if self.resumable:
             text += f", {self.resumable} resumable"
         if self.crashed:
@@ -318,6 +326,25 @@ class ResilientRunner:
         """
         record = self._completed.get(cell_id(key))
         return record is not None and record.get("status") == STATUS_OK
+
+    def record_hit(self, key: Dict[str, Any],
+                   row: Dict[str, Any]) -> Dict[str, Any]:
+        """Account and journal a cell satisfied outside the runner.
+
+        The content-addressed store's dedupe pre-pass resolves grid
+        cells *before* they are ever submitted for execution; this
+        records such a cell as ``ok`` (tallied separately as a
+        ``store_hit``) and appends it to the journal exactly like an
+        executed cell — so ``--resume`` over a store-accelerated run
+        replays hit rows from the journal with identical semantics.
+        Returns the finished row (status fields attached).
+        """
+        self.stats.total += 1
+        self.stats.ok += 1
+        self.stats.store_hits += 1
+        row = {**row, "status": STATUS_OK, "error": ""}
+        self._record(key, STATUS_OK, row)
+        return row
 
     def _heartbeat_for(self, key: Dict[str, Any]) -> Optional[Path]:
         if self.checkpoint_dir is None:

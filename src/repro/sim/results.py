@@ -114,6 +114,8 @@ class Comparison:
     @classmethod
     def speedups(cls, results: Dict[str, SimResult],
                  baselines: Dict[str, SimResult]) -> "Comparison":
+        """Per-app speedup vs baseline, averaged with the harmonic mean
+        (the paper's convention for rate-like metrics)."""
         per_app = {app: results[app].speedup_over(baselines[app])
                    for app in results}
         return cls(per_app=per_app, average=harmonic_mean(per_app.values()))
@@ -121,6 +123,7 @@ class Comparison:
     @classmethod
     def energies(cls, results: Dict[str, SimResult],
                  baselines: Dict[str, SimResult]) -> "Comparison":
+        """Per-app energy ratio vs baseline, arithmetically averaged."""
         per_app = {app: results[app].energy_over(baselines[app])
                    for app in results}
         return cls(per_app=per_app,

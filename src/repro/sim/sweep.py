@@ -38,14 +38,16 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..errors import ConfigError, ReproError
 from ..ioutil import atomic_write_text
+from ..store.resultstore import ResultStore
 from ..workloads.substrate import TraceHandle, TraceStore, attach
 from ..workloads.trace import MemoryCondition
 from . import faults as _faults
 from .checkpoint import checkpoint_path_for
 from .config import L1Config, SystemConfig, inorder_system, ooo_system
+from .executors import STATUS_OK
 from .experiment import TraceCache, run_app
 from .resilience import ResilientRunner
-from .warmstate import WarmStateCache, warm_cache_for
+from .warmstate import ephemeral_warm_cache, warm_cache_for
 
 #: The columns every sweep row carries, in CSV order. ``status`` is
 #: "ok" for a completed cell; "error"/"timeout"/"crashed"/"resumable"
@@ -150,6 +152,51 @@ def cell_key(app: str, config: str, core: str,
             "condition": condition.value, "seed": seed}
 
 
+def grid_cells(spec: SweepSpec):
+    """Iterate the grid's cells in CSV row order.
+
+    Yields ``(key, app, name, cfg, core, condition, seed)`` per cell —
+    the one nesting order (cores, conditions, seeds, configs, apps)
+    every consumer shares: the serial loop, the parallel task builder,
+    the store dedupe pre-pass, and the jobs front end. Sharing the
+    iterator is what keeps a store-composed CSV byte-identical to an
+    executed one.
+    """
+    for core in spec.cores:
+        for condition in spec.conditions:
+            for seed in spec.seeds:
+                for name, cfg in spec.configs.items():
+                    for app in spec.apps:
+                        yield (cell_key(app, name, core, condition, seed),
+                               app, name, cfg, core, condition, seed)
+
+
+def _result_row(app: str, name: str, core: str,
+                condition: MemoryCondition, seed: int,
+                result, base) -> dict:
+    """One finished cell's CSV row (no status fields).
+
+    The single source of truth for how a ``SimResult`` (plus its
+    optional normalization baseline) becomes row values — executed
+    cells, pool workers, and store hits all call this, so a row's
+    bytes cannot depend on *where* the result came from.
+    """
+    return {
+        "app": app,
+        "config": name,
+        "core": core,
+        "condition": condition.value,
+        "seed": seed,
+        "ipc": result.ipc,
+        "speedup": result.speedup_over(base) if base else "",
+        "l1_miss_rate": result.l1_stats.miss_rate,
+        "fast_fraction": result.fast_fraction,
+        "extra_access_fraction": result.extra_access_fraction,
+        "energy_j": result.energy.total,
+        "energy_ratio": result.energy_over(base) if base else "",
+    }
+
+
 #: Per-worker-process memo of baseline SimResults, keyed by the full
 #: deterministic coordinates of the baseline run. L1Config is frozen
 #: (hashable), so the key is exact; simulations are seeded, so a memoized
@@ -184,6 +231,12 @@ def _baseline_result(app: str, core: str, condition: MemoryCondition,
     return _BASELINE_MEMO[key]
 
 
+def _store_meta(key: Dict[str, object],
+                n_accesses: int) -> Dict[str, object]:
+    """Human-readable provenance sidecar for a stored cell result."""
+    return {**key, "n_accesses": n_accesses}
+
+
 def _parallel_cell(app: str, name: str, cfg: L1Config, core: str,
                    condition: MemoryCondition, seed: int,
                    n_accesses: Optional[int],
@@ -193,7 +246,8 @@ def _parallel_cell(app: str, name: str, cfg: L1Config, core: str,
                    handle: Optional[TraceHandle] = None,
                    warm_dir: Optional[str] = None,
                    share_warm: bool = False,
-                   engine: str = "python") -> dict:
+                   engine: str = "python",
+                   store_root: Optional[str] = None) -> dict:
     """One sweep cell as a picklable, self-contained worker task.
 
     Runs inside a pool worker process. With a substrate ``handle`` the
@@ -204,6 +258,9 @@ def _parallel_cell(app: str, name: str, cfg: L1Config, core: str,
     with ``warm_dir`` — fetched from the cross-worker warm-state cache
     instead of re-simulated. ``share_warm`` marks the baseline-config
     cell itself, whose completed state is the one worth publishing.
+    With ``store_root`` the finished result is additionally published
+    to the persistent :class:`~repro.store.ResultStore` at that root,
+    so future ``--store`` sweeps fetch it instead of simulating.
     All of it is deterministic, so the row matches the serial closure
     in :func:`run_sweep` exactly — including under checkpointing,
     where ``checkpoint_path`` doubles as the resume source (a missing
@@ -211,9 +268,18 @@ def _parallel_cell(app: str, name: str, cfg: L1Config, core: str,
     """
     try:
         trace = attach(handle) if handle is not None else None
-        warm = warm_cache_for(warm_dir) if warm_dir is not None else None
+        if trace is None and store_root is not None:
+            # Publishing to the store needs the trace's content
+            # fingerprint; resolve the exact trace run_app would use
+            # (the worker-local shared cache) so the digest matches
+            # the parent's dedupe pre-pass.
+            from .experiment import SHARED_TRACES
+            trace = SHARED_TRACES.get(app, n_accesses, condition, seed)
+        warm = (warm_cache_for(warm_dir, store_root)
+                if warm_dir is not None else None)
         faulted = _faults.any_armed()
-        result = run_app(app, _system_for(core, cfg), condition=condition,
+        system = _system_for(core, cfg)
+        result = run_app(app, system, condition=condition,
                          n_accesses=n_accesses, seed=seed, cache=None,
                          checkpoint_every=checkpoint_every,
                          checkpoint_path=checkpoint_path,
@@ -227,7 +293,13 @@ def _parallel_cell(app: str, name: str, cfg: L1Config, core: str,
             # finished result seeds the cross-worker result cache so
             # sibling cells' normalization runs skip even the
             # state-restore cost.
-            warm.store_result(trace, _system_for(core, cfg), result)
+            warm.store_result(trace, system, result)
+        if store_root is not None and trace is not None and not faulted:
+            store = ResultStore(store_root)
+            store.store_result(
+                store.digest(trace, system), result,
+                meta=_store_meta(cell_key(app, name, core, condition,
+                                          seed), len(trace)))
         base = None
         if baseline_cfg is not None:
             base = _baseline_result(app, core, condition, seed,
@@ -235,20 +307,7 @@ def _parallel_cell(app: str, name: str, cfg: L1Config, core: str,
                                     trace=trace, warm=warm, engine=engine)
     except ReproError as exc:
         raise exc.with_context(app=app, config=name, seed=seed)
-    return {
-        "app": app,
-        "config": name,
-        "core": core,
-        "condition": condition.value,
-        "seed": seed,
-        "ipc": result.ipc,
-        "speedup": result.speedup_over(base) if base else "",
-        "l1_miss_rate": result.l1_stats.miss_rate,
-        "fast_fraction": result.fast_fraction,
-        "extra_access_fraction": result.extra_access_fraction,
-        "energy_j": result.energy.total,
-        "energy_ratio": result.energy_over(base) if base else "",
-    }
+    return _result_row(app, name, core, condition, seed, result, base)
 
 
 def _parallel_cells(spec: SweepSpec, n_accesses: Optional[int],
@@ -256,7 +315,8 @@ def _parallel_cells(spec: SweepSpec, n_accesses: Optional[int],
                     checkpoint_dir: Optional[Path] = None,
                     handles: Optional[Dict[tuple, TraceHandle]] = None,
                     warm_dir: Optional[str] = None,
-                    engine: str = "python"
+                    engine: str = "python",
+                    store_root: Optional[str] = None
                     ) -> List[Tuple[dict, partial]]:
     """The grid as (key, picklable task) pairs, in serial row order.
 
@@ -266,29 +326,79 @@ def _parallel_cells(spec: SweepSpec, n_accesses: Optional[int],
     points all cells at one cross-process warm-state directory; only
     baseline-config cells run *with* warm reuse for their own result
     (``share_warm``), every cell uses it for the normalization run.
+    ``store_root`` (a path string, picklable) makes each worker publish
+    its finished result to the persistent store at that root.
     """
     baseline_cfg = (spec.configs[spec.baseline]
                     if spec.baseline is not None else None)
     handles = handles or {}
     cells = []
-    for core in spec.cores:
-        for condition in spec.conditions:
-            for seed in spec.seeds:
-                for name, cfg in spec.configs.items():
-                    for app in spec.apps:
-                        key = cell_key(app, name, core, condition, seed)
-                        ckpt = (checkpoint_path_for(checkpoint_dir, key)
-                                if checkpoint_every else None)
-                        handle = handles.get(
-                            (app, condition.value, seed))
-                        task = partial(_parallel_cell, app, name, cfg,
-                                       core, condition, seed, n_accesses,
-                                       baseline_cfg, checkpoint_every,
-                                       ckpt, handle, warm_dir,
-                                       name == spec.baseline,
-                                       engine=engine)
-                        cells.append((key, task))
+    for key, app, name, cfg, core, condition, seed in grid_cells(spec):
+        ckpt = (checkpoint_path_for(checkpoint_dir, key)
+                if checkpoint_every else None)
+        handle = handles.get((app, condition.value, seed))
+        task = partial(_parallel_cell, app, name, cfg,
+                       core, condition, seed, n_accesses,
+                       baseline_cfg, checkpoint_every,
+                       ckpt, handle, warm_dir,
+                       name == spec.baseline,
+                       engine=engine, store_root=store_root)
+        cells.append((key, task))
     return cells
+
+
+def _store_prepass(spec: SweepSpec, n_accesses: Optional[int],
+                   traces: TraceCache, store: ResultStore,
+                   runner: ResilientRunner) -> Dict[int, dict]:
+    """Dedupe the grid against the store before any cell executes.
+
+    Returns ``{cell index: finished row}`` for every cell the store can
+    satisfy, in :func:`grid_cells` order. The rules:
+
+    * a **resume journal wins** — a cell the runner's journal already
+      marks ok is skipped here, so its journaled row replays verbatim
+      (the journal reflects what that campaign actually ran);
+    * a hit needs the cell's own result **and**, when the spec has a
+      ``baseline``, the stored baseline result for its (app, core,
+      condition, seed) group — the ratio columns are computed exactly
+      like an executed cell computes them, from the same two
+      deterministic results, so the row bytes match a cold run;
+    * anything missing or unreadable is a miss (the cell simulates).
+
+    Hits are accounted and journaled through
+    :meth:`ResilientRunner.record_hit`, so resumes, stats, and the
+    degraded-exit logic see them as completed cells.
+    """
+    hits: Dict[int, dict] = {}
+    base_memo: Dict[tuple, Optional[object]] = {}
+    base_cfg = (spec.configs[spec.baseline]
+                if spec.baseline is not None else None)
+    for i, (key, app, name, cfg, core, condition, seed) in \
+            enumerate(grid_cells(spec)):
+        if runner.completed_ok(key):
+            continue
+        trace = traces.get(app, n_accesses, condition, seed)
+        base = None
+        if base_cfg is not None and name != spec.baseline:
+            group = (app, core, condition.value, seed)
+            if group not in base_memo:
+                base_memo[group] = store.fetch_result(
+                    store.digest(trace, _system_for(core, base_cfg)))
+            base = base_memo[group]
+            if base is None:
+                # The ratio columns would need a baseline simulation
+                # anyway — let the cell run cold.
+                continue
+        result = store.fetch_result(
+            store.digest(trace, _system_for(core, cfg)))
+        if result is None:
+            continue
+        if name == spec.baseline:
+            base = result
+        hits[i] = runner.record_hit(
+            key, _result_row(app, name, core, condition, seed,
+                             result, base))
+    return hits
 
 
 def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
@@ -297,7 +407,9 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
               checkpoint_every: Optional[int] = None,
               substrate: Optional[bool] = None,
               warm_reuse: bool = True,
-              engine: str = "python") -> List[dict]:
+              engine: str = "python",
+              store: Optional[Union[ResultStore, str, Path]] = None
+              ) -> List[dict]:
     """Run the grid; returns one dict per combination, FIELDS keys.
 
     Cells execute through ``runner`` (a default, journal-less
@@ -343,10 +455,25 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
       an in-memory cache; parallel sweeps exchange snapshots through a
       temporary directory removed on exit.
 
+    With a ``store`` (a :class:`~repro.store.ResultStore` or a store
+    root path; CLI: ``sweep --store``), the grid is deduped against
+    the persistent content-addressed store before anything executes:
+    cells whose digest is already stored stream straight from disk
+    (journaled as ok via :meth:`ResilientRunner.record_hit`, counted
+    in ``stats.store_hits``), only the misses simulate, and every
+    completed cell is published back under its digest. The CSV is
+    byte-identical to a cold run — hits and executed cells build rows
+    through the same :func:`_result_row`. A resume journal takes
+    precedence over the store, and the store is silently disabled for
+    fault-injection campaigns (their results intentionally diverge and
+    must never enter — or be served from — the store).
+
     ``engine`` selects the replay implementation for every cell and
     baseline run (``"python"`` oracle or the byte-identical
     ``"kernel"`` array engine — see ``repro.sim.kernel``); because the
     kernel is oracle-equivalent, the CSV is identical either way.
+    Engine is deliberately *excluded* from the store digest for the
+    same reason.
     """
     traces = traces or TraceCache()
     runner = runner or ResilientRunner()
@@ -354,35 +481,43 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
         raise ConfigError(
             "checkpoint_every needs a runner constructed with "
             "checkpoint_dir= (the per-cell snapshot directory)")
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    if store is not None and (runner.faults is not None
+                              or _faults.any_armed()):
+        store = None
+    hits: Dict[int, dict] = {}
+    if store is not None:
+        hits = _store_prepass(spec, n_accesses, traces, store, runner)
     blank = {name: "" for name in FIELDS}
     if runner.jobs > 1:
         use_substrate = substrate if substrate is not None else True
-        store: Optional[TraceStore] = None
+        trace_store: Optional[TraceStore] = None
         warm_dir: Optional[str] = None
         try:
             handles: Dict[tuple, TraceHandle] = {}
             if use_substrate:
                 pending = set()
-                for core in spec.cores:
-                    for condition in spec.conditions:
-                        for seed in spec.seeds:
-                            for name in spec.configs:
-                                for app in spec.apps:
-                                    key = cell_key(app, name, core,
-                                                   condition, seed)
-                                    if not runner.completed_ok(key):
-                                        pending.add((app, condition, seed))
-                store = TraceStore()
+                for i, (key, app, _name, _cfg, _core, condition, seed) \
+                        in enumerate(grid_cells(spec)):
+                    if i not in hits and not runner.completed_ok(key):
+                        pending.add((app, condition, seed))
+                trace_store = TraceStore()
                 for app, condition, seed in sorted(
                         pending, key=lambda c: (c[0], c[1].value, c[2])):
                     trace = traces.get(app, n_accesses, condition, seed)
-                    handles[(app, condition.value, seed)] = store.publish(
-                        trace, key=(app, len(trace), condition.value, seed))
+                    handles[(app, condition.value, seed)] = \
+                        trace_store.publish(
+                            trace,
+                            key=(app, len(trace), condition.value, seed))
             if warm_reuse:
                 warm_dir = tempfile.mkdtemp(prefix="repro-warm-")
             cells = _parallel_cells(spec, n_accesses, checkpoint_every,
                                     runner.checkpoint_dir, handles=handles,
-                                    warm_dir=warm_dir, engine=engine)
+                                    warm_dir=warm_dir, engine=engine,
+                                    store_root=(str(store.root)
+                                                if store is not None
+                                                else None))
             # Baseline-first scheduling: submit every baseline-config
             # cell before any sibling, so by the time the siblings'
             # normalization runs look for the baseline result it is
@@ -390,88 +525,173 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
             # race the baseline cell and each re-simulates the baseline
             # themselves. The sort is stable (grid order within each
             # half) and the inverse permutation restores row order, so
-            # the CSV stays byte-identical to a serial run.
-            order = list(range(len(cells)))
+            # the CSV stays byte-identical to a serial run. Store hits
+            # never enter the pool; their finished rows merge back in
+            # by grid index.
+            order = [i for i in range(len(cells)) if i not in hits]
             if warm_dir is not None and spec.baseline is not None:
                 order.sort(key=lambda i:
                            cells[i][0]["config"] != spec.baseline)
             permuted = runner.run_cells([cells[i] for i in order])
             rows: List[dict] = [blank] * len(cells)
+            for i, row in hits.items():
+                rows[i] = {**blank, **row}
             for rank, i in enumerate(order):
                 rows[i] = {**blank, **permuted[rank]}
             return rows
         finally:
-            if store is not None:
-                store.close()
+            if trace_store is not None:
+                trace_store.close()
             if warm_dir is not None:
                 shutil.rmtree(warm_dir, ignore_errors=True)
-    warm = WarmStateCache() if warm_reuse else None
+    # Serial path. The warm cache is the process-wide ephemeral tier —
+    # repeated run_sweep calls in one process reuse each other's
+    # baselines (each call used to build a private cache, so the
+    # in-memory layer was never consulted across invocations). The
+    # persistent store attaches as its backing tier for the duration
+    # of this sweep only.
+    warm = ephemeral_warm_cache() if warm_reuse else None
+    prior_tier = warm.result_store if warm is not None else None
+    if warm is not None:
+        warm.result_store = store
     rows: List[dict] = []
-    for core in spec.cores:
-        for condition in spec.conditions:
-            for seed in spec.seeds:
-                baselines: Dict[str, object] = {}
+    try:
+        index = -1
+        for core in spec.cores:
+            for condition in spec.conditions:
+                for seed in spec.seeds:
+                    baselines: Dict[str, object] = {}
 
-                def baseline_for(app, core=core, condition=condition,
-                                 seed=seed, baselines=baselines):
-                    if spec.baseline is None:
-                        return None
-                    if app not in baselines:
-                        baselines[app] = run_app(
-                            app,
-                            _system_for(core, spec.configs[spec.baseline]),
-                            condition=condition, n_accesses=n_accesses,
-                            seed=seed, cache=traces, warm_state=warm,
-                            engine=engine)
-                    return baselines[app]
+                    def baseline_for(app, core=core, condition=condition,
+                                     seed=seed, baselines=baselines):
+                        if spec.baseline is None:
+                            return None
+                        if app not in baselines:
+                            result = run_app(
+                                app,
+                                _system_for(core,
+                                            spec.configs[spec.baseline]),
+                                condition=condition, n_accesses=n_accesses,
+                                seed=seed, cache=traces, warm_state=warm,
+                                engine=engine)
+                            if (store is not None
+                                    and not _faults.any_armed()):
+                                trace = traces.get(app, n_accesses,
+                                                   condition, seed)
+                                system = _system_for(
+                                    core, spec.configs[spec.baseline])
+                                store.store_result(
+                                    store.digest(trace, system), result,
+                                    meta=_store_meta(
+                                        cell_key(app, spec.baseline, core,
+                                                 condition, seed),
+                                        len(trace)))
+                            baselines[app] = result
+                        return baselines[app]
 
-                for name, cfg in spec.configs.items():
-                    for app in spec.apps:
-                        key = cell_key(app, name, core, condition, seed)
-                        ckpt = (checkpoint_path_for(runner.checkpoint_dir,
-                                                    key)
-                                if checkpoint_every else None)
+                    for name, cfg in spec.configs.items():
+                        for app in spec.apps:
+                            index += 1
+                            if index in hits:
+                                rows.append({**blank, **hits[index]})
+                                continue
+                            key = cell_key(app, name, core, condition,
+                                           seed)
+                            ckpt = (checkpoint_path_for(
+                                        runner.checkpoint_dir, key)
+                                    if checkpoint_every else None)
 
-                        def cell(app=app, name=name, cfg=cfg, core=core,
-                                 condition=condition, seed=seed,
-                                 baseline_for=baseline_for, ckpt=ckpt):
-                            try:
-                                result = run_app(
-                                    app, _system_for(core, cfg),
-                                    condition=condition,
-                                    n_accesses=n_accesses, seed=seed,
-                                    cache=traces,
-                                    checkpoint_every=checkpoint_every,
-                                    checkpoint_path=ckpt,
-                                    resume_checkpoint=ckpt,
-                                    warm_state=(warm
-                                                if name == spec.baseline
-                                                else None),
-                                    engine=engine)
-                                base = baseline_for(app)
-                            except ReproError as exc:
-                                raise exc.with_context(app=app, config=name,
-                                                       seed=seed)
-                            return {
-                                "app": app,
-                                "config": name,
-                                "core": core,
-                                "condition": condition.value,
-                                "seed": seed,
-                                "ipc": result.ipc,
-                                "speedup": (result.speedup_over(base)
-                                            if base else ""),
-                                "l1_miss_rate": result.l1_stats.miss_rate,
-                                "fast_fraction": result.fast_fraction,
-                                "extra_access_fraction":
-                                    result.extra_access_fraction,
-                                "energy_j": result.energy.total,
-                                "energy_ratio": (result.energy_over(base)
-                                                 if base else ""),
-                            }
+                            def cell(app=app, name=name, cfg=cfg,
+                                     core=core, condition=condition,
+                                     seed=seed, baseline_for=baseline_for,
+                                     ckpt=ckpt):
+                                try:
+                                    system = _system_for(core, cfg)
+                                    result = run_app(
+                                        app, system,
+                                        condition=condition,
+                                        n_accesses=n_accesses, seed=seed,
+                                        cache=traces,
+                                        checkpoint_every=checkpoint_every,
+                                        checkpoint_path=ckpt,
+                                        resume_checkpoint=ckpt,
+                                        warm_state=(warm
+                                                    if name ==
+                                                    spec.baseline
+                                                    else None),
+                                        engine=engine)
+                                    if (store is not None
+                                            and not _faults.any_armed()):
+                                        trace = traces.get(
+                                            app, n_accesses, condition,
+                                            seed)
+                                        store.store_result(
+                                            store.digest(trace, system),
+                                            result,
+                                            meta=_store_meta(
+                                                cell_key(app, name, core,
+                                                         condition, seed),
+                                                len(trace)))
+                                    base = baseline_for(app)
+                                except ReproError as exc:
+                                    raise exc.with_context(
+                                        app=app, config=name, seed=seed)
+                                return _result_row(app, name, core,
+                                                   condition, seed,
+                                                   result, base)
 
-                        rows.append({**blank, **runner.run_cell(key, cell)})
-    return rows
+                            rows.append(
+                                {**blank, **runner.run_cell(key, cell)})
+        return rows
+    finally:
+        if warm is not None:
+            warm.result_store = prior_tier
+
+
+def rows_from_store(spec: SweepSpec, n_accesses: Optional[int],
+                    store: ResultStore,
+                    traces: Optional[TraceCache] = None
+                    ) -> Tuple[List[dict], List[dict]]:
+    """Compose the grid's finished CSV rows purely from the store.
+
+    The read-only counterpart of a sweep: no cell executes. Returns
+    ``(rows, missing)`` — ``rows`` in :func:`grid_cells` order with the
+    same bytes a cold :func:`run_sweep` would produce (same
+    :func:`_result_row`, ``status="ok"``), and ``missing`` the cell
+    keys the store cannot satisfy yet (result absent, or the group's
+    baseline absent when the spec normalizes). ``rows`` is complete
+    only when ``missing`` is empty — the ``repro jobs result`` gate.
+    """
+    traces = traces or TraceCache()
+    blank = {name: "" for name in FIELDS}
+    base_cfg = (spec.configs[spec.baseline]
+                if spec.baseline is not None else None)
+    base_memo: Dict[tuple, Optional[object]] = {}
+    rows: List[dict] = []
+    missing: List[dict] = []
+    for key, app, name, cfg, core, condition, seed in grid_cells(spec):
+        trace = traces.get(app, n_accesses, condition, seed)
+        result = store.fetch_result(
+            store.digest(trace, _system_for(core, cfg)))
+        base = None
+        if base_cfg is not None:
+            if name == spec.baseline:
+                base = result
+            else:
+                group = (app, core, condition.value, seed)
+                if group not in base_memo:
+                    base_memo[group] = store.fetch_result(
+                        store.digest(trace, _system_for(core, base_cfg)))
+                base = base_memo[group]
+        if result is None or (base_cfg is not None and base is None):
+            missing.append(key)
+            rows.append(blank)
+            continue
+        rows.append({**blank,
+                     **_result_row(app, name, core, condition, seed,
+                                   result, base),
+                     "status": STATUS_OK, "error": ""})
+    return rows, missing
 
 
 def to_csv(rows: Iterable[dict], path: Union[str, Path]) -> Path:

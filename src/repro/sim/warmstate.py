@@ -32,11 +32,26 @@ Reuse rules (enforced by the driver, documented in
 * a damaged cache entry is a *miss*, never an error: warm state is an
   optimization, and verification failures fall back to simulating.
 
-The cache is two-level: an in-process dict of rendered snapshot text,
-plus an optional shared directory so ``--jobs`` workers (separate
-processes) exchange snapshots through the filesystem. Writes are
-atomic (temp + ``os.replace``), and concurrent writers racing on one
-key are benign — determinism means they write identical bytes.
+The cache is tiered (PR 8 folded it into the content-addressed store
+architecture — see ``docs/sweep-service.md``):
+
+1. an in-process **ephemeral tier**: an LRU-bounded dict of rendered
+   snapshot text and unpickled results. Serial sweeps share one
+   process-wide instance (:func:`ephemeral_warm_cache`), so repeated
+   ``run_sweep`` calls in the same process reuse each other's
+   baselines — previously each call built a private cache and the
+   layer was never consulted across invocations;
+2. an optional shared **directory tier** so ``--jobs`` workers
+   (separate processes) exchange snapshots through the filesystem —
+   the per-sweep tmpdir layer, unchanged;
+3. an optional persistent **store tier**
+   (:class:`~repro.store.ResultStore`): snapshots and results are also
+   published under their content digest, so *future* sweeps — any
+   process, any user of the store root — fetch instead of simulating.
+
+Writes are atomic (temp + ``os.replace``), and concurrent writers
+racing on one key are benign — determinism means they write identical
+bytes.
 
 On top of state snapshots the cache memoizes finished
 :class:`~repro.sim.results.SimResult` objects
@@ -56,6 +71,7 @@ import os
 import pickle
 import tempfile
 import zlib
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
@@ -67,6 +83,12 @@ from .checkpoint import render_checkpoint, trace_identity, \
     verify_checkpoint_text
 from .results import SimResult
 
+#: In-memory entries retained per cache (LRU). A snapshot text plus an
+#: unpickled result is a few hundred KiB at suite lengths; 64 covers a
+#: large multi-config sweep while bounding the process-wide ephemeral
+#: cache, which now lives for the whole process, not one sweep.
+DEFAULT_MEMORY_ENTRIES = 64
+
 
 class WarmStateCache:
     """Memoizes completed-run component state per (trace, system).
@@ -74,16 +96,32 @@ class WarmStateCache:
     With ``directory=None`` the cache is process-local (the serial
     sweep path). With a directory, snapshots are also published as
     files so sibling pool workers share them; the in-memory layer then
-    acts as a read cache over the directory.
+    acts as a read cache over the directory. With a ``store``
+    (:class:`~repro.store.ResultStore`), snapshots and results are
+    additionally published under their content digest, making them
+    visible to every future sweep over the same store root — the
+    persistent tier of the three-tier layout in the module docs.
     """
 
-    def __init__(self, directory: Optional[Union[str, Path]] = None):
+    def __init__(self, directory: Optional[Union[str, Path]] = None,
+                 store=None, max_entries: int = DEFAULT_MEMORY_ENTRIES):
         self.directory = Path(directory) if directory else None
-        self._memory: Dict[Tuple[str, str, int], str] = {}
-        self._results: Dict[Tuple[str, str, int], SimResult] = {}
+        self.result_store = store
+        self.max_entries = max_entries
+        self._memory: "OrderedDict[Tuple[str, str, int], str]" = \
+            OrderedDict()
+        self._results: "OrderedDict[Tuple[str, str, int], SimResult]" = \
+            OrderedDict()
         self.hits = 0
         self.misses = 0
         self.stores = 0
+
+    def _remember(self, layer: "OrderedDict", key, value) -> None:
+        """Insert into an in-memory layer, evicting LRU past the cap."""
+        layer[key] = value
+        layer.move_to_end(key)
+        while len(layer) > self.max_entries:
+            layer.popitem(last=False)
 
     def _key(self, trace, system) -> Tuple[str, str, int]:
         return (columns_for(trace).fingerprint, system.name, len(trace))
@@ -96,12 +134,12 @@ class WarmStateCache:
     def fetch(self, trace, system) -> Optional[Dict[str, Any]]:
         """The verified snapshot payload for this run, or ``None``.
 
-        Checks the in-memory layer, then the shared directory. The
-        text is verified exactly like a checkpoint file (schema,
-        digest, trace identity, system name) plus the completeness
-        marker ``position == len(trace)``; anything that fails
-        verification is treated as a miss — the caller simulates, it
-        never errors.
+        Checks the in-memory layer, then the shared directory, then
+        the persistent store tier. The text is verified exactly like a
+        checkpoint file (schema, digest, trace identity, system name)
+        plus the completeness marker ``position == len(trace)``;
+        anything that fails verification is treated as a miss — the
+        caller simulates, it never errors.
         """
         key = self._key(trace, system)
         text = self._memory.get(key)
@@ -111,22 +149,28 @@ class WarmStateCache:
                 text = path.read_text()
             except OSError:
                 text = None
-        if not text:
-            self.misses += 1
-            return None
-        try:
-            payload = verify_checkpoint_text(
-                text, source=f"warm state {key}", trace=trace,
-                system_name=system.name)
-        except CheckpointError:
-            self.misses += 1
-            return None
-        if payload.get("position") != len(trace):
-            self.misses += 1
-            return None
-        self._memory[key] = text
-        self.hits += 1
-        return payload
+        if text:
+            try:
+                payload = verify_checkpoint_text(
+                    text, source=f"warm state {key}", trace=trace,
+                    system_name=system.name)
+            except CheckpointError:
+                payload = None
+            if (payload is not None
+                    and payload.get("position") == len(trace)):
+                self._remember(self._memory, key, text)
+                self.hits += 1
+                return payload
+        if self.result_store is not None:
+            digest = self.result_store.digest(trace, system)
+            payload = self.result_store.fetch_state(digest, trace=trace,
+                                             system_name=system.name)
+            if (payload is not None
+                    and payload.get("position") == len(trace)):
+                self.hits += 1
+                return payload
+        self.misses += 1
+        return None
 
     def store(self, trace, system, state: Dict[str, Any]) -> None:
         """Publish a completed run's component state for siblings.
@@ -143,13 +187,16 @@ class WarmStateCache:
             state=state, position=len(trace), trace=trace,
             system_name=system.name,
             identity=trace_identity(trace))
-        self._memory[key] = text
+        self._remember(self._memory, key, text)
         self.stores += 1
         if self.directory is not None:
             try:
                 atomic_write_text(self._path(key), text, fsync=False)
             except OSError:  # pragma: no cover - best-effort publish
                 pass
+        if self.result_store is not None:
+            self.result_store.store_state(
+                self.result_store.digest(trace, system), text)
 
     def _result_path(self, key: Tuple[str, str, int]) -> Path:
         return self._path(key).with_suffix(".result.pkl")
@@ -173,10 +220,13 @@ class WarmStateCache:
                 result = None
             if not isinstance(result, SimResult):
                 result = None
+        if result is None and self.result_store is not None:
+            result = self.result_store.fetch_result(
+                self.result_store.digest(trace, system))
         if result is None:
             self.misses += 1
             return None
-        self._results[key] = result
+        self._remember(self._results, key, result)
         self.hits += 1
         return result
 
@@ -190,7 +240,7 @@ class WarmStateCache:
         key = self._key(trace, system)
         if key in self._results:
             return
-        self._results[key] = result
+        self._remember(self._results, key, result)
         self.stores += 1
         if self.directory is not None:
             path = self._result_path(key)
@@ -202,6 +252,9 @@ class WarmStateCache:
                 os.replace(tmp, path)
             except OSError:  # pragma: no cover - best-effort publish
                 pass
+        if self.result_store is not None:
+            self.result_store.store_result(
+                self.result_store.digest(trace, system), result)
 
     def clear(self) -> None:
         """Drop the in-memory layer (shared files are left alone)."""
@@ -212,13 +265,49 @@ class WarmStateCache:
 #: Per-process memo of directory-backed caches, so every cell a pool
 #: worker runs shares one in-memory layer (and therefore fetches a
 #: given snapshot text from disk at most once per process).
-_SHARED: Dict[str, WarmStateCache] = {}
+_SHARED: Dict[Tuple[str, Optional[str]], WarmStateCache] = {}
 
 
-def warm_cache_for(directory: Union[str, Path]) -> WarmStateCache:
-    """The process-wide :class:`WarmStateCache` over ``directory``."""
-    key = str(directory)
+def warm_cache_for(directory: Union[str, Path],
+                   store_root: Optional[Union[str, Path]] = None
+                   ) -> WarmStateCache:
+    """The process-wide :class:`WarmStateCache` over ``directory``.
+
+    With ``store_root``, the cache is additionally backed by the
+    persistent :class:`~repro.store.ResultStore` at that root — the
+    path pool workers take when the sweep runs with ``--store``, so
+    their completed baselines persist beyond the campaign.
+    """
+    key = (str(directory), str(store_root) if store_root else None)
     cache = _SHARED.get(key)
     if cache is None:
-        cache = _SHARED[key] = WarmStateCache(directory)
+        store = None
+        if store_root is not None:
+            from ..store import ResultStore
+            store = ResultStore(store_root)
+        cache = _SHARED[key] = WarmStateCache(directory, store=store)
     return cache
+
+
+#: The process-wide ephemeral cache serial sweeps share. Module-level
+#: so repeated ``run_sweep`` calls in one process warm each other.
+_EPHEMERAL: Optional[WarmStateCache] = None
+
+
+def ephemeral_warm_cache() -> WarmStateCache:
+    """The process-wide in-memory :class:`WarmStateCache`.
+
+    The serial sweep path used to build a *private* ``WarmStateCache``
+    per ``run_sweep`` call, so its in-memory layer was never consulted
+    across invocations in the same process — every new sweep
+    re-simulated baselines the previous one had already published.
+    Routing every serial sweep through this shared instance (the
+    store architecture's ephemeral tier) fixes that: the layer is
+    LRU-bounded (:data:`DEFAULT_MEMORY_ENTRIES`), and reuse stays safe
+    because entries are keyed by (trace content fingerprint, system
+    name, length) and verified like checkpoints on every fetch.
+    """
+    global _EPHEMERAL
+    if _EPHEMERAL is None:
+        _EPHEMERAL = WarmStateCache()
+    return _EPHEMERAL

@@ -1,0 +1,61 @@
+"""Content-addressed result store + async job front end for sweeps.
+
+Public surface of the sweep-as-a-service layer (operations manual:
+``docs/sweep-service.md``):
+
+* :class:`~repro.store.resultstore.ResultStore` — the persistent
+  content-addressed store of completed (trace, system) simulation
+  results and state snapshots, with canonical digests
+  (:func:`~repro.store.resultstore.cell_digest`), a versioned
+  atomic-write layout under ``REPRO_STORE_DIR``
+  (default ``~/.cache/repro-store``), corrupt-entry-as-miss reads, and
+  size-bounded LRU GC.
+* :mod:`repro.store.jobs` — the journal behind ``repro jobs
+  submit/status/run/result``: grids deduped against the store at
+  submission, in-flight cells shared between overlapping jobs through
+  advisory pending markers.
+
+Wired into :func:`repro.sim.sweep.run_sweep` via ``store=`` (CLI:
+``sweep --store``): hits stream straight from the store, only misses
+simulate, and the CSV stays byte-identical to a cold run.
+"""
+
+from .jobs import (
+    JOB_SCHEMA,
+    job_id_for,
+    job_status,
+    jobs_dir,
+    list_jobs,
+    load_job,
+    pending_dir,
+    release_claims,
+    submit_job,
+)
+from .resultstore import (
+    DEFAULT_CAP_BYTES,
+    LAYOUT,
+    SCHEMA,
+    ResultStore,
+    cell_digest,
+    default_store_root,
+    system_payload,
+)
+
+__all__ = [
+    "DEFAULT_CAP_BYTES",
+    "JOB_SCHEMA",
+    "LAYOUT",
+    "SCHEMA",
+    "ResultStore",
+    "cell_digest",
+    "default_store_root",
+    "job_id_for",
+    "job_status",
+    "jobs_dir",
+    "list_jobs",
+    "load_job",
+    "pending_dir",
+    "release_claims",
+    "submit_job",
+    "system_payload",
+]

@@ -1,0 +1,216 @@
+"""Async job journal over the content-addressed result store.
+
+The sweep-as-a-service front end: a **job** is a submitted design-space
+grid, journaled under the store root so it survives the submitting
+process. The lifecycle is deliberately simple and daemon-free —
+each step is one CLI invocation (``repro jobs submit/status/run/
+result``), so the "service" is the filesystem plus determinism:
+
+* **submit** dedupes the grid against the store (cells whose digest is
+  already present need no work), claims the remaining digests with
+  advisory *pending markers*, and journals the job. Submission is
+  idempotent and content-addressed: the job id is a digest of the grid
+  payload, so resubmitting the same grid lands on the same job — and
+  two *overlapping* grids share in-flight cells through the markers
+  (the second submitter sees the first's claim and counts the cell as
+  in flight instead of claiming it again).
+* **run** executes one job's missing cells through
+  :func:`repro.sim.sweep.run_sweep` with the store attached — every
+  completed cell lands in the store (visible to every other job
+  immediately), and claims for finished digests are released.
+* **status** recomputes each job's done / in-flight / pending tallies
+  live against the store — there is no state to go stale.
+* **result** composes the job's CSV purely from store entries
+  (byte-identical to a cold ``sweep`` run of the same grid) once every
+  cell is present.
+
+Pending markers are *advisory*: they carry dedupe information between
+cooperating submitters, never correctness. A crashed runner leaves its
+markers behind, but a later ``run`` of any overlapping job simply
+simulates the cell anyway (store writes are idempotent) and releases
+the claim on completion. Markers whose owning job record no longer
+exists are treated as unclaimed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..ioutil import atomic_write_text
+from ..stateutil import canonical_json
+from .resultstore import ResultStore
+
+#: Job-record schema tag.
+JOB_SCHEMA = "repro-job-1"
+
+
+def jobs_dir(store: ResultStore) -> Path:
+    """The job-record directory under the store root."""
+    return store.root / "jobs"
+
+
+def pending_dir(store: ResultStore) -> Path:
+    """The advisory in-flight-claim directory under the store root."""
+    return store.root / "pending"
+
+
+def job_id_for(grid: Dict[str, Any]) -> str:
+    """Deterministic job id: short digest of the canonical grid payload.
+
+    Content-addressed like the cells themselves, so submitting an
+    identical grid twice is the *same* job — the second submit is a
+    no-op refresh, not a duplicate.
+    """
+    return hashlib.sha256(
+        canonical_json(grid).encode("utf-8")).hexdigest()[:12]
+
+
+def _marker_path(store: ResultStore, digest: str) -> Path:
+    return pending_dir(store) / f"{digest}.json"
+
+
+def _marker_owner(store: ResultStore, digest: str) -> Optional[str]:
+    """The job id holding ``digest``'s claim, or ``None``.
+
+    A marker whose owning job record has been deleted is stale and
+    reads as unclaimed.
+    """
+    try:
+        payload = json.loads(_marker_path(store, digest).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    owner = payload.get("job") if isinstance(payload, dict) else None
+    if not owner:
+        return None
+    if not (jobs_dir(store) / f"{owner}.json").exists():
+        return None
+    return str(owner)
+
+
+def submit_job(store: ResultStore, grid: Dict[str, Any],
+               cells: Sequence[Tuple[Dict[str, Any], str]]
+               ) -> Dict[str, Any]:
+    """Journal a grid as a job; dedupe and claim its missing cells.
+
+    ``grid`` is the JSON-safe grid description (the CLI's sweep flags),
+    ``cells`` the grid's ``(cell key, content digest)`` pairs in row
+    order. Returns the submission summary: job ``id`` plus ``done``
+    (already in the store), ``shared`` (claimed by another live job),
+    and ``claimed`` (newly ours) tallies. Idempotent — resubmitting
+    refreshes the same job record.
+    """
+    job_id = job_id_for(grid)
+    jobs_dir(store).mkdir(parents=True, exist_ok=True)
+    pending_dir(store).mkdir(parents=True, exist_ok=True)
+    done = shared = claimed = 0
+    for key, digest in cells:
+        if store.contains(digest):
+            done += 1
+            continue
+        owner = _marker_owner(store, digest)
+        if owner is not None and owner != job_id:
+            shared += 1
+            continue
+        atomic_write_text(
+            _marker_path(store, digest),
+            canonical_json({"schema": JOB_SCHEMA, "job": job_id,
+                            "digest": digest}) + "\n",
+            fsync=False)
+        claimed += 1
+    record = {"schema": JOB_SCHEMA, "id": job_id, "grid": grid,
+              "cells": [{"key": key, "digest": digest}
+                        for key, digest in cells]}
+    atomic_write_text(jobs_dir(store) / f"{job_id}.json",
+                      json.dumps(record, sort_keys=True, indent=1) + "\n")
+    return {"id": job_id, "cells": len(cells), "done": done,
+            "shared": shared, "claimed": claimed}
+
+
+def load_job(store: ResultStore, job_id: str) -> Dict[str, Any]:
+    """Read one job record; unknown or corrupt records raise
+    :class:`~repro.errors.ConfigError` (a typo'd id must not silently
+    become an empty job)."""
+    path = jobs_dir(store) / f"{job_id}.json"
+    try:
+        record = json.loads(path.read_text())
+    except OSError:
+        raise ConfigError(
+            f"unknown job {job_id!r}: no record at {path} "
+            "(see `repro jobs status` for known jobs)") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"job record {path} is corrupt: {exc}") from None
+    if (not isinstance(record, dict)
+            or record.get("schema") != JOB_SCHEMA
+            or "grid" not in record or "cells" not in record):
+        raise ConfigError(
+            f"job record {path} has unexpected schema "
+            f"{record.get('schema') if isinstance(record, dict) else None!r}")
+    return record
+
+
+def list_jobs(store: ResultStore) -> List[Dict[str, Any]]:
+    """Every readable job record under the store, sorted by id."""
+    root = jobs_dir(store)
+    records = []
+    if not root.is_dir():
+        return records
+    for path in sorted(root.glob("*.json")):
+        try:
+            records.append(load_job(store, path.stem))
+        except ConfigError:
+            continue
+    return records
+
+
+def job_status(store: ResultStore, record: Dict[str, Any]
+               ) -> Dict[str, int]:
+    """Live tallies for one job: done / in-flight elsewhere / pending.
+
+    Recomputed against the store on every call — ``done`` counts cells
+    whose digest has a result entry, ``inflight`` cells claimed by a
+    *different* live job, ``pending`` the rest (ours to run).
+    """
+    job_id = record["id"]
+    done = inflight = pending = 0
+    for cell in record["cells"]:
+        digest = cell["digest"]
+        if store.contains(digest):
+            done += 1
+            continue
+        owner = _marker_owner(store, digest)
+        if owner is not None and owner != job_id:
+            inflight += 1
+        else:
+            pending += 1
+    return {"total": len(record["cells"]), "done": done,
+            "inflight": inflight, "pending": pending}
+
+
+def release_claims(store: ResultStore, record: Dict[str, Any]) -> int:
+    """Drop this job's pending markers for digests now in the store.
+
+    Called after a ``run`` so finished cells stop reading as in-flight
+    to overlapping jobs. Returns the number of markers released.
+    """
+    released = 0
+    job_id = record["id"]
+    for cell in record["cells"]:
+        digest = cell["digest"]
+        if not store.contains(digest):
+            continue
+        marker = _marker_path(store, digest)
+        try:
+            payload = json.loads(marker.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(payload, dict) and payload.get("job") == job_id:
+            try:
+                marker.unlink()
+                released += 1
+            except OSError:
+                pass
+    return released

@@ -30,6 +30,7 @@ class DramStats:
 
     @property
     def row_hit_rate(self) -> float:
+        """Row-buffer hits over all DRAM accesses."""
         total = self.row_hits + self.row_misses
         return self.row_hits / total if total else 0.0
 

@@ -47,15 +47,18 @@ class EnergyBreakdown:
 
     @property
     def dynamic(self) -> float:
+        """Dynamic (per-access) energy across caches and predictors, J."""
         return (self.l1_dynamic + self.l2_dynamic + self.llc_dynamic
                 + self.predictor_dynamic)
 
     @property
     def static(self) -> float:
+        """Static (leakage) energy across the cache hierarchy, J."""
         return self.l1_static + self.l2_static + self.llc_static
 
     @property
     def total(self) -> float:
+        """Dynamic plus static energy, J (the energy_j CSV column)."""
         return self.dynamic + self.static
 
 

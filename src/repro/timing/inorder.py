@@ -32,6 +32,7 @@ class CoreStats:
 
     @property
     def ipc(self) -> float:
+        """Instructions per cycle (0.0 before any cycle elapsed)."""
         return self.instructions / self.cycles if self.cycles else 0.0
 
 

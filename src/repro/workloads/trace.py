@@ -76,6 +76,7 @@ class Trace:
 
     @property
     def total_instructions(self) -> int:
+        """Instructions the trace represents: memory ops plus gaps."""
         return int(self.inst_gap.sum()) + len(self.va)
 
     def columns(self):

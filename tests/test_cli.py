@@ -227,3 +227,71 @@ def test_bench_interval_point(tmp_path, capsys):
     assert rc == 0
     import json
     assert json.loads(out.read_text())["interval"] == 500
+
+
+SWEEP_GRID = ["--apps", "gamess", "--geometries", "baseline,32K_2w",
+              "--baseline", "baseline", "--accesses", "1000"]
+
+
+def test_sweep_store_second_run_simulates_nothing(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    cold = tmp_path / "cold.csv"
+    warm = tmp_path / "warm.csv"
+    assert main(["sweep", *SWEEP_GRID, "--out", str(cold),
+                 "--store", store]) == 0
+    err = capsys.readouterr().err
+    assert "2 simulated" in err
+    assert main(["sweep", *SWEEP_GRID, "--out", str(warm),
+                 "--store", store]) == 0
+    err = capsys.readouterr().err
+    assert "2 of 2 cells from store, 0 simulated" in err
+    assert "2 store hits" in err
+    assert warm.read_bytes() == cold.read_bytes()
+
+
+def test_sweep_store_default_root_honors_env(tmp_path, monkeypatch,
+                                             capsys):
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "root"))
+    assert main(["sweep", *SWEEP_GRID, "--out",
+                 str(tmp_path / "s.csv"), "--store"]) == 0
+    assert (tmp_path / "root" / "v1").is_dir()
+
+
+def test_jobs_submit_run_result_round_trip(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    sweep_csv = tmp_path / "sweep.csv"
+    assert main(["sweep", *SWEEP_GRID, "--out", str(sweep_csv),
+                 "--store", store]) == 0
+    capsys.readouterr()
+    assert main(["jobs", "submit", *SWEEP_GRID, "--store", store]) == 0
+    out = capsys.readouterr().out
+    job_id = out.split()[1].rstrip(":")
+    assert "2 already in store" in out
+    assert main(["jobs", "status", "--store", store]) == 0
+    assert "2/2 done" in capsys.readouterr().out
+    job_csv = tmp_path / "job.csv"
+    assert main(["jobs", "result", job_id, "--out", str(job_csv),
+                 "--store", store]) == 0
+    assert job_csv.read_bytes() == sweep_csv.read_bytes()
+
+
+def test_jobs_run_executes_missing_cells(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["jobs", "submit", *SWEEP_GRID, "--store", store]) == 0
+    job_id = capsys.readouterr().out.split()[1].rstrip(":")
+    job_csv = tmp_path / "job.csv"
+    # result before run: the cells are not in the store yet.
+    assert main(["jobs", "result", job_id, "--out", str(job_csv),
+                 "--store", store]) == 1
+    assert "not in the store yet" in capsys.readouterr().err
+    assert main(["jobs", "run", job_id, "--store", store]) == 0
+    assert "2 simulated" in capsys.readouterr().err
+    assert main(["jobs", "result", job_id, "--out", str(job_csv),
+                 "--store", store]) == 0
+    assert job_csv.exists()
+
+
+def test_jobs_unknown_id_exits_1(tmp_path, capsys):
+    assert main(["jobs", "status", "feedfacecafe",
+                 "--store", str(tmp_path)]) == 1
+    assert "unknown job" in capsys.readouterr().err

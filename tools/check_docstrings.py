@@ -9,7 +9,10 @@ Public means: importable under ``repro``, name not starting with
 ``_``, and defined in this package (re-exports are checked where they
 are defined, not at every import site). Dataclass-generated and
 inherited members are exempt — they document themselves through the
-owning class.
+owning class. Class members are collected from the class ``__dict__``
+so that properties, classmethods, and staticmethods are checked too —
+``inspect.getmembers`` + ``isfunction`` used to skip them, which let
+undocumented descriptors slip into the public surface.
 
 Usage::
 
@@ -50,6 +53,31 @@ def _own_members(obj, module_name: str):
         yield name, member
 
 
+def _own_class_members(cls, module_name: str):
+    """Public methods *and descriptors* a class defines itself.
+
+    Reads the class ``__dict__`` (not ``inspect.getmembers``), so
+    properties, classmethods, and staticmethods are yielded alongside
+    plain methods — each as the underlying function whose docstring
+    counts.
+    """
+    for name, raw in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(raw, property):
+            func = raw.fget
+        elif isinstance(raw, (classmethod, staticmethod)):
+            func = raw.__func__
+        elif inspect.isfunction(raw):
+            func = raw
+        else:
+            continue   # data attribute, nested class handled elsewhere
+        if func is None or getattr(func, "__module__",
+                                   None) != module_name:
+            continue
+        yield name, func
+
+
 def check(package_name: str = "repro", verbose: bool = False):
     """Return a list of ``module.qualname`` strings missing docstrings."""
     missing = []
@@ -63,7 +91,8 @@ def check(package_name: str = "repro", verbose: bool = False):
             elif verbose:
                 print(f"ok      {qualname}")
             if inspect.isclass(member):
-                for mname, method in _own_members(member, module.__name__):
+                for mname, method in _own_class_members(member,
+                                                        module.__name__):
                     mqual = f"{qualname}.{mname}"
                     if not inspect.getdoc(method):
                         missing.append(mqual)
