@@ -41,6 +41,7 @@ from functools import partial
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from . import faultfs
 from .core.indexing import IndexingScheme, SiptVariant
 from .errors import ConfigError, ReproError
 from .sim import (
@@ -98,12 +99,26 @@ def _l1(args, geometry: Optional[str] = None):
 
 
 def _runner(args) -> ResilientRunner:
-    """Build the resilience runner from the common CLI flags."""
+    """Build the resilience runner from the common CLI flags.
+
+    One ``--inject`` flag serves two fault families: I/O kinds
+    (``io_error``/``estale``/``enospc``/``slow_io``/``torn_write``)
+    arm a process-local :class:`~repro.faultfs.FaultPlan` at the
+    :mod:`repro.ioutil` choke point, the rest build the simulation
+    :class:`FaultInjector`. The partition matters — ``run_sweep``
+    disables the result store whenever *simulation* faults are armed
+    (injected divergence must not be published), but I/O-fault
+    campaigns exist precisely to exercise the store paths.
+    """
     journal = getattr(args, "journal", None)
     resume = getattr(args, "resume", None)
     faults = None
     if getattr(args, "inject", None):
-        faults = FaultInjector(args.inject)
+        io_specs, sim_specs = faultfs.split_specs(args.inject)
+        if io_specs:
+            faultfs.install_plan(faultfs.FaultPlan(io_specs))
+        if sim_specs:
+            faults = FaultInjector(sim_specs)
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
     if checkpoint_dir:
         Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
@@ -302,17 +317,31 @@ def _store_report(store, runner) -> None:
     """Print the store dedupe summary + run GC (the ``[store]`` line).
 
     The line is stable and grep-able — CI's store-smoke job asserts
-    ``, 0 simulated`` on a fully warm rerun.
+    ``, 0 simulated`` on a fully warm rerun, and io-fault-smoke greps
+    ``degraded`` from the failure line printed here. Write failures
+    (the store surfaces the caller explicitly asked for and did not
+    get) fold into ``RunnerStats.artifact_failures`` so ``--strict``
+    sees them; read failures stay informational — a failed read is a
+    miss that already re-simulated exactly.
     """
     hits = runner.stats.store_hits
     simulated = runner.stats.total - hits
     print(f"[store] {hits} of {runner.stats.total} cells from store, "
           f"{simulated} simulated (root {store.root})", file=sys.stderr)
+    if store.degraded:
+        print(f"[store] degraded: {store.read_failures} read failures "
+              f"(served as misses), {store.write_failures} write "
+              "failures (entries unpublished); results are unaffected",
+              file=sys.stderr)
+        runner.stats.artifact_failures += store.write_failures
     removed, freed = store.gc()
     if removed:
         print(f"[store] gc evicted {removed} entries "
               f"({freed / 1024:.0f} KiB) to honor the size cap",
               file=sys.stderr)
+    if store.tmp_swept:
+        print(f"[store] gc swept {store.tmp_swept} orphaned tmp "
+              "file(s)", file=sys.stderr)
 
 
 def cmd_sweep(args) -> int:
@@ -345,8 +374,8 @@ def cmd_jobs(args) -> int:
     entries — byte-identical to a cold ``sweep`` of the same grid.
     """
     from .sim.sweep import _system_for, grid_cells, rows_from_store
-    from .store import (job_status, list_jobs, load_job, release_claims,
-                        submit_job)
+    from .store import (LeaseRenewer, job_status, list_jobs, load_job,
+                        release_claims, submit_job)
     store = _store_from(args)
     if args.action == "submit":
         spec = _sweep_spec(args)
@@ -374,29 +403,86 @@ def cmd_jobs(args) -> int:
             return 0
         for record in records:
             st = job_status(store, record)
-            print(f"job {record['id']}: {st['done']}/{st['total']} done, "
-                  f"{st['inflight']} in flight elsewhere, "
-                  f"{st['pending']} pending")
+            line = (f"job {record['id']}: {st['done']}/{st['total']} "
+                    f"done, {st['inflight']} in flight elsewhere, "
+                    f"{st['pending']} pending")
+            if st["stuck"]:
+                line += (f", {st['stuck']} stuck claims (finished but "
+                         "unreleased — `repro store doctor --repair`)")
+            print(line)
         return 0
     record = load_job(store, args.id)
     spec, accesses = _spec_from_grid(record["grid"])
     if args.action == "run":
         runner = _runner(args)
-        run_sweep(spec, n_accesses=accesses, traces=TraceCache(),
-                  runner=runner, engine=args.engine, store=store)
-        release_claims(store, record)
+        # The renewer stamps this process as the claims' owner up
+        # front (stealing any expired leases) and re-stamps them every
+        # TTL/3 while cells execute, so a SIGKILL here wedges
+        # overlapping jobs for at most one lease TTL.
+        with LeaseRenewer(store, record):
+            run_sweep(spec, n_accesses=accesses, traces=TraceCache(),
+                      runner=runner, engine=args.engine, store=store)
+        released, failed = release_claims(store, record)
+        if failed:
+            print(f"[jobs] {failed} finished claim marker(s) could not "
+                  "be released (root read-only?); they will read as "
+                  "stuck in `jobs status` until `store doctor --repair`",
+                  file=sys.stderr)
         _store_report(store, runner)
         return _finish(args, runner)
     # action == "result"
     rows, missing = rows_from_store(spec, accesses, store)
-    if missing:
+    if missing and not args.partial:
         print(f"job {record['id']}: {len(missing)} of {len(rows)} cells "
-              "not in the store yet — `repro jobs run` it (or wait for "
-              "the job holding them)", file=sys.stderr)
+              "not in the store yet — `repro jobs run` it, wait for "
+              "the job holding them, or stream what exists with "
+              "--partial", file=sys.stderr)
         return 1
+    if missing:
+        done_rows = [row for row in rows if row.get("status")]
+        path = to_csv(done_rows, args.out)
+        print(f"wrote {len(done_rows)} of {len(rows)} rows to {path} "
+              f"(partial: {len(missing)} cells still pending)")
+        return 0
     release_claims(store, record)
     path = to_csv(rows, args.out)
     print(f"wrote {len(rows)} rows to {path}")
+    return 0
+
+
+def cmd_store(args) -> int:
+    """`repro store`: maintenance over the content-addressed store.
+
+    ``doctor`` scans the root for damage a long shared life
+    accumulates — ``*.tmp`` litter, corrupt/truncated entries, expired
+    leases, dangling/stuck markers, unloadable job records — and
+    prints one line per finding. With ``--repair`` it also applies
+    each finding's fix (all removals; safe because the store is
+    idempotent and content-addressed). Exits 0 when the root ends the
+    command clean, 1 when findings remain (reported but unrepaired, or
+    a repair failed) so cron/CI can alert on a dirty root.
+    """
+    from .store import diagnose, repair, summarize
+    store = _store_from(args)
+    findings = diagnose(store)
+    if not findings:
+        print(f"store {store.root}: clean")
+        return 0
+    for finding in findings:
+        print(f"[{finding.category}] {finding.path}: {finding.detail}")
+    tally = ", ".join(f"{count} {category}" for category, count
+                      in sorted(summarize(findings).items()))
+    if not args.repair:
+        print(f"store {store.root}: {len(findings)} finding(s) "
+              f"({tally}); rerun with --repair to fix")
+        return 1
+    fixed, failed = repair(store, findings)
+    print(f"store {store.root}: repaired {fixed} of {len(findings)} "
+          f"finding(s) ({tally})")
+    if failed:
+        print(f"store {store.root}: {failed} repair(s) failed — is "
+              "the root writable?", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -703,7 +789,11 @@ def build_parser() -> argparse.ArgumentParser:
                  "(mid-simulation), transient@N[xK], stall@N:SECONDS, "
                  "corrupt_trace@N[xK], poison_predictor@N[xK], "
                  "kill_worker@N[xK] (repeatable; data-level kinds work "
-                 "with --jobs; kill_worker requires --jobs >= 2)")
+                 "with --jobs; kill_worker requires --jobs >= 2); I/O "
+                 "kinds — io_error@N[xK], estale@N[xK], enospc@N[xK], "
+                 "slow_io@N:SECONDS, torn_write@N — hit the N-th "
+                 "guarded filesystem operation instead of a grid cell "
+                 "(see docs/robustness.md)")
 
     def checkpointing(p, single_cell=False):
         group = p.add_argument_group("checkpointing")
@@ -804,7 +894,25 @@ def build_parser() -> argparse.ArgumentParser:
     result_p.add_argument("id", help="job id from `jobs submit`")
     result_p.add_argument("--out", default="job.csv",
                           help="CSV output path")
+    result_p.add_argument(
+        "--partial", action="store_true",
+        help="stream the rows whose cells are finished (exit 0) "
+             "instead of refusing with exit 1 while any cell is "
+             "missing; rerun without --partial for the full CSV")
     store_flag(result_p, default="")
+
+    store_p = sub.add_parser(
+        "store", help="maintain the content-addressed result store")
+    store_sub = store_p.add_subparsers(dest="action", required=True)
+    doctor_p = store_sub.add_parser(
+        "doctor", help="scan the store root for tmp litter, corrupt "
+                       "entries, expired leases, and dangling job "
+                       "state; fix with --repair")
+    doctor_p.add_argument(
+        "--repair", action="store_true",
+        help="apply each finding's fix (removals only; safe because "
+             "the store is content-addressed and idempotent)")
+    store_flag(doctor_p, default="")
 
     mix_p = sub.add_parser("mix", help="simulate a Table III quad-core mix")
     common(mix_p)
@@ -930,6 +1038,7 @@ COMMANDS = {
     "suite": cmd_suite,
     "sweep": cmd_sweep,
     "jobs": cmd_jobs,
+    "store": cmd_store,
     "mix": cmd_mix,
     "bench": cmd_bench,
     "designspace": cmd_designspace,
@@ -955,6 +1064,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("interrupted (journal, if any, is preserved — rerun with "
               "--resume)", file=sys.stderr)
         return 130
+    finally:
+        # An --inject fault plan is process-global; disarm it so
+        # repeated main() calls in one process (tests) stay isolated.
+        faultfs.clear_plan()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,251 @@
+"""Deterministic filesystem fault injection (the I/O chaos layer).
+
+PRs 1/4/6 made the *compute* path crash-tolerant with a replayable
+fault catalogue (:mod:`repro.sim.faults`); the content-addressed store
+made the *filesystem* a load-bearing dependency — journals, pending
+markers, checkpoints, warm snapshots, and store entries are now the
+coordination fabric for sweeps, and on a networked (rsync/NFS) store
+root EIO, ENOSPC, stale handles, and torn client writes are everyday
+events. This module applies the same injection discipline to I/O:
+a **fault plan** is a replayable list of specs, armed process-locally
+and consumed at a single choke point in :mod:`repro.ioutil`, so a
+chaos campaign is exactly reproducible.
+
+Spec grammar (CLI ``--inject``, same shape as the simulation faults)::
+
+    io_error@N[xK]    guarded I/O op N raises EIO for its first K
+                      attempts (default 1), then succeeds; K=0 means
+                      every attempt — a *persistent* failure. EIO is
+                      retryable, so K <= the retry budget exercises
+                      bounded backoff and K above it exercises the
+                      degradation policy.
+    estale@N[xK]      like io_error but ESTALE (an NFS stale handle;
+                      also retryable — a reopen usually resolves it).
+    enospc@N[xK]      op N raises ENOSPC (disk full). Not retryable:
+                      the first faulted attempt fails the op outright.
+    slow_io@N:S       op N sleeps S seconds before executing (latency
+                      tail, not failure).
+    torn_write@N      atomic write op N leaves *half* the payload
+                      directly at the destination and reports success —
+                      the tear an NFS client cache can produce despite
+                      rename atomicity. Readers must treat the damage
+                      as a miss.
+
+``N`` counts **logical guarded operations** in execution order, one
+per top-level read/write that passes through the :mod:`repro.ioutil`
+choke point (retries of one operation share its ordinal — the ``xK``
+count addresses attempts, exactly like ``transient@NxK`` addresses a
+cell's attempts). The plan is process-local by construction, like the
+armed-fault channel in :mod:`repro.sim.faults`: it injects faults into
+the I/O of the process that armed it.
+
+Degradation policy the injected faults prove out (enforced by
+``tests/test_faultfs.py`` and the ``io-fault-smoke`` CI job):
+
+* transient I/O errors are retried with bounded exponential backoff
+  (:func:`repro.ioutil.read_text` and friends);
+* a *persistent* artifact-write failure degrades that surface —
+  storeless, journalless, checkpointless — with **one** stderr warning
+  and never fails the sweep unless ``--strict``;
+* reads always treat damage as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import errno
+import re
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from .errors import ConfigError
+
+#: Fault kinds this module owns (the CLI routes these out of the
+#: simulation-fault injector and into a :class:`FaultPlan`).
+IO_KINDS = ("io_error", "estale", "enospc", "slow_io", "torn_write")
+
+#: errno raised per failing kind.
+_ERRNO = {"io_error": errno.EIO, "estale": errno.ESTALE,
+          "enospc": errno.ENOSPC}
+
+_IO_FAULT_RE = re.compile(
+    r"^(?P<kind>[a-z_]+)@(?P<op>\d+)(?:x(?P<count>\d+))?"
+    r"(?::(?P<seconds>[0-9.]+))?$")
+
+
+@dataclass(frozen=True)
+class IoFaultSpec:
+    """One injected I/O fault, bound to a guarded-operation ordinal."""
+
+    kind: str             # see IO_KINDS
+    at_op: int            # 0-based guarded-operation ordinal
+    count: int = 1        # failing attempts before success (0 = every)
+    seconds: float = 0.0  # slow_io: sleep before the operation
+
+    def __post_init__(self):
+        """Validate the spec at construction (typos fail fast)."""
+        if self.kind not in IO_KINDS:
+            raise ConfigError(f"unknown I/O fault kind {self.kind!r}; "
+                              f"choose from {list(IO_KINDS)}")
+        if self.at_op < 0:
+            raise ConfigError("I/O fault op ordinal must be >= 0")
+        if self.kind == "slow_io" and self.seconds <= 0:
+            raise ConfigError("slow_io needs a positive duration, "
+                              "e.g. slow_io@1:0.5")
+
+    def applies(self, attempt: int) -> bool:
+        """Whether this spec fires on attempt ``attempt`` of its op."""
+        return self.count == 0 or attempt < self.count
+
+
+def is_io_fault(text: str) -> bool:
+    """Whether a ``--inject`` spec names an I/O fault kind.
+
+    Used by the CLI to partition one ``--inject`` list between the
+    simulation-fault injector and the filesystem fault plan; the kind
+    prefix (before ``@``) decides, so malformed specs still reach the
+    parser that owns their kind and produce its error message.
+    """
+    return text.strip().split("@", 1)[0] in IO_KINDS
+
+
+def parse_io_fault(text: str) -> IoFaultSpec:
+    """Parse one compact I/O fault spec (see the module docstring)."""
+    match = _IO_FAULT_RE.match(text.strip())
+    if not match:
+        raise ConfigError(
+            f"bad I/O fault spec {text!r}; expected forms: "
+            "io_error@N[xK], estale@N[xK], enospc@N[xK], "
+            "slow_io@N:SECONDS, torn_write@N")
+    kind = match.group("kind")
+    if kind not in IO_KINDS:
+        raise ConfigError(
+            f"bad I/O fault spec {text!r}; unknown kind {kind!r} "
+            f"(choose from {list(IO_KINDS)})")
+    return IoFaultSpec(kind=kind, at_op=int(match.group("op")),
+                       count=int(match.group("count") or 1),
+                       seconds=float(match.group("seconds") or 0.0))
+
+
+class OpTicket:
+    """One guarded operation's handle into the armed fault plan.
+
+    Issued by :meth:`FaultPlan.begin`; the choke point calls
+    :meth:`attempt` before every attempt of the operation (the first
+    try and each retry), and the ticket applies whatever the plan has
+    scheduled for its ordinal.
+    """
+
+    def __init__(self, plan: "FaultPlan", ordinal: int, op: str,
+                 specs: Sequence[IoFaultSpec]):
+        self.plan = plan
+        self.ordinal = ordinal
+        self.op = op
+        self.specs = specs
+
+    def attempt(self, attempt: int) -> Optional[str]:
+        """Apply armed faults for attempt ``attempt`` of this op.
+
+        Raises :class:`OSError` for the failing kinds, sleeps for
+        ``slow_io``, and returns ``"torn"`` when the plan wants this
+        (write) operation torn instead of atomic. Returns ``None``
+        when nothing fires.
+        """
+        outcome = None
+        for spec in self.specs:
+            if not spec.applies(attempt):
+                continue
+            self.plan.fired.append((spec.kind, self.ordinal, attempt,
+                                    self.op))
+            if spec.kind == "slow_io":
+                self.plan._sleep(spec.seconds)
+            elif spec.kind == "torn_write":
+                outcome = "torn"
+            else:
+                raise OSError(
+                    _ERRNO[spec.kind],
+                    f"injected {spec.kind} at I/O op {self.ordinal} "
+                    f"({self.op}), attempt {attempt}")
+        return outcome
+
+
+class FaultPlan:
+    """A replayable schedule of I/O faults over guarded operations.
+
+    Operations are numbered in execution order as they reach the
+    :mod:`repro.ioutil` choke point; which fault fires is a pure
+    function of (ordinal, attempt), so replaying a run replays its
+    faults — the same determinism contract as
+    :class:`repro.sim.faults.FaultInjector`. ``fired`` logs every
+    application as ``(kind, ordinal, attempt, op)`` for assertions.
+    """
+
+    def __init__(self, specs: Iterable[Any] = (),
+                 sleep: Callable[[float], None] = time.sleep):
+        self.specs: List[IoFaultSpec] = [
+            s if isinstance(s, IoFaultSpec) else parse_io_fault(s)
+            for s in specs]
+        self.ops = 0
+        self.fired: List[Tuple[str, int, int, str]] = []
+        self._sleep = sleep
+
+    def begin(self, op: str, path: str = "") -> OpTicket:
+        """Open the next guarded operation; returns its ticket.
+
+        ``op`` is a short label (``"read-text"``, ``"atomic-write"``,
+        ``"journal-append"``, ...) recorded in ``fired`` so tests can
+        assert *what* a given ordinal was; ``path`` is accepted for
+        symmetry/debugging but does not participate in matching —
+        ordinals alone key the plan, keeping specs replayable without
+        knowing absolute paths.
+        """
+        ordinal = self.ops
+        self.ops += 1
+        matched = tuple(s for s in self.specs if s.at_op == ordinal)
+        return OpTicket(self, ordinal, op, matched)
+
+
+# ---------------------------------------------------------------------
+# Process-local armed plan
+# ---------------------------------------------------------------------
+# Mirrors the armed-fault channel in repro.sim.faults: a module global,
+# process-local by construction, consulted by the ioutil choke point
+# behind a single `is None` check so the unarmed hot path costs one
+# attribute load.
+
+_PLAN: Optional[FaultPlan] = None
+
+
+def install_plan(plan: Optional[FaultPlan]) -> None:
+    """Arm ``plan`` for this process's guarded I/O (``None`` disarms)."""
+    global _PLAN
+    _PLAN = plan
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The armed :class:`FaultPlan`, or ``None`` (the common case)."""
+    return _PLAN
+
+
+def clear_plan() -> None:
+    """Disarm any active plan (test isolation)."""
+    install_plan(None)
+
+
+def split_specs(texts: Iterable[str]) -> Tuple[List[str], List[str]]:
+    """Partition ``--inject`` specs into (I/O specs, simulation specs).
+
+    The CLI accepts both families through one flag; I/O kinds arm a
+    :class:`FaultPlan` at the ioutil choke point while the rest build
+    the :class:`~repro.sim.faults.FaultInjector`. Keeping the families
+    separate matters: ``run_sweep`` disables the result store whenever
+    *simulation* faults are armed (injected divergence must not enter
+    the store), but I/O faults only perturb the filesystem — their
+    whole point is to hit the store paths, so they must not trip that
+    gate.
+    """
+    io_specs: List[str] = []
+    sim_specs: List[str] = []
+    for text in texts:
+        (io_specs if is_io_fault(text) else sim_specs).append(text)
+    return io_specs, sim_specs

@@ -51,10 +51,12 @@ from __future__ import annotations
 import hashlib
 import json
 import re
+import sys
 import zlib
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from .. import ioutil
 from ..errors import CheckpointError
 from ..ioutil import atomic_write_text
 from ..stateutil import canonical_json as _canonical
@@ -158,9 +160,13 @@ def load_checkpoint(path: Union[str, Path], *, trace=None,
     digest (over the body line's raw bytes), and — when
     ``trace``/``system_name`` are given — the trace identity and
     system name must all match, else
-    :class:`~repro.errors.CheckpointError` is raised. A missing file is
-    *not* an error (the caller simply starts fresh), because that is
-    exactly the state a never-before-run cell is in.
+    :class:`~repro.errors.CheckpointError` is raised: *content* that
+    fails verification could silently resume the wrong simulation, so
+    it can never degrade. A missing file is *not* an error (the caller
+    simply starts fresh), because that is exactly the state a
+    never-before-run cell is in — and an *unreadable* file (I/O error
+    after the choke point's transient retries) degrades the same way,
+    with one stderr warning: starting fresh only costs recomputation.
 
     Returns the parsed body dict (``position``, ``system``, ``trace``,
     ``sampler``, ``state``).
@@ -169,9 +175,13 @@ def load_checkpoint(path: Union[str, Path], *, trace=None,
     if not path.exists():
         return None
     try:
-        text = path.read_text()
+        text = ioutil.read_text(path)
+    except FileNotFoundError:
+        return None
     except OSError as exc:
-        raise CheckpointError(f"checkpoint {path} is unreadable: {exc}")
+        print(f"[checkpoint] {path} unreadable ({exc}); degraded: "
+              "starting fresh", file=sys.stderr)
+        return None
     if not text:
         # The one artifact an unsynced rename can leave after a power
         # loss: a zero-length file. Indistinguishable from "no snapshot
@@ -271,10 +281,17 @@ def write_heartbeat(path: Union[str, Path], position: int) -> None:
     unparseable as "no progress observed" — so the worst possible
     outcome of a torn write is one missed beat, which the watchdog
     absorbs by design. Checkpoints, whose loss *does* matter, keep the
-    atomic path.
+    atomic path. Beats are best-effort end to end: an I/O failure
+    (real or injected through the :func:`repro.ioutil.io_guard` hook)
+    is silently dropped — the watchdog reads a missed beat as "no
+    progress observed" and stays conservative.
     """
-    with open(path, "w") as handle:
-        handle.write(_canonical({"position": position}))
+    try:
+        ioutil.io_guard("heartbeat", path)
+        with open(path, "w") as handle:
+            handle.write(_canonical({"position": position}))
+    except OSError:
+        pass
 
 
 def read_heartbeat(path: Union[str, Path]) -> Optional[Dict[str, Any]]:

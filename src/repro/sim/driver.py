@@ -20,6 +20,7 @@ a shared LLC/DRAM, recycling shorter traces until the longest completes
 
 from __future__ import annotations
 
+import sys
 import threading
 from itertools import islice
 from pathlib import Path
@@ -441,14 +442,27 @@ def _replay_checkpointed(ctx: _CoreContext, interval: Optional[int],
     writer_errors: List[BaseException] = []
 
     def _join_writer() -> None:
-        nonlocal writer
+        nonlocal writer, checkpoint_every
         if writer is not None:
             writer.join()
             writer = None
-        if writer_errors:
-            raise CheckpointError(
-                f"checkpoint write to {checkpoint_path} failed: "
-                f"{writer_errors.pop()}")
+        while writer_errors:
+            exc = writer_errors.pop()
+            if not isinstance(exc, OSError):
+                # Not an I/O failure — a bug in the render/write path
+                # must stay loud, not degrade.
+                raise CheckpointError(
+                    f"checkpoint write to {checkpoint_path} failed: "
+                    f"{exc}")
+            if checkpoint_every:
+                # Persistent I/O failure (the atomic write already
+                # retried transients): degrade this cell to
+                # checkpointless with one warning. The simulation is
+                # unaffected — it just loses mid-trace resumability.
+                checkpoint_every = None
+                print(f"[checkpoint] write to {checkpoint_path} "
+                      f"failed ({exc}); degraded: continuing without "
+                      "checkpoints", file=sys.stderr)
 
     def _write_snapshot(text: str) -> None:
         try:

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import ioutil
 from ..errors import CellTimeout, ConfigError, ReproError, TransientError
 from .checkpoint import (
     checkpoint_path_for,
@@ -100,14 +101,22 @@ class RunnerStats:
     #: Cells satisfied from the content-addressed result store
     #: (counted inside ``ok``; they never executed).
     store_hits: int = 0
+    #: Persistent artifact-write failures absorbed by degradation
+    #: (journal appends gone journalless, store publications gone
+    #: read-only). The results themselves stay correct; under
+    #: ``--strict`` a nonzero tally still exits 2 because the caller
+    #: asked for those artifacts and did not get them.
+    artifact_failures: int = 0
 
     @property
     def degraded(self) -> bool:
-        """Whether any cell finished as something other than ``ok``
-        (error, timeout, resumable, or crashed) — the condition
-        ``--strict`` turns into exit code 2."""
+        """Whether the run degraded anywhere: a cell finished as
+        something other than ``ok`` (error, timeout, resumable, or
+        crashed) or a requested artifact could not be written — the
+        condition ``--strict`` turns into exit code 2."""
         return (self.errors > 0 or self.timeouts > 0
-                or self.resumable > 0 or self.crashed > 0)
+                or self.resumable > 0 or self.crashed > 0
+                or self.artifact_failures > 0)
 
     def summary(self) -> str:
         """One-line human-readable tally for the CLI epilogue."""
@@ -123,6 +132,8 @@ class RunnerStats:
         if self.worker_restarts or self.rescheduled:
             text += (f", {self.worker_restarts} worker restarts, "
                      f"{self.rescheduled} rescheduled")
+        if self.artifact_failures:
+            text += f", {self.artifact_failures} artifact failures"
         return text
 
 
@@ -140,7 +151,7 @@ def load_journal(path: Union[str, Path]) -> Dict[str, dict]:
     """
     records: Dict[str, dict] = {}
     path = Path(path)
-    lines = path.read_text().splitlines()
+    lines = ioutil.read_text(path).splitlines()
     last = max((i for i, text in enumerate(lines) if text.strip()),
                default=-1)
     for i, line in enumerate(lines):
@@ -253,10 +264,21 @@ class ResilientRunner:
         self._handle = None
         self._ordinal = 0  # execution order of non-resumed cells
         self._completed: Dict[str, dict] = {}
+        self._journal_disabled = False
         self._resume_path = Path(resume_from) if resume_from else None
         if self._resume_path:
             if self._resume_path.exists():
-                self._completed = load_journal(self._resume_path)
+                try:
+                    self._completed = load_journal(self._resume_path)
+                except OSError as exc:
+                    # Interior *corruption* still raises ConfigError
+                    # above (refusing to resume from a damaged journal
+                    # is load_journal's contract), but a journal that
+                    # cannot be *read at all* degrades to a fresh
+                    # start: rerunning cells is always safe.
+                    print(f"[resilience] resume journal "
+                          f"{self._resume_path} unreadable ({exc}); "
+                          "degraded: starting fresh", file=sys.stderr)
             else:
                 # Starting fresh is the right recovery, but a typo'd
                 # path must not silently rerun an entire campaign.
@@ -283,13 +305,28 @@ class ResilientRunner:
 
     def _record(self, key: Dict[str, Any], status: str,
                 row: Dict[str, Any]) -> None:
-        if self.journal_path is None:
+        if self.journal_path is None or self._journal_disabled:
             return
-        if self._handle is None:
-            self._handle = self.journal_path.open("a")
-        json.dump({"key": key, "status": status, "row": row}, self._handle)
-        self._handle.write("\n")
-        self._handle.flush()
+        try:
+            # The guard raises *before* any bytes leave this process,
+            # so injected transient faults retry safely; a real append
+            # failure below degrades immediately instead of retrying —
+            # re-appending after a partial write could corrupt the
+            # journal interior, which load_journal rejects outright.
+            ioutil.io_guard("journal-append", self.journal_path)
+            if self._handle is None:
+                self._handle = self.journal_path.open("a")
+            json.dump({"key": key, "status": status, "row": row},
+                      self._handle)
+            self._handle.write("\n")
+            self._handle.flush()
+        except OSError as exc:
+            self._journal_disabled = True
+            self.stats.artifact_failures += 1
+            print(f"[resilience] journal append to {self.journal_path} "
+                  f"failed ({exc}); degraded to journalless — cells "
+                  "from this run will rerun on --resume",
+                  file=sys.stderr)
 
     def close(self) -> None:
         """Flush and close the journal; sweep stale heartbeat files.

@@ -483,6 +483,11 @@ def run_sweep(spec: SweepSpec, n_accesses: Optional[int] = None,
             "checkpoint_dir= (the per-cell snapshot directory)")
     if store is not None and not isinstance(store, ResultStore):
         store = ResultStore(store)
+    # Only *simulation* faults disarm the store — their injected
+    # divergence must never be published under a clean cell's digest.
+    # Filesystem faults (repro.faultfs, armed separately at the
+    # ioutil choke point) deliberately leave the store attached:
+    # exercising its degradation paths is their entire purpose.
     if store is not None and (runner.faults is not None
                               or _faults.any_armed()):
         store = None

@@ -67,16 +67,15 @@ own trust domain.
 
 from __future__ import annotations
 
-import os
 import pickle
-import tempfile
 import zlib
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
 from ..errors import CheckpointError
-from ..ioutil import atomic_write_text
+from ..ioutil import atomic_write_bytes, atomic_write_text, read_bytes, \
+    read_text
 from ..stateutil import canonical_json
 from ..workloads.substrate import columns_for
 from .checkpoint import render_checkpoint, trace_identity, \
@@ -115,6 +114,12 @@ class WarmStateCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Directory-tier publishes that failed with an I/O error.
+        #: Counted silently: warm state is purely an optimization, so
+        #: a failed publish costs recomputation, never correctness —
+        #: but the tally keeps a read-only tmpdir observable in tests
+        #: instead of an invisible ``pragma: no cover`` branch.
+        self.publish_failures = 0
 
     def _remember(self, layer: "OrderedDict", key, value) -> None:
         """Insert into an in-memory layer, evicting LRU past the cap."""
@@ -146,7 +151,7 @@ class WarmStateCache:
         if text is None and self.directory is not None:
             path = self._path(key)
             try:
-                text = path.read_text()
+                text = read_text(path)
             except OSError:
                 text = None
         if text:
@@ -192,8 +197,8 @@ class WarmStateCache:
         if self.directory is not None:
             try:
                 atomic_write_text(self._path(key), text, fsync=False)
-            except OSError:  # pragma: no cover - best-effort publish
-                pass
+            except OSError:
+                self.publish_failures += 1
         if self.result_store is not None:
             self.result_store.store_state(
                 self.result_store.digest(trace, system), text)
@@ -213,8 +218,7 @@ class WarmStateCache:
         result = self._results.get(key)
         if result is None and self.directory is not None:
             try:
-                with open(self._result_path(key), "rb") as handle:
-                    result = pickle.load(handle)
+                result = pickle.loads(read_bytes(self._result_path(key)))
             except (OSError, pickle.UnpicklingError, EOFError,
                     AttributeError, ImportError):
                 result = None
@@ -233,9 +237,12 @@ class WarmStateCache:
     def store_result(self, trace, system, result: SimResult) -> None:
         """Publish a finished result for this run's siblings.
 
-        File writes are atomic (temp + ``os.replace``) so a reader can
-        never observe a torn pickle; racing writers produce identical
-        bytes by determinism.
+        File writes are atomic (temp + ``os.replace`` via
+        :func:`repro.ioutil.atomic_write_bytes` — whose temp files
+        carry the ``.tmp`` suffix the store's litter sweep and doctor
+        recognize, unlike the suffix-less ``mkstemp`` this method used
+        to inline) so a reader can never observe a torn pickle; racing
+        writers produce identical bytes by determinism.
         """
         key = self._key(trace, system)
         if key in self._results:
@@ -243,15 +250,11 @@ class WarmStateCache:
         self._remember(self._results, key, result)
         self.stores += 1
         if self.directory is not None:
-            path = self._result_path(key)
             try:
-                fd, tmp = tempfile.mkstemp(dir=str(path.parent),
-                                           prefix=path.name + ".")
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(result, handle)
-                os.replace(tmp, path)
-            except OSError:  # pragma: no cover - best-effort publish
-                pass
+                atomic_write_bytes(self._result_path(key),
+                                   pickle.dumps(result), fsync=False)
+            except OSError:
+                self.publish_failures += 1
         if self.result_store is not None:
             self.result_store.store_result(
                 self.result_store.digest(trace, system), result)

@@ -13,28 +13,45 @@ Public surface of the sweep-as-a-service layer (operations manual:
 * :mod:`repro.store.jobs` — the journal behind ``repro jobs
   submit/status/run/result``: grids deduped against the store at
   submission, in-flight cells shared between overlapping jobs through
-  advisory pending markers.
+  lease-stamped pending markers (owner pid + host, TTL renewed by
+  :class:`~repro.store.jobs.LeaseRenewer` while a run executes, dead
+  owners expire and are stolen).
+* :mod:`repro.store.doctor` — the ``repro store doctor`` scan/repair
+  pass for tmp litter, corrupt entries, expired leases, and dangling
+  job state.
 
 Wired into :func:`repro.sim.sweep.run_sweep` via ``store=`` (CLI:
 ``sweep --store``): hits stream straight from the store, only misses
 simulate, and the CSV stays byte-identical to a cold run.
 """
 
+from .doctor import (
+    CATEGORIES,
+    Finding,
+    diagnose,
+    repair,
+    summarize,
+)
 from .jobs import (
+    DEFAULT_LEASE_TTL_S,
     JOB_SCHEMA,
+    LeaseRenewer,
     job_id_for,
     job_status,
     jobs_dir,
+    lease_ttl,
     list_jobs,
     load_job,
     pending_dir,
     release_claims,
+    renew_leases,
     submit_job,
 )
 from .resultstore import (
     DEFAULT_CAP_BYTES,
     LAYOUT,
     SCHEMA,
+    TMP_MAX_AGE_S,
     ResultStore,
     cell_digest,
     default_store_root,
@@ -42,20 +59,30 @@ from .resultstore import (
 )
 
 __all__ = [
+    "CATEGORIES",
     "DEFAULT_CAP_BYTES",
+    "DEFAULT_LEASE_TTL_S",
+    "Finding",
     "JOB_SCHEMA",
     "LAYOUT",
+    "LeaseRenewer",
     "SCHEMA",
     "ResultStore",
+    "TMP_MAX_AGE_S",
     "cell_digest",
     "default_store_root",
+    "diagnose",
     "job_id_for",
     "job_status",
     "jobs_dir",
+    "lease_ttl",
     "list_jobs",
     "load_job",
     "pending_dir",
     "release_claims",
+    "renew_leases",
+    "repair",
     "submit_job",
+    "summarize",
     "system_payload",
 ]

@@ -24,28 +24,73 @@ result``), so the "service" is the filesystem plus determinism:
   (byte-identical to a cold ``sweep`` run of the same grid) once every
   cell is present.
 
-Pending markers are *advisory*: they carry dedupe information between
-cooperating submitters, never correctness. A crashed runner leaves its
-markers behind, but a later ``run`` of any overlapping job simply
-simulates the cell anyway (store writes are idempotent) and releases
-the claim on completion. Markers whose owning job record no longer
-exists are treated as unclaimed.
+Pending markers are *advisory leases*: they carry dedupe information
+between cooperating submitters, never correctness. Each marker is
+stamped with its owner (pid + host) and an expiry deadline; ``jobs
+run`` renews its claims from a background :class:`LeaseRenewer` on the
+watchdog-heartbeat cadence (every TTL/3), so a live owner's markers
+never lapse while a SIGKILLed owner's markers expire after
+:func:`lease_ttl` seconds and overlapping submissions **steal** them.
+That makes shared (rsync/NFS) store roots safe: a dead owner wedges
+nothing for longer than one TTL, and stealing is harmless because
+store writes are idempotent — the worst case is one redundant
+simulation. Markers whose owning job record no longer exists, whose
+lease has expired, or that predate the lease schema are all treated as
+unclaimed.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import socket
+import threading
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
-from ..ioutil import atomic_write_text
+from ..ioutil import atomic_write_text, read_text
 from ..stateutil import canonical_json
 from .resultstore import ResultStore
 
 #: Job-record schema tag.
 JOB_SCHEMA = "repro-job-1"
+
+#: Default pending-marker lease TTL (seconds). Long enough that one
+#: slow cell plus scheduler noise cannot lapse a live owner's claim
+#: between renewals (which come every TTL/3), short enough that a dead
+#: owner stops wedging overlapping jobs within minutes.
+DEFAULT_LEASE_TTL_S = 600.0
+
+
+def lease_ttl() -> float:
+    """The pending-marker lease TTL: ``REPRO_LEASE_TTL`` or default."""
+    raw = os.environ.get("REPRO_LEASE_TTL")
+    if raw is None:
+        return DEFAULT_LEASE_TTL_S
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(
+            "environment variable REPRO_LEASE_TTL must be a number of "
+            f"seconds, got {raw!r}") from None
+    if value <= 0:
+        raise ConfigError(
+            f"environment variable REPRO_LEASE_TTL must be > 0, "
+            f"got {value}")
+    return value
+
+
+def _now() -> float:
+    """Lease clock (module-level so tests can advance time)."""
+    return time.time()
+
+
+def _owner_stamp() -> Dict[str, Any]:
+    """This process's owner identity for a lease stamp."""
+    return {"pid": os.getpid(), "host": socket.gethostname()}
 
 
 def jobs_dir(store: ResultStore) -> Path:
@@ -73,37 +118,71 @@ def _marker_path(store: ResultStore, digest: str) -> Path:
     return pending_dir(store) / f"{digest}.json"
 
 
-def _marker_owner(store: ResultStore, digest: str) -> Optional[str]:
-    """The job id holding ``digest``'s claim, or ``None``.
+def _marker_payload(store: ResultStore,
+                    digest: str) -> Optional[Dict[str, Any]]:
+    """The raw marker dict for ``digest``, or ``None`` when unreadable.
 
-    A marker whose owning job record has been deleted is stale and
-    reads as unclaimed.
+    Damage (missing, corrupt, injected I/O failure) is a miss — an
+    unreadable marker reads as unclaimed, which only risks one
+    redundant simulation, never a wedge.
     """
     try:
-        payload = json.loads(_marker_path(store, digest).read_text())
+        payload = json.loads(read_text(_marker_path(store, digest)))
     except (OSError, json.JSONDecodeError):
         return None
-    owner = payload.get("job") if isinstance(payload, dict) else None
+    return payload if isinstance(payload, dict) else None
+
+
+def _marker_owner(store: ResultStore, digest: str) -> Optional[str]:
+    """The job id holding a *live lease* on ``digest``, or ``None``.
+
+    A marker reads as unclaimed when any of these hold: it is missing
+    or unreadable; its owning job record has been deleted; it carries
+    no ``expires`` deadline (pre-lease schema); or its lease has
+    expired — the dead-owner case that lets overlapping submissions
+    steal the claim.
+    """
+    payload = _marker_payload(store, digest)
+    if payload is None:
+        return None
+    owner = payload.get("job")
     if not owner:
         return None
     if not (jobs_dir(store) / f"{owner}.json").exists():
         return None
+    expires = payload.get("expires")
+    if not isinstance(expires, (int, float)) or expires <= _now():
+        return None
     return str(owner)
 
 
+def _stamp_claim(store: ResultStore, job_id: str, digest: str,
+                 ttl: float) -> None:
+    """Write ``digest``'s pending marker with a fresh lease stamp."""
+    atomic_write_text(
+        _marker_path(store, digest),
+        canonical_json({"schema": JOB_SCHEMA, "job": job_id,
+                        "digest": digest, "owner": _owner_stamp(),
+                        "expires": _now() + ttl}) + "\n",
+        fsync=False)
+
+
 def submit_job(store: ResultStore, grid: Dict[str, Any],
-               cells: Sequence[Tuple[Dict[str, Any], str]]
-               ) -> Dict[str, Any]:
+               cells: Sequence[Tuple[Dict[str, Any], str]],
+               ttl: Optional[float] = None) -> Dict[str, Any]:
     """Journal a grid as a job; dedupe and claim its missing cells.
 
     ``grid`` is the JSON-safe grid description (the CLI's sweep flags),
     ``cells`` the grid's ``(cell key, content digest)`` pairs in row
     order. Returns the submission summary: job ``id`` plus ``done``
-    (already in the store), ``shared`` (claimed by another live job),
-    and ``claimed`` (newly ours) tallies. Idempotent — resubmitting
-    refreshes the same job record.
+    (already in the store), ``shared`` (leased by another live job),
+    and ``claimed`` (newly ours — including claims *stolen* from
+    expired leases) tallies. Idempotent — resubmitting refreshes the
+    same job record and re-stamps its leases. ``ttl`` overrides
+    :func:`lease_ttl` (tests).
     """
     job_id = job_id_for(grid)
+    ttl = lease_ttl() if ttl is None else ttl
     jobs_dir(store).mkdir(parents=True, exist_ok=True)
     pending_dir(store).mkdir(parents=True, exist_ok=True)
     done = shared = claimed = 0
@@ -115,11 +194,7 @@ def submit_job(store: ResultStore, grid: Dict[str, Any],
         if owner is not None and owner != job_id:
             shared += 1
             continue
-        atomic_write_text(
-            _marker_path(store, digest),
-            canonical_json({"schema": JOB_SCHEMA, "job": job_id,
-                            "digest": digest}) + "\n",
-            fsync=False)
+        _stamp_claim(store, job_id, digest, ttl)
         claimed += 1
     record = {"schema": JOB_SCHEMA, "id": job_id, "grid": grid,
               "cells": [{"key": key, "digest": digest}
@@ -136,7 +211,7 @@ def load_job(store: ResultStore, job_id: str) -> Dict[str, Any]:
     become an empty job)."""
     path = jobs_dir(store) / f"{job_id}.json"
     try:
-        record = json.loads(path.read_text())
+        record = json.loads(read_text(path))
     except OSError:
         raise ConfigError(
             f"unknown job {job_id!r}: no record at {path} "
@@ -168,18 +243,23 @@ def list_jobs(store: ResultStore) -> List[Dict[str, Any]]:
 
 def job_status(store: ResultStore, record: Dict[str, Any]
                ) -> Dict[str, int]:
-    """Live tallies for one job: done / in-flight elsewhere / pending.
+    """Live tallies for one job: done / in-flight / pending / stuck.
 
     Recomputed against the store on every call — ``done`` counts cells
-    whose digest has a result entry, ``inflight`` cells claimed by a
+    whose digest has a result entry, ``inflight`` cells leased by a
     *different* live job, ``pending`` the rest (ours to run).
+    ``stuck`` counts finished cells whose pending marker still lingers
+    — the signature of a failed :func:`release_claims` unlink (e.g. a
+    root gone read-only), which used to be silently invisible.
     """
     job_id = record["id"]
-    done = inflight = pending = 0
+    done = inflight = pending = stuck = 0
     for cell in record["cells"]:
         digest = cell["digest"]
         if store.contains(digest):
             done += 1
+            if _marker_path(store, digest).exists():
+                stuck += 1
             continue
         owner = _marker_owner(store, digest)
         if owner is not None and owner != job_id:
@@ -187,30 +267,113 @@ def job_status(store: ResultStore, record: Dict[str, Any]
         else:
             pending += 1
     return {"total": len(record["cells"]), "done": done,
-            "inflight": inflight, "pending": pending}
+            "inflight": inflight, "pending": pending, "stuck": stuck}
 
 
-def release_claims(store: ResultStore, record: Dict[str, Any]) -> int:
+def renew_leases(store: ResultStore, record: Dict[str, Any],
+                 ttl: Optional[float] = None) -> int:
+    """Re-stamp this job's live claims with a fresh owner + deadline.
+
+    Called by ``jobs run`` at startup (the runner may be a different
+    process — even host — than the submitter) and periodically from
+    :class:`LeaseRenewer` while cells execute. Only markers this job
+    owns and that still lack a store entry are renewed; returns the
+    number re-stamped. Failures are silent — a renewal that cannot be
+    written just lets the lease age toward expiry, which is the
+    degradation the lease protocol is designed to absorb.
+    """
+    job_id = record["id"]
+    ttl = lease_ttl() if ttl is None else ttl
+    renewed = 0
+    for cell in record["cells"]:
+        digest = cell["digest"]
+        if store.contains(digest):
+            continue
+        payload = _marker_payload(store, digest)
+        if payload is None or payload.get("job") != job_id:
+            continue
+        try:
+            _stamp_claim(store, job_id, digest, ttl)
+        except OSError:
+            continue
+        renewed += 1
+    return renewed
+
+
+class LeaseRenewer:
+    """Background lease heartbeat for one running job.
+
+    A daemon thread that calls :func:`renew_leases` every ``ttl / 3``
+    seconds — the same duty cycle the watchdog heartbeat uses, so a
+    live owner always renews at least twice before its lease can
+    lapse. Use as a context manager around the ``run_sweep`` call::
+
+        with LeaseRenewer(store, record):
+            run_sweep(...)
+
+    Stops (and joins) on exit; exceptions inside the renewal loop are
+    swallowed — lease renewal is best-effort by design.
+    """
+
+    def __init__(self, store: ResultStore, record: Dict[str, Any],
+                 ttl: Optional[float] = None):
+        self.store = store
+        self.record = record
+        self.ttl = lease_ttl() if ttl is None else ttl
+        self.interval = self.ttl / 3.0
+        self.renewals = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def _loop(self) -> None:
+        """Renew until stopped; never let an error kill the runner."""
+        while not self._stop.wait(self.interval):
+            try:
+                self.renewals += renew_leases(self.store, self.record,
+                                              self.ttl)
+            except Exception:
+                continue
+
+    def __enter__(self) -> "LeaseRenewer":
+        """Stamp leases now, then start the renewal thread."""
+        renew_leases(self.store, self.record, self.ttl)
+        self._thread = threading.Thread(target=self._loop,
+                                        name="lease-renewer",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop the renewal thread (joined with a short timeout)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+
+def release_claims(store: ResultStore,
+                   record: Dict[str, Any]) -> Tuple[int, int]:
     """Drop this job's pending markers for digests now in the store.
 
     Called after a ``run`` so finished cells stop reading as in-flight
-    to overlapping jobs. Returns the number of markers released.
+    to overlapping jobs. Returns ``(released, failed)`` — ``failed``
+    counts markers that should have been removed but could not be
+    (unlink error, e.g. the shared root went read-only). A nonzero
+    ``failed`` is surfaced by ``jobs status`` as ``stuck`` cells
+    instead of being silently swallowed.
     """
-    released = 0
+    released = failed = 0
     job_id = record["id"]
     for cell in record["cells"]:
         digest = cell["digest"]
         if not store.contains(digest):
             continue
         marker = _marker_path(store, digest)
-        try:
-            payload = json.loads(marker.read_text())
-        except (OSError, json.JSONDecodeError):
+        payload = _marker_payload(store, digest)
+        if payload is None or payload.get("job") != job_id:
             continue
-        if isinstance(payload, dict) and payload.get("job") == job_id:
-            try:
-                marker.unlink()
-                released += 1
-            except OSError:
-                pass
-    return released
+        try:
+            marker.unlink()
+            released += 1
+        except OSError:
+            failed += 1
+    return released, failed

@@ -84,13 +84,16 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import sys
+import time
 from dataclasses import asdict
 from enum import Enum
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..errors import CheckpointError, ConfigError
-from ..ioutil import atomic_write_bytes, atomic_write_text
+from ..ioutil import (atomic_write_bytes, atomic_write_text, io_guard,
+                      read_bytes, read_text)
 from ..stateutil import canonical_json
 
 #: Digest-payload schema tag; bump when the identity payload changes.
@@ -101,6 +104,12 @@ LAYOUT = "v1"
 
 #: Default size bound (bytes) enforced by :meth:`ResultStore.gc`.
 DEFAULT_CAP_BYTES = 512 * 1024 * 1024
+
+#: Age (seconds) past which an orphaned ``*.tmp`` file — the litter a
+#: SIGKILL between ``mkstemp`` and ``os.replace`` leaves behind — is
+#: swept by :meth:`ResultStore.gc`. Generous enough that a live
+#: writer's in-flight temp file is never collected out from under it.
+TMP_MAX_AGE_S = 3600.0
 
 
 def _env_bytes(name: str, default: int) -> int:
@@ -189,7 +198,16 @@ class ResultStore:
 
     Entries are looked up and written by digest (:meth:`digest` /
     :func:`cell_digest`); hit/miss/store tallies live on the instance
-    (``hits``/``misses``/``stores``/``evicted``) for the CLI epilogue.
+    (``hits``/``misses``/``stores``/``evicted``) for the CLI epilogue,
+    alongside the degradation counters
+    (``read_failures``/``write_failures``/``tmp_swept``).
+
+    Degradation policy (see ``docs/robustness.md``): a read that fails
+    with a real I/O error — not just a missing file — counts a
+    ``read_failure`` and is a miss; the first *persistent* write
+    failure (retries already exhausted inside :mod:`repro.ioutil`)
+    prints one stderr warning and degrades the store to read-only for
+    the rest of the run. Neither ever raises.
     """
 
     def __init__(self, root: Optional[Union[str, Path]] = None,
@@ -202,6 +220,39 @@ class ResultStore:
         self.misses = 0
         self.stores = 0
         self.evicted = 0
+        self.read_failures = 0
+        self.write_failures = 0
+        self.tmp_swept = 0
+        self._writes_disabled = False
+        self._warned_reads = False
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any store surface degraded (I/O failures seen)."""
+        return bool(self.read_failures or self.write_failures)
+
+    @property
+    def writes_disabled(self) -> bool:
+        """Whether persistent write failure switched us to read-only."""
+        return self._writes_disabled
+
+    def _read_failed(self, digest: str, exc: OSError) -> None:
+        """Count one failed entry read; warn on the first only."""
+        self.read_failures += 1
+        if not self._warned_reads:
+            self._warned_reads = True
+            print(f"[store] read of entry {digest[:12]} failed ({exc}); "
+                  "degraded: treating damaged entries as misses",
+                  file=sys.stderr)
+
+    def _write_failed(self, what: str, path: Path, exc: OSError) -> None:
+        """Count one failed publication; disable writes + warn once."""
+        self.write_failures += 1
+        if not self._writes_disabled:
+            self._writes_disabled = True
+            print(f"[store] {what} write to {path} failed ({exc}); "
+                  "degraded: store is read-only for the rest of this "
+                  "run", file=sys.stderr)
 
     # -- layout -------------------------------------------------------
 
@@ -239,18 +290,27 @@ class ResultStore:
         A hit refreshes the entry's mtime (the GC's LRU clock). A
         corrupt, truncated, or wrong-typed entry is a miss — the
         damaged file is best-effort removed so the next completed run
-        rewrites the slot — and never an error.
+        rewrites the slot — and never an error. The read goes through
+        the :mod:`repro.ioutil` choke point, so transient EIO/ESTALE
+        retries before a real I/O failure counts a ``read_failure``
+        (still a miss — damage is never an error).
         """
         from ..sim.results import SimResult
         path = self.result_path(digest)
         try:
-            with open(path, "rb") as handle:
-                result = pickle.load(handle)
+            data = read_bytes(path)
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError, IndexError, ValueError):
+        except OSError as exc:
+            self._read_failed(digest, exc)
+            self._discard(digest)
+            self.misses += 1
+            return None
+        try:
+            result = pickle.loads(data)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
             self._discard(digest)
             self.misses += 1
             return None
@@ -270,12 +330,14 @@ class ResultStore:
         never rewritten — determinism means a rewrite would produce
         the same bytes. Writes are atomic and best-effort: a store
         that cannot be written (read-only root, full disk) degrades to
-        a warning-free no-op, because persistence is an optimization,
-        never a correctness requirement.
+        read-only with one stderr warning, because persistence is an
+        optimization, never a correctness requirement.
         """
         path = self.result_path(digest)
         if path.exists():
             self._touch(path)
+            return
+        if self._writes_disabled:
             return
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -286,7 +348,8 @@ class ResultStore:
                     canonical_json({"schema": SCHEMA, **_jsonable(meta)})
                     + "\n",
                     fsync=False)
-        except OSError:  # pragma: no cover - best-effort persistence
+        except OSError as exc:
+            self._write_failed("result", path, exc)
             return
         self.stores += 1
 
@@ -306,8 +369,12 @@ class ResultStore:
         from ..sim.checkpoint import verify_checkpoint_text
         path = self.state_path(digest)
         try:
-            text = path.read_text()
-        except OSError:
+            text = read_text(path)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as exc:
+            self._read_failed(digest, exc)
             self.misses += 1
             return None
         try:
@@ -338,17 +405,22 @@ class ResultStore:
         if path.exists():
             self._touch(path)
             return
+        if self._writes_disabled:
+            return
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             atomic_write_text(path, text, fsync=False)
-        except OSError:  # pragma: no cover - best-effort persistence
+        except OSError as exc:
+            self._write_failed("state", path, exc)
             return
         self.stores += 1
 
     # -- maintenance --------------------------------------------------
 
     def _touch(self, path: Path) -> None:
+        """Best-effort LRU-clock refresh (guarded, failure-silent)."""
         try:
+            io_guard("touch", path)
             os.utime(path, None)
         except OSError:
             pass
@@ -363,7 +435,12 @@ class ResultStore:
                 pass
 
     def entries(self) -> Iterable[Tuple[str, List[Path]]]:
-        """Iterate ``(digest, files)`` for every entry in the layout."""
+        """Iterate ``(digest, files)`` for every entry in the layout.
+
+        In-flight/orphaned ``*.tmp`` files are not entries and are
+        excluded — they belong to :meth:`iter_tmp_litter` and the age
+        sweep in :meth:`gc`.
+        """
         groups: Dict[str, List[Path]] = {}
         if not self.layout_dir.is_dir():
             return []
@@ -371,9 +448,45 @@ class ResultStore:
             if not shard.is_dir():
                 continue
             for path in sorted(shard.iterdir()):
+                if path.name.endswith(".tmp"):
+                    continue
                 digest = path.name.split(".", 1)[0]
                 groups.setdefault(digest, []).append(path)
         return sorted(groups.items())
+
+    def iter_tmp_litter(self, min_age_s: float = 0.0
+                        ) -> Iterable[Path]:
+        """Yield ``*.tmp`` files under the root older than ``min_age_s``.
+
+        These are mkstemp temp files orphaned by a kill between
+        creation and the atomic ``os.replace`` — invisible to
+        :meth:`entries`/:meth:`total_bytes` by design, so without a
+        sweep they accumulate forever. ``min_age_s=0`` yields all of
+        them (the doctor's scan); :meth:`gc` passes
+        :data:`TMP_MAX_AGE_S` so live writers are never raced.
+        """
+        if not self.root.is_dir():
+            return
+        now = time.time()
+        for path in sorted(self.root.rglob("*.tmp")):
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue
+            if age >= min_age_s:
+                yield path
+
+    def sweep_tmp_litter(self, min_age_s: float = TMP_MAX_AGE_S) -> int:
+        """Unlink aged ``*.tmp`` litter; returns the number removed."""
+        swept = 0
+        for path in self.iter_tmp_litter(min_age_s):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            swept += 1
+        self.tmp_swept += swept
+        return swept
 
     def total_bytes(self) -> int:
         """Total bytes currently held by store entries."""
@@ -395,8 +508,11 @@ class ResultStore:
         ``(0, 0)`` when already under the cap or the cap is 0
         (unbounded). Races with concurrent writers are benign: an
         entry evicted while another process re-stores it just costs
-        one extra simulation later.
+        one extra simulation later. Every call also age-sweeps
+        orphaned ``*.tmp`` litter (see :meth:`sweep_tmp_litter`,
+        tallied in ``tmp_swept``) — even when the cap is unbounded.
         """
+        self.sweep_tmp_litter()
         cap = self.cap_bytes if cap_bytes is None else cap_bytes
         if not cap:
             return (0, 0)

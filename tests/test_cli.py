@@ -295,3 +295,60 @@ def test_jobs_unknown_id_exits_1(tmp_path, capsys):
     assert main(["jobs", "status", "feedfacecafe",
                  "--store", str(tmp_path)]) == 1
     assert "unknown job" in capsys.readouterr().err
+
+
+def test_jobs_result_partial_streams_completed_cells(tmp_path, capsys):
+    """PR 9: `jobs result --partial` streams the done rows of a grid
+    whose remaining cells are still pending, exit 0."""
+    store = str(tmp_path / "store")
+    wide = ["--apps", "gamess,tonto", "--geometries",
+            "baseline,32K_2w", "--baseline", "baseline",
+            "--accesses", "1000"]
+    assert main(["jobs", "submit", *wide, "--store", store]) == 0
+    job_id = capsys.readouterr().out.split()[1].rstrip(":")
+    # Fill half the grid: a sweep over just the gamess cells.
+    assert main(["sweep", *SWEEP_GRID, "--out",
+                 str(tmp_path / "half.csv"), "--store", store]) == 0
+    capsys.readouterr()
+    out_csv = tmp_path / "partial.csv"
+    # Without --partial the pending cells are a hard error...
+    assert main(["jobs", "result", job_id, "--out", str(out_csv),
+                 "--store", store]) == 1
+    assert "--partial" in capsys.readouterr().err
+    # ...with it, the finished rows stream out now.
+    assert main(["jobs", "result", job_id, "--out", str(out_csv),
+                 "--partial", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "wrote 2 of 4 rows" in out and "partial" in out
+    text = out_csv.read_text()
+    assert "gamess" in text and "tonto" not in text
+
+
+def test_jobs_status_reports_stuck_claims(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["jobs", "submit", *SWEEP_GRID, "--store", store]) == 0
+    job_id = capsys.readouterr().out.split()[1].rstrip(":")
+    # A plain sweep fills the store but never releases the job's
+    # claims — exactly what a crash between store and release leaves.
+    assert main(["sweep", *SWEEP_GRID, "--out",
+                 str(tmp_path / "s.csv"), "--store", store]) == 0
+    capsys.readouterr()
+    assert main(["jobs", "status", job_id, "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "2 stuck claims" in out and "doctor" in out
+    # doctor --repair clears them; status goes quiet.
+    assert main(["store", "doctor", "--repair", "--store", store]) == 0
+    capsys.readouterr()
+    assert main(["jobs", "status", job_id, "--store", store]) == 0
+    assert "stuck" not in capsys.readouterr().out
+
+
+def test_jobs_run_releases_claims_and_renews_leases(tmp_path, capsys):
+    from repro.store import ResultStore
+    from repro.store.jobs import pending_dir
+    store = str(tmp_path / "store")
+    assert main(["jobs", "submit", *SWEEP_GRID, "--store", store]) == 0
+    job_id = capsys.readouterr().out.split()[1].rstrip(":")
+    assert main(["jobs", "run", job_id, "--store", store]) == 0
+    # All claims released: no markers linger after a clean run.
+    assert list(pending_dir(ResultStore(store)).glob("*.json")) == []

@@ -46,3 +46,52 @@ def test_failed_write_preserves_old_content_and_cleans_up(
     monkeypatch.undo()
     assert path.read_text() == "the good version\n"
     assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def test_temp_files_carry_recognizable_tmp_suffix(tmp_path,
+                                                  monkeypatch):
+    """Orphaned temps must end in `.tmp` so the store litter sweep and
+    `store doctor` can recognize them (satellite of PR 9)."""
+    import os
+
+    seen = []
+    real_replace = os.replace
+
+    def spying_replace(src, dst):
+        seen.append(str(src))
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", spying_replace)
+    atomic_write_text(tmp_path / "out.txt", "x")
+    assert seen and all(s.endswith(".tmp") for s in seen)
+    assert all("out.txt." in s for s in seen)  # next to the target
+
+
+def test_guarded_reads_round_trip(tmp_path):
+    from repro.ioutil import atomic_write_bytes, read_bytes, read_text
+    path = tmp_path / "blob.bin"
+    atomic_write_bytes(path, b"\x00\x01binary")
+    assert read_bytes(path) == b"\x00\x01binary"
+    atomic_write_text(path, "text\n")
+    assert read_text(path) == "text\n"
+    with pytest.raises(FileNotFoundError):
+        read_text(tmp_path / "missing.txt")
+
+
+def test_retry_backoff_is_exponential_and_bounded(tmp_path):
+    """An op that keeps failing retries DEFAULT_IO_RETRIES times with
+    doubling backoff, then surfaces the error."""
+    from repro import faultfs
+    from repro.ioutil import DEFAULT_IO_RETRIES, IO_BACKOFF_S, read_text
+
+    path = tmp_path / "f.txt"
+    path.write_text("x")
+    faultfs.install_plan(faultfs.FaultPlan(["io_error@0x0"]))
+    naps = []
+    try:
+        with pytest.raises(OSError):
+            read_text(path, sleep=naps.append)
+    finally:
+        faultfs.clear_plan()
+    assert naps == [IO_BACKOFF_S * (2 ** a)
+                    for a in range(DEFAULT_IO_RETRIES)]

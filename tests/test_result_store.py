@@ -388,7 +388,7 @@ def test_job_lifecycle_and_overlap_sharing(tmp_path):
     run_sweep(spec, n_accesses=600, traces=TraceCache(), store=store)
     record = load_job(store, summary["id"])
     assert job_status(store, record)["done"] == len(cells)
-    assert release_claims(store, record) == len(cells)
+    assert release_claims(store, record) == (len(cells), 0)
     st2 = job_status(store, load_job(store, summary2["id"]))
     assert st2["done"] == len(cells) and st2["inflight"] == 0
 
@@ -426,3 +426,176 @@ def test_stale_marker_reads_as_unclaimed(tmp_path):
     resubmit = submit_job(store, grid2, cells2)
     assert resubmit["shared"] == 0
     assert resubmit["claimed"] == len(cells)
+
+
+# ---------------------------------------------------------------------
+# Leases (PR 9): dead owners expire, overlapping submissions steal
+# ---------------------------------------------------------------------
+
+def test_marker_carries_owner_and_lease(tmp_path):
+    import os
+    import socket
+    from repro.store.jobs import _marker_path, _now
+    store = ResultStore(tmp_path)
+    grid, cells = grid_and_cells(spec_small(), 600, store)
+    submit_job(store, grid, cells)
+    payload = json.loads(_marker_path(store, cells[0][1]).read_text())
+    assert payload["owner"] == {"pid": os.getpid(),
+                                "host": socket.gethostname()}
+    assert payload["expires"] > _now()
+
+
+def test_dead_owner_lease_expires_and_is_stolen(tmp_path, monkeypatch):
+    """The acceptance scenario: a SIGKILLed `jobs run` owner holds
+    claims on the whole grid. Once the lease TTL lapses (simulated by
+    advancing the module clock — the owner is dead, so nothing renews),
+    an overlapping submission steals every claim and the grid runs to
+    completion."""
+    import time as _time
+    from repro.store import jobs as jobs_mod
+    store = ResultStore(tmp_path)
+    spec = spec_small()
+    grid, cells = grid_and_cells(spec, 600, store)
+    dead = submit_job(store, grid, cells, ttl=60.0)
+    assert dead["claimed"] == len(cells)
+    # While the lease is live, a second submission only shares.
+    wide = SweepSpec(apps=["gamess", "tonto"],
+                     configs=dict(spec.configs), seeds=[0],
+                     baseline="base")
+    grid2, cells2 = grid_and_cells(wide, 600, store)
+    early = submit_job(store, grid2, cells2)
+    assert early["shared"] == len(cells)
+    # The owner dies (no renewals); the clock passes the TTL.
+    monkeypatch.setattr(jobs_mod, "_now",
+                        lambda base=_time.time(): base + 120.0)
+    stolen = submit_job(store, grid2, cells2)
+    assert stolen["shared"] == 0
+    assert stolen["claimed"] == len(cells2)
+    # The thief completes the grid: every cell lands in the store.
+    run_sweep(wide, n_accesses=600, traces=TraceCache(), store=store)
+    record = load_job(store, stolen["id"])
+    st = job_status(store, record)
+    assert st["done"] == len(cells2) and st["pending"] == 0
+    assert release_claims(store, record) == (len(cells2), 0)
+
+
+def test_renew_leases_extends_live_claims_only(tmp_path):
+    from repro.store import renew_leases
+    from repro.store.jobs import _marker_path
+    store = ResultStore(tmp_path)
+    spec = spec_small()
+    grid, cells = grid_and_cells(spec, 600, store)
+    record = load_job(store, submit_job(store, grid, cells)["id"])
+    before = {d: json.loads(_marker_path(store, d).read_text())["expires"]
+              for _, d in cells}
+    # Finish one cell: its marker must not be re-stamped.
+    finished = cells[0][1]
+    store.store_result(finished, simulate_one(generate_trace(
+        "gamess", 100, seed=0)))
+    renewed = renew_leases(store, record, ttl=3600.0)
+    assert renewed == len(cells) - 1
+    after = {d: json.loads(_marker_path(store, d).read_text())["expires"]
+             for _, d in cells}
+    assert after[finished] == before[finished]
+    for _, d in cells[1:]:
+        assert after[d] > before[d]
+
+
+def test_lease_renewer_background_thread(tmp_path):
+    import time as _time
+    from repro.store import LeaseRenewer
+    store = ResultStore(tmp_path)
+    grid, cells = grid_and_cells(spec_small(), 600, store)
+    record = load_job(store, submit_job(store, grid, cells)["id"])
+    with LeaseRenewer(store, record, ttl=0.09) as renewer:
+        deadline = _time.time() + 5.0
+        while renewer.renewals < 2 and _time.time() < deadline:
+            _time.sleep(0.02)
+    assert renewer.renewals >= 2
+
+
+def test_lease_ttl_env_override(monkeypatch):
+    from repro.store import lease_ttl
+    monkeypatch.setenv("REPRO_LEASE_TTL", "42.5")
+    assert lease_ttl() == 42.5
+    monkeypatch.setenv("REPRO_LEASE_TTL", "nope")
+    with pytest.raises(ConfigError):
+        lease_ttl()
+    monkeypatch.setenv("REPRO_LEASE_TTL", "-3")
+    with pytest.raises(ConfigError):
+        lease_ttl()
+
+
+def test_job_status_counts_stuck_claims(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = spec_small()
+    grid, cells = grid_and_cells(spec, 600, store)
+    record = load_job(store, submit_job(store, grid, cells)["id"])
+    # The sweep finishes the cells but (say) the runner was killed
+    # before release_claims: markers now shadow finished work.
+    run_sweep(spec, n_accesses=600, traces=TraceCache(), store=store)
+    st = job_status(store, record)
+    assert st["done"] == len(cells)
+    assert st["stuck"] == len(cells)
+    release_claims(store, record)
+    assert job_status(store, record)["stuck"] == 0
+
+
+def test_release_claims_counts_unlink_failures(tmp_path, monkeypatch):
+    import errno
+    from pathlib import Path
+    from repro.store.jobs import _marker_path
+    store = ResultStore(tmp_path)
+    spec = spec_small()
+    grid, cells = grid_and_cells(spec, 600, store)
+    record = load_job(store, submit_job(store, grid, cells)["id"])
+    run_sweep(spec, n_accesses=600, traces=TraceCache(), store=store)
+    # One marker refuses to unlink — the shared root went read-only
+    # mid-release. The loss must be counted, not swallowed.
+    jammed = _marker_path(store, cells[0][1])
+    real_unlink = Path.unlink
+
+    def flaky_unlink(self, *args, **kwargs):
+        if self == jammed:
+            raise OSError(errno.EROFS, "read-only filesystem")
+        return real_unlink(self, *args, **kwargs)
+
+    monkeypatch.setattr(Path, "unlink", flaky_unlink)
+    released, failed = release_claims(store, record)
+    assert released == len(cells) - 1
+    assert failed == 1
+    assert job_status(store, record)["stuck"] == 1
+
+
+# ---------------------------------------------------------------------
+# Tmp litter (PR 9 satellite): gc sweeps, entries skip, doctor sees
+# ---------------------------------------------------------------------
+
+def test_gc_sweeps_aged_tmp_litter_only(tmp_path, trace):
+    import os
+    from repro.store.resultstore import TMP_MAX_AGE_S
+    store = ResultStore(tmp_path, cap_bytes=10**9)
+    digest = store.digest(trace, ooo_system(BASELINE_L1))
+    store.store_result(digest, simulate_one(trace))
+    old = store.result_path(digest).parent / "dead.result.pkl.123.tmp"
+    old.write_bytes(b"partial")
+    stale = 2 * TMP_MAX_AGE_S
+    os.utime(old, (old.stat().st_mtime - stale,
+                   old.stat().st_mtime - stale))
+    young = store.result_path(digest).parent / "live.result.pkl.9.tmp"
+    young.write_bytes(b"inflight")
+    store.gc()
+    assert store.tmp_swept == 1
+    assert not old.exists() and young.exists()
+    assert store.contains(digest)
+
+
+def test_entries_and_size_skip_tmp_files(tmp_path, trace):
+    store = ResultStore(tmp_path)
+    digest = store.digest(trace, ooo_system(BASELINE_L1))
+    store.store_result(digest, simulate_one(trace))
+    (store.result_path(digest).parent / "x.tmp").write_bytes(b"junk")
+    digests = [d for d, _ in store.entries()]
+    assert digests == [digest]
+    for _, files in store.entries():
+        assert not [p for p in files if p.name.endswith(".tmp")]
