@@ -73,6 +73,39 @@ class CacheHierarchy:
         self.llc.load_state_dict(state["llc"])
         self.dram.load_state_dict(state["dram"])
 
+    def kernel_export(self) -> Optional[dict]:
+        """Live container references for the array-compiled miss path.
+
+        ``repro.sim.kernel`` compiles closures that service L1 misses
+        against this hierarchy's *live* per-set arrays directly — same
+        operation order as :meth:`access`/:meth:`writeback`, no object
+        graph on the per-miss path. This hook is the type gate and the
+        export in one place: it returns ``None`` for anything but
+        exactly-default components (a subclassed hierarchy, cache,
+        policy, or DRAM model may override behaviour the closures
+        mirror), and otherwise a dict of references into the live
+        levels. The closures mutate these containers in place, so
+        ``state_dict()``/checkpoints and a mid-run fallback to the
+        python path always observe current state.
+        """
+        from ..timing.dram import DramModel
+        from .replacement import LruPolicy
+        if type(self) is not CacheHierarchy:
+            return None
+        if type(self.dram) is not DramModel:
+            return None
+        for level in (self.l2, self.llc):
+            if level is None:
+                continue
+            if type(level) is not SetAssociativeCache:
+                return None
+            if type(level.policy) is not LruPolicy:
+                return None
+        return {"l2": self.l2, "llc": self.llc, "dram": self.dram,
+                "l2_latency": self.l2_latency,
+                "llc_latency": self.llc_latency,
+                "stats": self.stats}
+
     def access(self, pa: int, is_write: bool) -> int:
         """Service an L1 miss; returns added latency in cycles."""
         stats = self.stats

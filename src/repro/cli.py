@@ -515,14 +515,40 @@ def cmd_mix(args) -> int:
     members = get_mix(args.name)
     mix_traces = [traces.get(app, args.accesses, seed=i)
                   for i, app in enumerate(members)]
-    base = simulate_multicore(mix_traces, _system(args, BASELINE_L1))
-    sipt = simulate_multicore(mix_traces, _system(args, _l1(args)))
+    base = simulate_multicore(mix_traces, _system(args, BASELINE_L1),
+                              engine=args.engine)
+    sipt = simulate_multicore(mix_traces, _system(args, _l1(args)),
+                              engine=args.engine)
     for core, (b, s) in enumerate(zip(base, sipt)):
         print(f"core {core} {b.app:>14s}: base={b.ipc:.3f} "
               f"sipt={s.ipc:.3f} ({s.ipc / b.ipc:.3f}x)")
     print(f"sum-of-IPC speedup: "
           f"{sum(r.ipc for r in sipt) / sum(r.ipc for r in base):.3f}")
+    if args.out:
+        _write_mix_csv(args.out, args.name, base, sipt)
+        print(f"wrote {args.out}")
     return 0
+
+
+def _write_mix_csv(path, mix_name, base, sipt) -> None:
+    """Per-core mix results at full float precision.
+
+    ``repr`` floats make the file a byte-level engine-equivalence
+    artifact: a python-engine CSV and a kernel-engine CSV of the same
+    mix must satisfy ``cmp`` — any replay divergence, however small,
+    shows up as a byte difference.
+    """
+    import csv
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["mix", "core", "app", "l1", "instructions",
+                         "cycles", "ipc", "l1_hits", "l1_misses"])
+        for label, results in (("base", base), ("sipt", sipt)):
+            for core, r in enumerate(results):
+                writer.writerow([
+                    mix_name, core, r.app, label, r.instructions,
+                    repr(r.cycles), repr(r.ipc),
+                    r.l1_stats.hits, r.l1_stats.misses])
 
 
 def cmd_bench(args) -> int:
@@ -916,7 +942,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     mix_p = sub.add_parser("mix", help="simulate a Table III quad-core mix")
     common(mix_p)
+    engine(mix_p)
     mix_p.add_argument("--name", default="mix0", choices=MIX_NAMES)
+    mix_p.add_argument(
+        "--out", metavar="CSV",
+        help="write per-core results as CSV with full-precision "
+             "(repr) floats — byte-comparable across --engine values "
+             "for the oracle-equivalence gate")
 
     designspace_p = sub.add_parser(
         "designspace", help="print the CACTI design space")

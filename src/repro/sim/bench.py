@@ -23,6 +23,9 @@ Methodology:
 * Each app is replayed ``repeats`` times and the best wall time is
   kept, the standard way to suppress scheduler noise on shared
   machines.
+* The warm heap is frozen (``gc.freeze``) for the timed region, so
+  generational GC does not bill earlier apps' long-lived state
+  (traces, memoized kernel streams) to the app on the clock.
 * The aggregate figure is total accesses over total best-time — the
   throughput a serial sweep would see on this machine.
 
@@ -34,6 +37,7 @@ changes, and keep comparisons (``--check``) on the same machine class.
 from __future__ import annotations
 
 import cProfile
+import gc
 import io
 import json
 import platform
@@ -54,9 +58,11 @@ from .experiment import TraceCache
 SCHEMA = "repro-bench-1"
 
 #: Default app set: one predictable-delta app, one misspeculation-heavy
-#: app, and one hugepage app — together they exercise every front-end
-#: path (perceptron, IDB, bypass, TLB 2M array).
-DEFAULT_APPS = ("perlbench", "calculix", "libquantum")
+#: app, one hugepage app, and one miss-dominated app — together they
+#: exercise every front-end path (perceptron, IDB, bypass, TLB 2M
+#: array) and the L2/LLC/DRAM miss path (mcf's ~43% L1 miss rate keeps
+#: the write-back cascades and DRAM row buffers hot).
+DEFAULT_APPS = ("perlbench", "calculix", "libquantum", "mcf")
 
 
 def _time_simulate(trace, system, repeats: int,
@@ -64,14 +70,27 @@ def _time_simulate(trace, system, repeats: int,
                    checkpoint_every: Optional[int] = None,
                    checkpoint_path: Optional[Path] = None,
                    engine: str = "python") -> float:
-    """Best-of-``repeats`` wall time of one simulate() call."""
+    """Best-of-``repeats`` wall time of one simulate() call.
+
+    The warm heap (traces, memoized kernel streams for *every* app
+    benched so far) is frozen out of the collector for the timed
+    region: generational GC otherwise re-traverses those long-lived
+    containers mid-replay, charging earlier apps' working sets to
+    whichever app happens to be on the clock. Freezing keeps the
+    point a steady-state replay figure regardless of app order.
+    """
     best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        simulate(trace, system, interval=interval,
-                 checkpoint_every=checkpoint_every,
-                 checkpoint_path=checkpoint_path, engine=engine)
-        best = min(best, time.perf_counter() - start)
+    gc.collect()
+    gc.freeze()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            simulate(trace, system, interval=interval,
+                     checkpoint_every=checkpoint_every,
+                     checkpoint_path=checkpoint_path, engine=engine)
+            best = min(best, time.perf_counter() - start)
+    finally:
+        gc.unfreeze()
     return best
 
 

@@ -698,8 +698,8 @@ def simulate(trace: Trace, system: SystemConfig,
 
 
 def simulate_multicore(traces: Sequence[Trace], system: SystemConfig,
-                       llc_capacity: Optional[int] = None
-                       ) -> List[SimResult]:
+                       llc_capacity: Optional[int] = None,
+                       engine: str = "python") -> List[SimResult]:
     """Run one trace per core with a shared LLC and DRAM.
 
     The shared LLC defaults to ``system.llc_capacity * n_cores``
@@ -709,7 +709,16 @@ def simulate_multicore(traces: Sequence[Trace], system: SystemConfig,
     own metrics registry (the shared LLC and DRAM counters appear in
     every core's snapshot); interval sampling and decision tracing are
     single-core tools and are not offered here.
+
+    ``engine="kernel"`` replays through per-core precomputed streams
+    (:func:`repro.sim.kernel.run_multicore_kernel`) with the same
+    round-robin interleaving over the same shared containers —
+    byte-identical results, with a cold-state fallback to this loop
+    for any configuration the kernel declines.
     """
+    if engine not in ("python", "kernel"):
+        raise ConfigError(
+            f"unknown engine {engine!r}: expected 'python' or 'kernel'")
     if not traces:
         raise ConfigError("need at least one trace")
     for trace in traces:
@@ -721,6 +730,11 @@ def simulate_multicore(traces: Sequence[Trace], system: SystemConfig,
     shared_dram = DramModel()
     contexts = [_CoreContext(system, trace, shared_llc, shared_dram)
                 for trace in traces]
+    if engine == "kernel":
+        from .kernel import run_multicore_kernel
+        if run_multicore_kernel(contexts):
+            return [ctx.result() for ctx in contexts]
+        # Declined before any mutation: fall through from cold state.
     # Round-robin; finished cores keep replaying their (recycled) trace
     # so contention stays constant until the last core completes.
     while not all(ctx.completed_once for ctx in contexts):

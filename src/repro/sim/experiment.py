@@ -10,10 +10,10 @@ be scaled with the ``REPRO_ACCESSES`` environment variable.
 
 from __future__ import annotations
 
-import os
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..envutil import env_int
 from ..errors import ConfigError, ReproError
 from ..workloads.spec import EVALUATED_APPS
 from ..workloads.trace import MemoryCondition, Trace, generate_trace
@@ -22,24 +22,10 @@ from .driver import simulate
 from .results import SimResult
 
 
-def _env_int(name: str, default: int) -> int:
-    """An integer environment override, validated at the boundary.
-
-    A malformed value used to surface as a bare ``ValueError`` from
-    ``int()`` deep inside whatever first touched the setting (e.g.
-    ``TraceCache.__init__``), with no hint which variable was wrong.
-    Raise :class:`~repro.errors.ConfigError` naming the variable and
-    the offending value instead.
-    """
-    raw = os.environ.get(name)
-    if raw is None:
-        return default
-    try:
-        return int(raw)
-    except ValueError:
-        raise ConfigError(
-            f"environment variable {name} must be an integer, "
-            f"got {raw!r}") from None
+# Re-export: the validated env-int reader moved to ``repro.envutil``
+# (the workload substrate needs it too and must not import repro.sim);
+# the old name stays importable for existing callers and tests.
+_env_int = env_int
 
 
 def default_accesses() -> int:

@@ -31,10 +31,27 @@ objects — on every access. This module splits that pipeline into
 
 * Serial residue (the generated ``_loop`` function, specialized per
   core model and way-prediction setting): L1 array probes, LRU
-  touches, fills/evictions/writebacks through the real
-  ``SetAssociativeCache``/``CacheHierarchy`` objects, way prediction,
-  and the core's stall arithmetic in the oracle's exact
-  floating-point operation order.
+  touches, fills/evictions, way prediction, and the core's stall
+  arithmetic in the oracle's exact floating-point operation order.
+  L1 misses are serviced inline by the **compiled miss path**
+  (:func:`_compile_miss_path`): closures over the live L2/LLC/DRAM
+  containers that mirror ``CacheHierarchy.access``/``writeback``
+  operation-for-operation — probe, LRU, write-back cascades, DRAM
+  row-buffer timing — with stats deltas folded at chunk boundaries.
+  A hierarchy with non-default components keeps the live python
+  methods instead (counted as ``miss-path-live`` in
+  :data:`DECLINES`).
+
+The engine's envelope covers all three core models: the analytic
+``ooo``/``inorder`` cores compile to pure stall arithmetic, while
+``ooo-detailed`` runs as a hybrid — the core's issue/retire recurrence
+stays live inside the generated loop (it is real state, not foldable
+arithmetic) and everything around it is streamed.
+:func:`run_multicore_kernel` extends the same machinery to
+``simulate_multicore``: per-core streams and compiled miss paths over
+the shared LLC/DRAM containers, interleaved round-robin exactly like
+the oracle loop. Declined configurations are counted per reason in
+:data:`DECLINES` (``REPRO_KERNEL_DEBUG=1`` re-raises build failures).
 
 **Oracle equivalence.** ``simulate(engine="kernel")`` must produce
 byte-identical results to the python path. The engine verifies its
@@ -59,9 +76,11 @@ order the oracle adds them.
 
 from __future__ import annotations
 
+import os
 from bisect import bisect_left
+from collections import Counter
 from itertools import islice
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -74,6 +93,7 @@ from ..core.sipt_cache import SiptL1Cache, SiptL1Stats
 from ..core.way_prediction import WayPredictor
 from ..mem.address import PAGE_SHIFT
 from ..stateutil import freeze_rows, load_rows
+from ..timing.detailed import DetailedOooCore
 from ..timing.inorder import InOrderCore
 from ..timing.ooo import OooCore
 from ..workloads.substrate import columns_for
@@ -92,6 +112,30 @@ _OUTCOME_CODE = {
     SpeculationOutcome.EXTRA_ACCESS: 4,
     SpeculationOutcome.IDB_HIT: 5,
 }
+
+#: Why engines were not built, by reason, process-wide. Deliberately a
+#: module-level counter rather than a ``SimResult`` field or registry
+#: metric: results must stay byte-identical between engines (the
+#: equivalence tests fingerprint the whole result, metrics included),
+#: and the python engine never attempts a build at all. Read with
+#: :func:`decline_counts`; set ``REPRO_KERNEL_DEBUG=1`` to re-raise
+#: swallowed build exceptions instead of counting them.
+DECLINES: Counter = Counter()
+
+
+def _decline(reason: str) -> None:
+    """Count one engine decline under ``reason`` (see :data:`DECLINES`)."""
+    DECLINES[reason] += 1
+
+
+def decline_counts() -> dict:
+    """Per-reason decline counts accumulated in this process."""
+    return dict(DECLINES)
+
+
+def reset_declines() -> None:
+    """Zero the decline counters (test isolation)."""
+    DECLINES.clear()
 
 
 def _cum(mask) -> np.ndarray:
@@ -361,27 +405,305 @@ class _SpecStream:
 
 
 # ----------------------------------------------------------------------
+# compiled miss path (L2 -> LLC -> DRAM below the L1)
+# ----------------------------------------------------------------------
+
+#: Flat counter layout for the compiled miss path. Deltas accumulate
+#: in one plain list between flushes instead of attribute round-trips
+#: per miss, and only the irreducible counts are maintained on the hot
+#: path — everything implied by an invariant is derived at flush time:
+#: hierarchy accesses pair 1:1 with level accesses, every level access
+#: is a hit or a miss, every miss fills, every DRAM tick is a row hit
+#: or a row miss, and every write-back drained to DRAM is a DRAM
+#: write. Hit counts split by site (demand vs insert) because the
+#: hierarchy attributes hits only to demand accesses while the level
+#: counts both.
+_MP_SLOTS = 13
+# c[0]  L2 accesses            c[5]  LLC accesses
+# c[1]  L2 demand hits         c[6]  LLC demand hits
+# c[2]  L2 insert hits         c[7]  LLC insert hits
+# c[3]  L2 evictions           c[8]  LLC evictions
+# c[4]  L2 writebacks          c[9]  LLC writebacks
+# c[10] DRAM reads             c[11] DRAM writes
+# c[12] DRAM row misses
+
+
+def _emit_cache(out, ind, sfx, pfx, acc_c, hit_c, evic_c, wb_c, pa,
+                write, hit_lines, miss_lines) -> None:
+    """Append source for one inlined ``SetAssociativeCache`` access.
+
+    Mirrors ``access``/``_fill`` exactly — probe, LRU touch with the
+    MRU early-exit, free-way fill (the where-dict holds exactly the
+    occupied ways, so its size distinguishes free-way from eviction
+    without scanning), LRU victim with dirty write-back — over the
+    ``{pfx}_*`` container bindings. ``acc_c``/``hit_c``/``evic_c``/
+    ``wb_c`` are the counter slots this site maintains; misses and
+    fills are derived at flush. ``sfx`` uniquifies the locals so sites
+    can nest; ``hit_lines`` run after the hit path's LRU/dirty update,
+    and ``miss_lines`` after the fill, with ``spill{sfx}`` holding the
+    dirty victim's line address or -1.
+    """
+    a = ind
+    out += [
+        f"{a}c[{acc_c}] += 1",
+        f"{a}line{sfx} = ({pa}) >> {pfx}_shift",
+        f"{a}sidx{sfx} = line{sfx} & {pfx}_mask",
+        f"{a}w{sfx} = {pfx}_where[sidx{sfx}]",
+        f"{a}way{sfx} = w{sfx}.get(line{sfx}, -1)",
+        f"{a}st{sfx} = {pfx}_stacks[sidx{sfx}]",
+        f"{a}d{sfx} = {pfx}_dirty[sidx{sfx}]",
+        f"{a}if way{sfx} >= 0:",
+        f"{a}    c[{hit_c}] += 1",
+        f"{a}    if st{sfx}[0] != way{sfx}:",
+        f"{a}        st{sfx}.remove(way{sfx})",
+        f"{a}        st{sfx}.insert(0, way{sfx})",
+        f"{a}    if {write}:",
+        f"{a}        d{sfx}[way{sfx}] = True",
+        *hit_lines,
+        f"{a}else:",
+        f"{a}    row{sfx} = {pfx}_tags[sidx{sfx}]",
+        f"{a}    if len(w{sfx}) < {pfx}_ways:",
+        f"{a}        way{sfx} = row{sfx}.index(-1)",
+        f"{a}        spill{sfx} = -1",
+        f"{a}    else:",
+        f"{a}        way{sfx} = st{sfx}[-1]",
+        f"{a}        victim{sfx} = row{sfx}[way{sfx}]",
+        f"{a}        spill{sfx} = (victim{sfx} if d{sfx}[way{sfx}]"
+        f" else -1)",
+        f"{a}        c[{evic_c}] += 1",
+        f"{a}        if spill{sfx} >= 0:",
+        f"{a}            c[{wb_c}] += 1",
+        f"{a}        del w{sfx}[victim{sfx}]",
+        f"{a}    row{sfx}[way{sfx}] = line{sfx}",
+        f"{a}    w{sfx}[line{sfx}] = way{sfx}",
+        f"{a}    d{sfx}[way{sfx}] = {write}",
+        f"{a}    if st{sfx}[0] != way{sfx}:",
+        f"{a}        st{sfx}.remove(way{sfx})",
+        f"{a}        st{sfx}.insert(0, way{sfx})",
+        *miss_lines,
+    ]
+
+
+def _emit_dram(out, ind, sfx, pa) -> None:
+    """Append source for one inlined ``DramModel._access`` tick.
+
+    Leaves the access latency in ``lat{sfx}``. ``_last_bank`` is a
+    reassigned attribute, not a mutated container, so it round-trips
+    through the instance every tick — the page walker's own live DRAM
+    accesses interleave with these.
+    """
+    a = ind
+    out += [
+        f"{a}block{sfx} = ({pa}) // row_bytes",
+        f"{a}channel{sfx} = block{sfx} % n_channels",
+        f"{a}block{sfx} //= n_channels",
+        f"{a}bank{sfx} = block{sfx} % n_banks",
+        f"{a}row{sfx} = block{sfx} // n_banks",
+        f"{a}rows{sfx} = open_rows[channel{sfx}]",
+        f"{a}open_row{sfx} = rows{sfx}[bank{sfx}]",
+        f"{a}lat{sfx} = cas",
+        f"{a}if open_row{sfx} != row{sfx}:",
+        f"{a}    c[12] += 1",
+        f"{a}    lat{sfx} += rcd",
+        f"{a}    if open_row{sfx} != -1:",
+        f"{a}        lat{sfx} += rp",
+        f"{a}    rows{sfx}[bank{sfx}] = row{sfx}",
+        f"{a}last{sfx} = dram._last_bank",
+        f"{a}if last{sfx}[0] == channel{sfx} and "
+        f"last{sfx}[1] == bank{sfx}:",
+        f"{a}    lat{sfx} += queue",
+        f"{a}dram._last_bank = (channel{sfx}, bank{sfx})",
+    ]
+
+
+def _emit_dram_spill(ind, sfx, spill_var) -> list:
+    """Lines draining a dirty LLC victim to DRAM (latency discarded)."""
+    lines = [f"{ind}if {spill_var} >= 0:",
+             f"{ind}    c[11] += 1"]
+    _emit_dram(lines, ind + "    ", sfx, f"{spill_var} << llc_shift")
+    return lines
+
+
+def _miss_path_source(has_l2: bool) -> str:
+    """Source of the ``_make`` factory for one miss-path shape.
+
+    The factory takes the counter list and every live container as
+    arguments (closure cells, not globals, in the generated functions)
+    and returns ``(miss_access, miss_writeback)`` with the whole
+    L2 -> LLC -> DRAM walk inlined — no per-level calls on the
+    per-miss path.
+    """
+    I1 = "    "
+    I2 = I1 * 2
+    I3 = I1 * 3
+    out = ["def _make(c, dram, open_rows, row_bytes, n_channels,",
+           "          n_banks, cas, rcd, rp, queue, llc_where,",
+           "          llc_tags, llc_dirty, llc_stacks, llc_shift,",
+           "          llc_mask, llc_ways, llc_latency" +
+           ("," if has_l2 else "):")]
+    if has_l2:
+        out.append("          l2_where, l2_tags, l2_dirty, l2_stacks,")
+        out.append("          l2_shift, l2_mask, l2_ways, l2_latency):")
+    out.append(I1 + "def miss_access(pa, is_write):")
+    if has_l2:
+        _emit_cache(out, I2, "_a", "l2", 0, 1, 3, 4, "pa", "is_write",
+                    [I3 + "return l2_latency"], [])
+        # CacheHierarchy._writeback_to_llc: the L2's dirty victim is
+        # inserted into the LLC as a write before the demand access.
+        out.append(I2 + "if spill_a >= 0:")
+        _emit_cache(out, I3, "_b", "llc", 5, 7, 8, 9,
+                    "spill_a << l2_shift", "True", [],
+                    _emit_dram_spill(I3 + I1, "_bw", "spill_b"))
+        _emit_cache(out, I2, "_c", "llc", 5, 6, 8, 9, "pa", "is_write",
+                    [I3 + "return l2_latency + llc_latency"],
+                    _emit_dram_spill(I3, "_cw", "spill_c"))
+        out.append(I2 + "c[10] += 1")
+        _emit_dram(out, I2, "_rd", "pa")
+        out.append(I2 + "return l2_latency + llc_latency + lat_rd")
+    else:
+        _emit_cache(out, I2, "_a", "llc", 5, 6, 8, 9, "pa", "is_write",
+                    [I3 + "return llc_latency"],
+                    _emit_dram_spill(I3, "_aw", "spill_a"))
+        out.append(I2 + "c[10] += 1")
+        _emit_dram(out, I2, "_rd", "pa")
+        out.append(I2 + "return llc_latency + lat_rd")
+    out.append(I1 + "def miss_writeback(line_address, line_shift):")
+    if has_l2:
+        wb_tail = [I3 + "if spill_d >= 0:"]
+        _emit_cache(wb_tail, I3 + I1, "_e", "llc", 5, 7, 8, 9,
+                    "spill_d << l2_shift", "True", [],
+                    _emit_dram_spill(I3 + I1 + I1, "_ew", "spill_e"))
+        _emit_cache(out, I2, "_d", "l2", 0, 2, 3, 4,
+                    "line_address << line_shift", "True", [], wb_tail)
+    else:
+        _emit_cache(out, I2, "_d", "llc", 5, 7, 8, 9,
+                    "line_address << line_shift", "True", [],
+                    _emit_dram_spill(I3, "_dw", "spill_d"))
+    out.append(I1 + "return miss_access, miss_writeback")
+    return "\n".join(out)
+
+
+_MISS_MAKE_CACHE: dict = {}
+
+
+def _compile_miss_path(mp):
+    """Compiled functions for the L2 -> LLC -> DRAM miss path.
+
+    Returns ``(miss_access, miss_writeback, flush)`` mirroring
+    ``CacheHierarchy.access``/``writeback`` operation-for-operation, or
+    ``None`` when the hierarchy declines to export its containers
+    (:meth:`~repro.cache.hierarchy.CacheHierarchy.kernel_export`:
+    subclassed hierarchy, cache, policy, or DRAM model — the engine
+    then keeps the live python methods). The two functions are
+    generated (:func:`_miss_path_source`) with every level inlined —
+    probe, LRU, write-back cascades, DRAM row-buffer timing, no
+    per-level calls. All structural mutations go to the live per-set
+    arrays and row buffers in the oracle's exact order — the page
+    walker's interleaved live accesses and any mid-run python fallback
+    stay coherent — while stats deltas accumulate in a flat counter
+    list (:data:`_MP_SLOTS` layout) that ``flush()`` folds into the
+    live stats objects at chunk boundaries.
+    """
+    exp = mp.kernel_export()
+    if exp is None:
+        return None
+    l2 = exp["l2"]
+    has_l2 = l2 is not None
+    make = _MISS_MAKE_CACHE.get(has_l2)
+    if make is None:
+        namespace: dict = {}
+        exec(_miss_path_source(has_l2), namespace)  # noqa: S102
+        make = _MISS_MAKE_CACHE[has_l2] = namespace["_make"]
+    c = [0] * _MP_SLOTS
+    dram = exp["dram"]
+    llc = exp["llc"]
+    args = [c, dram, dram._open_rows, dram.row_bytes, dram.n_channels,
+            dram.n_banks, dram.cas_cycles, dram.rcd_cycles,
+            dram.rp_cycles, dram.queue_cycles,
+            llc._where, llc._tags, llc._dirty, llc.policy._stacks,
+            llc.line_shift, llc.index_mask, llc.n_ways,
+            exp["llc_latency"]]
+    if has_l2:
+        args += [l2._where, l2._tags, l2._dirty, l2.policy._stacks,
+                 l2.line_shift, l2.index_mask, l2.n_ways,
+                 exp["l2_latency"]]
+    miss_access, miss_writeback = make(*args)
+
+    mstats = exp["stats"]
+    l2_stats = l2.stats if l2 is not None else None
+    llc_stats = llc.stats
+    dram_stats = dram.stats
+
+    def flush():
+        # Derived at fold time (see the layout comment): level hits
+        # are demand + insert hits, misses are accesses - hits, every
+        # miss fills, the hierarchy's demand counters pair 1:1 with
+        # the level/DRAM ones, and row hits are ticks - row misses.
+        mstats.l2_accesses += c[0]
+        mstats.l2_hits += c[1]
+        mstats.llc_accesses += c[5]
+        mstats.llc_hits += c[6]
+        mstats.dram_accesses += c[10]
+        mstats.writebacks_to_dram += c[11]
+        if l2_stats is not None:
+            hit = c[1] + c[2]
+            miss = c[0] - hit
+            l2_stats.accesses += c[0]
+            l2_stats.hits += hit
+            l2_stats.misses += miss
+            l2_stats.evictions += c[3]
+            l2_stats.writebacks += c[4]
+            l2_stats.fills += miss
+        hit = c[6] + c[7]
+        miss = c[5] - hit
+        llc_stats.accesses += c[5]
+        llc_stats.hits += hit
+        llc_stats.misses += miss
+        llc_stats.evictions += c[8]
+        llc_stats.writebacks += c[9]
+        llc_stats.fills += miss
+        dram_stats.reads += c[10]
+        dram_stats.writes += c[11]
+        dram_stats.row_hits += c[10] + c[11] - c[12]
+        dram_stats.row_misses += c[12]
+        for i in range(_MP_SLOTS):
+            c[i] = 0
+
+    return miss_access, miss_writeback, flush
+
+
+# ----------------------------------------------------------------------
 # the serial-residue loop, specialized per (core model, way prediction)
 # ----------------------------------------------------------------------
 
-#: Lines prefixed {OOO}/{INO}/{WP}/{NOWP} are kept only for the
-#: matching specialization. Core constants are literals, mirrored from
-#: OooCore/InOrderCore (the engine gate requires those exact types):
-#: PIPELINE_HIDE=2.0, NEAR_LATENCY=16, dep factors 0.22/0.08/0.02 at
-#: thresholds 2/8, L2_CLASS_EXPOSURE=0.45 (every dep factor is below
-#: it, so the oracle's max() is the constant), ROB absorb 0.4 and
-#: floor 0.04; in-order STORE_STALL_FRACTION=0.3 past 4 cycles,
-#: HIT_EXPOSURE=0.4 at latency<=8, MISS_EXPOSURE=1.0.
+#: Lines prefixed {OOO}/{INO}/{ANA}/{DET}/{WP}/{NOWP} are kept only
+#: for the matching specialization: {OOO}/{INO} are the analytic
+#: cores' stall arithmetic, {ANA} is shared by both analytic kinds,
+#: and {DET} keeps the detailed core's live ``retire``/
+#: ``memory_access`` calls in the loop (its issue/retire recurrence is
+#: real state, not foldable arithmetic — the ``gapw`` column then
+#: carries raw instruction gaps, not width-scaled floats). Core
+#: constants are literals, mirrored from OooCore/InOrderCore (the
+#: engine gate requires those exact types): PIPELINE_HIDE=2.0,
+#: NEAR_LATENCY=16, dep factors 0.22/0.08/0.02 at thresholds 2/8,
+#: L2_CLASS_EXPOSURE=0.45 (every dep factor is below it, so the
+#: oracle's max() is the constant), ROB absorb 0.4 and floor 0.04;
+#: in-order STORE_STALL_FRACTION=0.3 past 4 cycles, HIT_EXPOSURE=0.4
+#: at latency<=8, MISS_EXPOSURE=1.0.
 _LOOP_TEMPLATE = """\
 def _loop(rows, walks, walk_i, walker_walk, walk_base, asid, hit_lat,
-          wheres, stacks, dirty, fill, miss_access, miss_writeback,
-          line_shift, wp_penalty, mlp, rob_half, inv_w, width,
-          cyc, ld_stall, st_stall):
+          wheres, stacks, dirty, tags, n_ways, miss_access,
+          miss_writeback, line_shift, wp_penalty, mlp, rob_half,
+          inv_w, width, cyc, ld_stall, st_stall, retire,
+          memory_access):
     hits = 0
+    evics = 0
+    l1_wb = 0
     wp_pred = 0
     wp_corr = 0
     wp_sec = 0
     for gapw, is_write, dep, pa, line, sidx, lat, fast in rows:
+{DET}        retire(gapw)
         if lat < 0:
             ev = walks[walk_i]
             walk_i += 1
@@ -391,7 +713,8 @@ def _loop(rows, walks, walk_i, walker_walk, walk_base, asid, hit_lat,
             lat += ev[1]
 {WP}        st = stacks[sidx]
 {WP}        predicted = st[0] if fast else -1
-        way = wheres[sidx].get(line, -1)
+        w = wheres[sidx]
+        way = w.get(line, -1)
         if way >= 0:
             hits += 1
 {NOWP}            st = stacks[sidx]
@@ -408,13 +731,38 @@ def _loop(rows, walks, walk_i, walker_walk, walk_base, asid, hit_lat,
 {WP}                    wp_sec += 1
 {WP}                    lat += wp_penalty
         else:
-            res = fill(sidx, line, is_write)
+            # Inline SetAssociativeCache._fill over the live arrays
+            # (free-way scan, LRU victim, dirty write-back), with the
+            # eviction/writeback/fill counts delta-folded at flush.
+            # The where-dict holds exactly the occupied ways, so its
+            # size tells free-way vs eviction without scanning.
+            row = tags[sidx]
+{NOWP}            st = stacks[sidx]
+            drow = dirty[sidx]
+            if len(w) < n_ways:
+                fway = row.index(-1)
+                wb = -1
+            else:
+                fway = st[-1]
+                victim = row[fway]
+                if drow[fway]:
+                    wb = victim
+                    l1_wb += 1
+                else:
+                    wb = -1
+                evics += 1
+                del w[victim]
+            row[fway] = line
+            w[line] = fway
+            drow[fway] = is_write
+            if st[0] != fway:
+                st.remove(fway)
+                st.insert(0, fway)
             lat += miss_access(pa, is_write)
-            wb = res.writeback_line
-            if wb is not None:
+            if wb >= 0:
                 miss_writeback(wb, line_shift)
-        cyc += gapw
-        cyc += inv_w
+{ANA}        cyc += gapw
+{ANA}        cyc += inv_w
 {OOO}        if not is_write and lat > 2.0:
 {OOO}            exposed = lat - 2.0
 {OOO}            if lat <= 8:
@@ -442,21 +790,31 @@ def _loop(rows, walks, walk_i, walker_walk, walk_base, asid, hit_lat,
 {INO}                                                 else 1.0)
 {INO}            ld_stall += exposed
 {INO}            cyc += exposed
-    return (cyc, ld_stall, st_stall, hits, wp_pred, wp_corr, wp_sec,
-            walk_i)
+{DET}        memory_access(lat, is_write, dep)
+    return (cyc, ld_stall, st_stall, hits, evics, l1_wb,
+            wp_pred, wp_corr, wp_sec, walk_i)
 """
 
 _LOOP_CACHE: dict = {}
 
 
-def _compile_loop(ooo: bool, way_pred: bool) -> Callable:
-    """The residue loop for one (core-kind, way-prediction) pair."""
-    key = (ooo, way_pred)
+def _compile_loop(kind: str, way_pred: bool) -> Callable:
+    """The residue loop for one (core-kind, way-prediction) pair.
+
+    ``kind`` is ``"ooo"``/``"ino"`` (analytic stall arithmetic inlined
+    as literals) or ``"det"`` (the detailed core runs live inside the
+    loop; translation, speculation, latency, and the L1 arrays still
+    come from the precomputed streams).
+    """
+    key = (kind, way_pred)
     fn = _LOOP_CACHE.get(key)
     if fn is None:
         lines = []
         for line in _LOOP_TEMPLATE.splitlines():
-            for marker, keep in (("{OOO}", ooo), ("{INO}", not ooo),
+            for marker, keep in (("{OOO}", kind == "ooo"),
+                                 ("{INO}", kind == "ino"),
+                                 ("{ANA}", kind != "det"),
+                                 ("{DET}", kind == "det"),
                                  ("{WP}", way_pred),
                                  ("{NOWP}", not way_pred)):
                 if line.startswith(marker):
@@ -485,23 +843,29 @@ class KernelEngine:
     including its exceptions — byte-for-byte.
     """
 
-    def __init__(self, ctx, oracle, tlb_stream, spec_stream, columns,
-                 lat_parts, loop_fn):
+    def __init__(self, ctx, oracle, streams):
         self._ctx = ctx
         self._oracle = oracle
-        self._tlb_stream = tlb_stream
-        self._spec_stream = spec_stream
-        # columns: (gapw, is_write, dep, pa, line, sidx, lat, fast)
-        self._columns = columns
-        (self._walk_events, self._walk_pos, self._cum_pconf,
-         self._cum_inst, self._extra) = lat_parts
-        self._loop = loop_fn
+        self._tlb_stream = streams.ts
+        self._spec_stream = streams.ss
+        # columns: (gap, is_write, dep, pa, line, sidx, lat, fast) —
+        # gap is width-scaled floats for the analytic cores, raw
+        # instruction counts for the detailed core's live retire().
+        self._columns = streams.columns
+        self._walk_events = streams.walk_events
+        self._walk_pos = streams.walk_pos
+        self._cum_pconf = streams.cum_pconf
+        self._cum_inst = streams.cum_inst
+        self._extra = streams.extra
+        self._mp = streams.mp
+        self._detailed = streams.kind == "det"
         l1 = ctx.l1
+        self._loop = _compile_loop(streams.kind,
+                                   l1.way_predictor is not None)
         self._l1 = l1
         self._cache = l1.cache
         self._tlb = l1.tlb
         self._core = ctx.core
-        self._default_fast = l1._default_fast
         self._synced: Optional[int] = None
         self._fallback = False
         self._cursor = None
@@ -574,96 +938,136 @@ class KernelEngine:
         else:
             mlp = 1.0
             rob_half = 0.0
-        (cyc, ld_stall, st_stall, hits, wp_pred, wp_corr, wp_sec,
-         _walk_i) = self._loop(
+        mp = self._mp
+        if mp is not None:
+            miss_access, miss_writeback = mp[0], mp[1]
+        else:
+            miss_access = ctx._miss_access
+            miss_writeback = ctx._miss_writeback
+        (cyc, ld_stall, st_stall, hits, evics, l1_wb,
+         wp_pred, wp_corr, wp_sec, _walk_i) = self._loop(
             islice(it, end - start),
             self._walk_events, bisect_left(self._walk_pos, start),
             walker_walk, walk_base, ctx._page_table.asid,
             self._l1.hit_latency,
             cache._where, cache.policy._stacks, cache._dirty,
-            cache._fill, ctx._miss_access, ctx._miss_writeback,
+            cache._tags, cache.n_ways, miss_access, miss_writeback,
             ctx._line_shift,
             wp.mispredict_penalty if wp is not None else 0,
             mlp, rob_half, 1.0 / core.width, core.width,
             stats.cycles, stats.load_stall_cycles,
-            stats.store_stall_cycles)
-        stats.cycles = cyc
-        stats.load_stall_cycles = ld_stall
-        stats.store_stall_cycles = st_stall
+            stats.store_stall_cycles, ctx._retire, ctx._memory_access)
+        if not self._detailed:
+            # The detailed core updated its own stats live inside the
+            # loop; the analytic cores' arithmetic ran on locals.
+            stats.cycles = cyc
+            stats.load_stall_cycles = ld_stall
+            stats.store_stall_cycles = st_stall
         self._cursor = (end, it)
-        self._flush(start, end, hits, wp_pred, wp_corr, wp_sec)
+        self._flush(start, end, hits, evics, l1_wb,
+                    wp_pred, wp_corr, wp_sec)
 
-    def _flush(self, start: int, end: int, hits: int,
+    def _flush(self, start: int, end: int, hits: int, evics: int,
+               l1_wb: int,
                wp_pred: int, wp_corr: int, wp_sec: int) -> None:
         """Fold the range's counter deltas in and sync structures."""
-        ctx = self._ctx
-        d = end - start
-        ts = self._tlb_stream
-        tstats = self._tlb.stats
-        tstats.accesses += d
-        tstats.l1_hits += int(ts.cum_l1[end] - ts.cum_l1[start])
-        tstats.l2_hits += int(ts.cum_l2[end] - ts.cum_l2[start])
-        tstats.walks += int(ts.cum_walk[end] - ts.cum_walk[start])
-        cstats = self._cache.stats
-        cstats.accesses += d
-        cstats.hits += hits
-        cstats.misses += d - hits
-        self._core.stats.instructions += int(
-            self._cum_inst[end] - self._cum_inst[start])
-        ctx.port_conflicts += int(
-            self._cum_pconf[end] - self._cum_pconf[start])
-        ctx._port_busy = bool(self._extra[end - 1])
-        sstats = self._l1.stats
-        sstats.accesses += d
-        ss = self._spec_stream
-        if ss is not None:
-            fast_d = int(ss.cum_fast[end] - ss.cum_fast[start])
-            sstats.fast_accesses += fast_d
-            sstats.slow_accesses += d - fast_d
-            sstats.extra_l1_accesses += int(
-                ss.cum_extra[end] - ss.cum_extra[start])
-            if ss.cum_probes is None:
-                sstats.speculative_probes += d
-            else:
-                sstats.speculative_probes += int(
-                    ss.cum_probes[end] - ss.cum_probes[start])
-            outcomes = self._l1.outcomes
-            cums = ss.cum_outcomes
-            outcomes.correct_speculation += int(
-                cums[1][end] - cums[1][start])
-            outcomes.correct_bypass += int(cums[2][end] - cums[2][start])
-            outcomes.opportunity_loss += int(
-                cums[3][end] - cums[3][start])
-            outcomes.extra_access += int(cums[4][end] - cums[4][start])
-            outcomes.idb_hit += int(cums[5][end] - cums[5][start])
-            outcomes.extra_access_after_idb += int(
-                ss.cum_ea_via[end] - ss.cum_ea_via[start])
-            perc = self._l1.perceptron
-            if perc is not None:
-                perc.stats.predictions += d
-                perc.stats.correct += int(ss.corr[end] - ss.corr[start])
-            idb = self._l1.idb
-            if idb is not None:
-                idb_d = int(ss.cum_via[end] - ss.cum_via[start])
-                idb.stats.predictions += idb_d
-                idb.stats.updates += idb_d
-                idb.stats.hits += int(cums[5][end] - cums[5][start])
-        elif self._default_fast:
-            sstats.fast_accesses += d
+        if self._mp is not None:
+            self._mp[2]()
+        # Every L1 miss fills, so the loop doesn't count fills.
+        _fold_range(self._ctx, self._tlb_stream, self._spec_stream,
+                    self._cum_pconf, self._cum_inst, self._extra,
+                    start, end, hits, wp_pred, wp_corr, wp_sec,
+                    evics=evics, l1_wb=l1_wb,
+                    fills=(end - start) - hits,
+                    fold_instructions=not self._detailed)
+
+
+def _fold_range(ctx, ts, ss, cum_pconf, cum_inst, extra,
+                start: int, end: int, hits: int,
+                wp_pred: int, wp_corr: int, wp_sec: int,
+                evics: int = 0, l1_wb: int = 0, fills: int = 0,
+                fold_instructions: bool = True) -> None:
+    """Fold a replayed range's counter deltas in and sync structures.
+
+    Shared by :meth:`KernelEngine._flush` (after every chunk) and the
+    multicore engine (once per core when its first pass completes).
+    ``evics``/``l1_wb``/``fills`` come from the generated loop's
+    inlined L1 fill; the multicore residue fills through the live
+    ``_fill`` (which counts them itself) and passes zeros.
+    ``fold_instructions`` is False when the core model ran live inside
+    the loop (the detailed core, and every core under the multicore
+    engine) and already counted its own instructions and cycles.
+    """
+    l1 = ctx.l1
+    tlb = l1.tlb
+    d = end - start
+    tstats = tlb.stats
+    tstats.accesses += d
+    tstats.l1_hits += int(ts.cum_l1[end] - ts.cum_l1[start])
+    tstats.l2_hits += int(ts.cum_l2[end] - ts.cum_l2[start])
+    tstats.walks += int(ts.cum_walk[end] - ts.cum_walk[start])
+    cstats = l1.cache.stats
+    cstats.accesses += d
+    cstats.hits += hits
+    cstats.misses += d - hits
+    cstats.evictions += evics
+    cstats.writebacks += l1_wb
+    cstats.fills += fills
+    if fold_instructions:
+        ctx.core.stats.instructions += int(
+            cum_inst[end] - cum_inst[start])
+    ctx.port_conflicts += int(cum_pconf[end] - cum_pconf[start])
+    ctx._port_busy = bool(extra[end - 1])
+    sstats = l1.stats
+    sstats.accesses += d
+    if ss is not None:
+        fast_d = int(ss.cum_fast[end] - ss.cum_fast[start])
+        sstats.fast_accesses += fast_d
+        sstats.slow_accesses += d - fast_d
+        sstats.extra_l1_accesses += int(
+            ss.cum_extra[end] - ss.cum_extra[start])
+        if ss.cum_probes is None:
+            sstats.speculative_probes += d
         else:
-            sstats.slow_accesses += d
-        wp = self._l1.way_predictor
-        if wp is not None:
-            wp.stats.predictions += wp_pred
-            wp.stats.correct += wp_corr
-            wp.stats.second_accesses += wp_sec
-        # Structural sync: scratch streams to `end`, then copy onto the
-        # live objects so state_dict()/checkpoints see oracle state.
-        ts.advance(end)
-        _copy_tlb(ts.scratch, self._tlb)
-        if ss is not None and not ss.stateless:
-            ss.advance(end)
-            ss.copy_into(self._l1.perceptron, self._l1.idb)
+            sstats.speculative_probes += int(
+                ss.cum_probes[end] - ss.cum_probes[start])
+        outcomes = l1.outcomes
+        cums = ss.cum_outcomes
+        outcomes.correct_speculation += int(
+            cums[1][end] - cums[1][start])
+        outcomes.correct_bypass += int(cums[2][end] - cums[2][start])
+        outcomes.opportunity_loss += int(
+            cums[3][end] - cums[3][start])
+        outcomes.extra_access += int(cums[4][end] - cums[4][start])
+        outcomes.idb_hit += int(cums[5][end] - cums[5][start])
+        outcomes.extra_access_after_idb += int(
+            ss.cum_ea_via[end] - ss.cum_ea_via[start])
+        perc = l1.perceptron
+        if perc is not None:
+            perc.stats.predictions += d
+            perc.stats.correct += int(ss.corr[end] - ss.corr[start])
+        idb = l1.idb
+        if idb is not None:
+            idb_d = int(ss.cum_via[end] - ss.cum_via[start])
+            idb.stats.predictions += idb_d
+            idb.stats.updates += idb_d
+            idb.stats.hits += int(cums[5][end] - cums[5][start])
+    elif l1._default_fast:
+        sstats.fast_accesses += d
+    else:
+        sstats.slow_accesses += d
+    wp = l1.way_predictor
+    if wp is not None:
+        wp.stats.predictions += wp_pred
+        wp.stats.correct += wp_corr
+        wp.stats.second_accesses += wp_sec
+    # Structural sync: scratch streams to `end`, then copy onto the
+    # live objects so state_dict()/checkpoints see oracle state.
+    ts.advance(end)
+    _copy_tlb(ts.scratch, tlb)
+    if ss is not None and not ss.stateless:
+        ss.advance(end)
+        ss.copy_into(l1.perceptron, l1.idb)
 
 
 # ----------------------------------------------------------------------
@@ -679,38 +1083,71 @@ def make_engine(ctx, oracle) -> Optional[KernelEngine]:
     configurations the kernel does not model (subclassed cores,
     non-LRU replacement, PC way prediction, page-bound IDB) and for
     any trace whose streams fail to build (e.g. unmapped pages: the
-    oracle then raises the same fault the python path would).
+    oracle then raises the same fault the python path would). Every
+    ``None`` is counted under its reason in :data:`DECLINES`;
+    ``REPRO_KERNEL_DEBUG=1`` re-raises swallowed build exceptions
+    instead of declining, for diagnosis.
     """
     try:
         return _build(ctx, oracle)
-    except Exception:  # noqa: BLE001 — build failure means oracle
+    except Exception as exc:  # noqa: BLE001 — build failure means oracle
+        if os.environ.get("REPRO_KERNEL_DEBUG"):
+            raise
+        _decline(f"build-error:{type(exc).__name__}")
         return None
 
 
 def _build(ctx, oracle) -> Optional[KernelEngine]:
+    streams = _build_streams(ctx)
+    if isinstance(streams, str):
+        _decline(streams)
+        return None
+    return KernelEngine(ctx, oracle, streams)
+
+
+class _Streams:
+    """One context's precomputed artifacts, shared by both engines."""
+
+    __slots__ = ("kind", "ts", "ss", "columns", "walk_events",
+                 "walk_pos", "cum_pconf", "cum_inst", "extra", "mp")
+
+
+_CORE_KINDS = {OooCore: "ooo", InOrderCore: "ino",
+               DetailedOooCore: "det"}
+
+
+def _build_streams(ctx):
+    """Gate a context and build its streams; a str is a decline reason.
+
+    The shared front half of :func:`_build` (single-core) and
+    :func:`run_multicore_kernel`: the configuration gates with their
+    per-reason decline labels, then the memoized column/stream
+    construction.
+    """
     l1 = ctx.l1
     cache = l1.cache
     tlb = l1.tlb
     core = ctx.core
-    if type(core) not in (OooCore, InOrderCore):
-        return None
+    kind = _CORE_KINDS.get(type(core))
+    if kind is None:
+        return "core-type"
     if type(cache.policy) is not LruPolicy:
-        return None
+        return "l1-replacement-policy"
     if type(tlb) is not TlbHierarchy:
-        return None
+        return "tlb-type"
     wp = l1.way_predictor
     if wp is not None and type(wp) is not WayPredictor:
-        return None
+        return "way-predictor-type"
     if l1.idb is not None and l1.idb.page_bound:
-        return None
+        return "idb-page-bound"
     n = ctx._len
     if n == 0:
-        return None
+        return "empty-trace"
     trace = ctx.trace
     page_table = ctx._page_table
     gap_arr = np.asarray(trace.inst_gap, dtype=np.int64)
     if int(gap_arr.min()) < 0:
-        return None   # the oracle raises the retire() ValueError
+        return "negative-gap"   # the oracle raises the retire() ValueError
     cols = columns_for(trace)
     memo = cols.kernel_memo()
     asid = page_table.asid
@@ -767,22 +1204,29 @@ def _build(ctx, oracle) -> Optional[KernelEngine]:
         spec_key = ("nospec", l1._default_fast)
         ss = None
 
-    gapw_key = ("gapw", core.width)
-    gapw = memo.get(gapw_key)
-    if gapw is None:
-        width = core.width
-        seen: dict = {}
-        gapw = []
-        for g in ctx._gap:
-            w = seen.get(g)
-            if w is None:
-                w = seen[g] = g / width
-            gapw.append(w)
-        memo[gapw_key] = gapw
+    if kind == "det":
+        # The detailed core issues instructions live inside the loop:
+        # the gap column stays raw counts for retire(), and there is
+        # no instruction fold.
+        gapcol = ctx._gap
+        cum_inst = None
+    else:
+        gapw_key = ("gapw", core.width)
+        gapcol = memo.get(gapw_key)
+        if gapcol is None:
+            width = core.width
+            seen: dict = {}
+            gapcol = []
+            for g in ctx._gap:
+                w = seen.get(g)
+                if w is None:
+                    w = seen[g] = g / width
+                gapcol.append(w)
+            memo[gapw_key] = gapcol
 
-    cum_inst = memo.get("inst")
-    if cum_inst is None:
-        cum_inst = memo["inst"] = _cum(gap_arr + 1)
+        cum_inst = memo.get("inst")
+        if cum_inst is None:
+            cum_inst = memo["inst"] = _cum(gap_arr + 1)
 
     lat_key = ("lat", tlb_key, spec_key, l1.hit_latency,
                ctx._conflict_window, ctx._conflict_cycles)
@@ -819,10 +1263,219 @@ def _build(ctx, oracle) -> Optional[KernelEngine]:
             _cum(conflict), extra_arr)
     lat_list, fast_list, walk_events, cum_pconf, extra_arr = lat_bundle
 
-    columns = (gapw, ctx._is_write, ctx._dep, pa_list, line_list,
-               sidx_list, lat_list, fast_list)
-    loop_fn = _compile_loop(type(core) is OooCore, wp is not None)
-    return KernelEngine(
-        ctx, oracle, ts, ss, columns,
-        (walk_events, ts.walk_pos, cum_pconf, cum_inst, extra_arr),
-        loop_fn)
+    streams = _Streams()
+    streams.kind = kind
+    streams.ts = ts
+    streams.ss = ss
+    streams.columns = (gapcol, ctx._is_write, ctx._dep, pa_list,
+                       line_list, sidx_list, lat_list, fast_list)
+    streams.walk_events = walk_events
+    streams.walk_pos = ts.walk_pos
+    streams.cum_pconf = cum_pconf
+    streams.cum_inst = cum_inst
+    streams.extra = extra_arr
+    streams.mp = _compile_miss_path(ctx.miss_path)
+    if streams.mp is None:
+        # Not a decline — the engine still runs, servicing misses
+        # through the live python hierarchy — but counted so a
+        # silently-slower configuration can be diagnosed.
+        _decline("miss-path-live")
+    return streams
+
+
+# ----------------------------------------------------------------------
+# multicore engine
+# ----------------------------------------------------------------------
+
+class _McCore:
+    """One core's stream state inside the multicore engine.
+
+    The multicore residue keeps every core's *model* live
+    (``retire``/``memory_access`` — the analytic cores are cheap and
+    the detailed one is real recurrence state) and streams everything
+    else: precomputed translation/speculation/latency columns, array
+    L1 probes, and the compiled miss path over the shared LLC/DRAM
+    containers. A core that finishes its first pass is folded (stats
+    deltas plus structural sync) and demoted to the oracle's
+    ``ctx.step()`` for its recycled passes, so unequal trace lengths
+    degrade gracefully instead of declining the whole run.
+    """
+
+    __slots__ = ("ctx", "streams", "pos", "n", "walk_i", "hits",
+                 "wp_pred", "wp_corr", "wp_sec", "live",
+                 "gap", "is_write", "dep", "pa", "line", "sidx",
+                 "lat", "fast", "wheres", "stacks", "dirty", "fill",
+                 "miss_access", "miss_writeback", "line_shift",
+                 "retire", "memory_access", "walker_walk", "walk_base",
+                 "asid", "hit_lat", "wp_on", "wp_penalty")
+
+    def __init__(self, ctx, streams):
+        self.ctx = ctx
+        self.streams = streams
+        self.pos = 0
+        self.n = ctx._len
+        self.walk_i = 0
+        self.hits = 0
+        self.wp_pred = 0
+        self.wp_corr = 0
+        self.wp_sec = 0
+        self.live = False
+        (_, self.is_write, self.dep, self.pa, self.line,
+         self.sidx, self.lat, self.fast) = streams.columns
+        self.gap = ctx._gap
+        cache = ctx.l1.cache
+        self.wheres = cache._where
+        self.stacks = cache.policy._stacks
+        self.dirty = cache._dirty
+        self.fill = cache._fill
+        mp = streams.mp
+        if mp is not None:
+            self.miss_access, self.miss_writeback = mp[0], mp[1]
+        else:
+            self.miss_access = ctx._miss_access
+            self.miss_writeback = ctx._miss_writeback
+        self.line_shift = ctx._line_shift
+        self.retire = ctx._retire
+        self.memory_access = ctx._memory_access
+        tlb = ctx.l1.tlb
+        walker = tlb.walker
+        if walker is not None:
+            self.walker_walk = walker.walk
+        else:
+            fixed = tlb.walk_latency
+            self.walker_walk = lambda va, asid: fixed  # noqa: E731
+        self.walk_base = tlb.l1_latency + tlb.l2_latency
+        self.asid = ctx._page_table.asid
+        self.hit_lat = ctx.l1.hit_latency
+        wp = ctx.l1.way_predictor
+        self.wp_on = wp is not None
+        self.wp_penalty = wp.mispredict_penalty if wp is not None else 0
+
+    def verify_start(self) -> bool:
+        """Cold-start check, mirroring ``KernelEngine._verify`` at 0."""
+        ctx = self.ctx
+        ts = self.streams.ts
+        ss = self.streams.ss
+        try:
+            if _snap_tlb(ctx.l1.tlb) != ts.snap_at(0):
+                return False
+            if ss is not None and _snap_spec(
+                    ctx.l1.perceptron, ctx.l1.idb) != ss.snap_at(0):
+                return False
+            if bool(ctx._port_busy):
+                return False
+        except Exception:  # noqa: BLE001 — any doubt means oracle
+            return False
+        return True
+
+    def step_stream(self) -> None:
+        """One access via the streams (mirror of ``_CoreContext.step``)."""
+        i = self.pos
+        gap = self.gap[i]
+        is_write = self.is_write[i]
+        self.retire(gap)
+        lat = self.lat[i]
+        fast = self.fast[i]
+        if lat < 0:
+            ev = self.streams.walk_events[self.walk_i]
+            self.walk_i += 1
+            t = self.walk_base + self.walker_walk(ev[0], self.asid)
+            hit_lat = self.hit_lat
+            lat = ((hit_lat if hit_lat > t else t) if fast
+                   else t + hit_lat) + ev[1]
+        line = self.line[i]
+        sidx = self.sidx[i]
+        st = self.stacks[sidx]
+        predicted = (st[0] if fast else -1) if self.wp_on else -1
+        way = self.wheres[sidx].get(line, -1)
+        if way >= 0:
+            self.hits += 1
+            if st[0] != way:
+                st.remove(way)
+                st.insert(0, way)
+            if is_write:
+                self.dirty[sidx][way] = 1
+            if predicted >= 0:
+                self.wp_pred += 1
+                if predicted == way:
+                    self.wp_corr += 1
+                else:
+                    self.wp_sec += 1
+                    lat += self.wp_penalty
+        else:
+            res = self.fill(sidx, line, is_write)
+            lat += self.miss_access(self.pa[i], is_write)
+            wb = res.writeback_line
+            if wb is not None:
+                self.miss_writeback(wb, self.line_shift)
+        self.memory_access(lat, is_write, self.dep[i])
+        self.pos = i + 1
+        if self.pos == self.n:
+            self._graduate()
+
+    def _graduate(self) -> None:
+        """First pass done: fold stats, sync state, go live (step())."""
+        s = self.streams
+        if s.mp is not None:
+            s.mp[2]()
+        _fold_range(self.ctx, s.ts, s.ss, s.cum_pconf, s.cum_inst,
+                    s.extra, 0, self.n, self.hits, self.wp_pred,
+                    self.wp_corr, self.wp_sec, fold_instructions=False)
+        ctx = self.ctx
+        ctx.position = 0
+        ctx.completed_once = True
+        self.live = True
+
+
+class _McEngine:
+    """Round-robin multicore driver over per-core stream state."""
+
+    def __init__(self, cores: List[_McCore]):
+        self._cores = cores
+
+    def run(self) -> None:
+        cores = self._cores
+        contexts = [core.ctx for core in cores]
+        # Mirror of simulate_multicore's oracle loop: full rounds with
+        # the completion check between them, so shared LLC/DRAM state
+        # evolves in exactly the oracle's interleaving.
+        while not all(ctx.completed_once for ctx in contexts):
+            for core in cores:
+                if core.live:
+                    core.ctx.step()
+                else:
+                    core.step_stream()
+
+
+def run_multicore_kernel(contexts: Sequence) -> bool:
+    """Drive a whole multicore run through per-core streams.
+
+    Returns True when the run completed — every context then holds its
+    finished state, exactly as the oracle loop would have left it —
+    and False to decline, in which case nothing was mutated and the
+    caller falls back to the oracle loop from cold state. Cores share
+    the LLC and DRAM through their compiled miss paths (the same live
+    containers), the TLB/speculation streams are per-core (private
+    state), and the round-robin interleaving is the oracle's, so
+    shared-state evolution is byte-identical. Declines are counted
+    under ``multicore:``-prefixed reasons in :data:`DECLINES`.
+    """
+    cores = []
+    try:
+        for ctx in contexts:
+            streams = _build_streams(ctx)
+            if isinstance(streams, str):
+                _decline("multicore:" + streams)
+                return False
+            core = _McCore(ctx, streams)
+            if not core.verify_start():
+                _decline("multicore:start-state")
+                return False
+            cores.append(core)
+    except Exception as exc:  # noqa: BLE001 — build failure means oracle
+        if os.environ.get("REPRO_KERNEL_DEBUG"):
+            raise
+        _decline(f"multicore:build-error:{type(exc).__name__}")
+        return False
+    _McEngine(cores).run()
+    return True

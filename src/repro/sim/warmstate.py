@@ -22,9 +22,11 @@ from ``position == len(trace)``.
 Reuse rules (enforced by the driver, documented in
 ``docs/architecture.md``):
 
-* keyed by (trace content fingerprint, system name, access count) —
-  the same binding a checkpoint verifies, so a snapshot can never warm
-  a different trace or config;
+* keyed by (trace content fingerprint, system name, core kind, access
+  count) — the same binding a checkpoint verifies, so a snapshot can
+  never warm a different trace or config (the core kind is explicit
+  because ``ooo`` and ``ooo-detailed`` systems share a generated name
+  while their core components snapshot incompatible state);
 * disabled for runs with interval sampling, decision tracing, mid-sim
   checkpointing, or armed fault injection — those paths have
   side-channel outputs or intentional divergence a restored result
@@ -107,9 +109,9 @@ class WarmStateCache:
         self.directory = Path(directory) if directory else None
         self.result_store = store
         self.max_entries = max_entries
-        self._memory: "OrderedDict[Tuple[str, str, int], str]" = \
+        self._memory: "OrderedDict[Tuple[str, str, str, int], str]" = \
             OrderedDict()
-        self._results: "OrderedDict[Tuple[str, str, int], SimResult]" = \
+        self._results: "OrderedDict[Tuple[str, str, str, int], SimResult]" = \
             OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -128,10 +130,11 @@ class WarmStateCache:
         while len(layer) > self.max_entries:
             layer.popitem(last=False)
 
-    def _key(self, trace, system) -> Tuple[str, str, int]:
-        return (columns_for(trace).fingerprint, system.name, len(trace))
+    def _key(self, trace, system) -> Tuple[str, str, str, int]:
+        return (columns_for(trace).fingerprint, system.name, system.core,
+                len(trace))
 
-    def _path(self, key: Tuple[str, str, int]) -> Path:
+    def _path(self, key: Tuple[str, str, str, int]) -> Path:
         canon = canonical_json(list(key))
         tag = f"{zlib.crc32(canon.encode('utf-8')) & 0xFFFFFFFF:08x}"
         return self.directory / f"warm-{key[0]}-{tag}.json"
@@ -203,7 +206,7 @@ class WarmStateCache:
             self.result_store.store_state(
                 self.result_store.digest(trace, system), text)
 
-    def _result_path(self, key: Tuple[str, str, int]) -> Path:
+    def _result_path(self, key: Tuple[str, str, str, int]) -> Path:
         return self._path(key).with_suffix(".result.pkl")
 
     def fetch_result(self, trace, system) -> Optional[SimResult]:

@@ -45,6 +45,7 @@ import os
 import re
 import weakref
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from pathlib import Path
@@ -52,6 +53,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..envutil import env_int
 from ..mem.address import PAGE_SHIFT, PAGE_SIZE, page_number
 from ..mem.page_table import PageTable, PageTableEntry
 from .storage import ReplayProcess, flatten_page_table
@@ -77,6 +79,64 @@ def trace_fingerprint(trace: Trace) -> str:
     for name in RAW_COLUMNS:
         crc = zlib.crc32(getattr(trace, name).tobytes(), crc)
     return f"{crc & 0xFFFFFFFF:08x}"
+
+
+#: Default :class:`KernelMemo` capacity (entries, not bytes). One
+#: kernel stream set is a handful of entries (pa, addr, tlb, spec,
+#: gapw, inst, lat), so 64 holds several distinct configurations per
+#: trace while a long multi-geometry campaign evicts instead of
+#: pinning every stream it ever built. Mirrors ``DEFAULT_TRACE_CAP``
+#: in spirit; override with ``REPRO_KERNEL_MEMO``.
+DEFAULT_KERNEL_MEMO_CAP = 64
+
+
+class KernelMemo:
+    """LRU-bounded mapping for ``repro.sim.kernel`` stream memoization.
+
+    The kernel engine keys precomputed streams here by configuration
+    signature; a sweep touching many geometries/variants used to grow
+    the plain-dict memo without bound for the lifetime of the trace.
+    Only the two operations the kernel uses are offered (``get`` and
+    item assignment), both refreshing recency; eviction drops the
+    oldest entry, which simply rebuilds on next use. Engines hold
+    direct references to the streams they were built with, so evicting
+    an entry mid-run never invalidates a live engine.
+    """
+
+    __slots__ = ("_data", "max_entries")
+
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is None:
+            max_entries = env_int("REPRO_KERNEL_MEMO",
+                                  DEFAULT_KERNEL_MEMO_CAP)
+        if max_entries < 1:
+            from ..errors import ConfigError
+            raise ConfigError(
+                f"kernel memo capacity must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key, default=None):
+        """Mapping get; a hit refreshes the entry's recency."""
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+            return data[key]
+        return default
+
+    def __setitem__(self, key, value) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        while len(data) > self.max_entries:
+            data.popitem(last=False)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
 
 
 class TraceColumns:
@@ -107,7 +167,7 @@ class TraceColumns:
         self._index_delta: Optional[np.ndarray] = None
         self._fingerprint = fingerprint
         self._lists: Optional[Tuple[list, list, list, list, list]] = None
-        self._kernel: Optional[dict] = None
+        self._kernel: Optional[KernelMemo] = None
 
     @property
     def vpn(self) -> np.ndarray:
@@ -173,19 +233,23 @@ class TraceColumns:
                            trace.dep_dist.tolist())
         return self._lists
 
-    def kernel_memo(self) -> dict:
+    def kernel_memo(self) -> KernelMemo:
         """Per-trace scratch store for ``repro.sim.kernel`` streams.
 
         The kernel engine precomputes per-access streams (TLB
-        classification, speculation outcomes, address columns) that
-        depend only on this trace's content plus a small configuration
-        signature. Keying them here gives them exactly the lifetime and
-        sharing the ``lists()`` conversions already have: every cell,
-        repeat, or resumed run replaying the same trace object in this
-        process builds each stream once.
+        classification, speculation outcomes, address columns,
+        miss-path latency bundles) that depend only on this trace's
+        content plus a small configuration signature. Keying them here
+        gives them exactly the lifetime and sharing the ``lists()``
+        conversions already have: every cell, repeat, or resumed run
+        replaying the same trace object in this process builds each
+        stream once. The store is LRU-bounded (:class:`KernelMemo`,
+        ``REPRO_KERNEL_MEMO``) so a campaign sweeping many
+        configurations recycles slots instead of growing per trace
+        without bound.
         """
         if self._kernel is None:
-            self._kernel = {}
+            self._kernel = KernelMemo()
         return self._kernel
 
     def spec_change_fraction(self, index_bits: int) -> float:

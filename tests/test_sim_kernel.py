@@ -2,15 +2,19 @@
 
 ``repro.sim.kernel`` must be *byte-identical* to the pure-python
 replay loop — the python path is its differential oracle. These tests
-enforce that on a grid of configurations (geometries, variants, cores,
-way prediction, memory conditions), through every chunked-replay shape
-(interval sampling, checkpointing, crash/resume), and via a
-hypothesis fuzz that drives randomized short traces through all three
-replay implementations (``_CoreContext.step``, ``_replay_range``, the
-kernel) at once.
+enforce that on a grid of configurations (geometries, variants, cores
+including ``ooo-detailed``, way prediction, memory conditions),
+through every chunked-replay shape (interval sampling, checkpointing,
+crash/resume), and via hypothesis fuzzes that drive randomized short
+traces through all three replay implementations
+(``_CoreContext.step``, ``_replay_range``, the kernel) at once —
+single-core and randomized multicore trace sets over the shared
+LLC/DRAM miss path.
 
-Also covers this PR's satellite fixes: the O(n) chunked-replay cursor
-in ``_replay_range`` and the ``ConfigError`` boundary for malformed
+Also covers the kernel's observability satellites: per-reason decline
+counters, the ``REPRO_KERNEL_DEBUG`` build-error re-raise, the
+LRU-bounded stream memo, the O(n) chunked-replay cursor in
+``_replay_range``, and the ``ConfigError`` boundary for malformed
 integer environment overrides.
 """
 
@@ -33,7 +37,12 @@ from repro.sim import (
     run_app,
     simulate,
 )
-from repro.sim.driver import _CoreContext, _replay_range
+from repro.sim import kernel as kernel_mod
+from repro.sim.driver import (
+    _CoreContext,
+    _replay_range,
+    simulate_multicore,
+)
 from repro.sim.experiment import _env_int
 from repro.sim.faults import (
     WorkerCrash,
@@ -42,7 +51,8 @@ from repro.sim.faults import (
     clear_armed,
     parse_fault,
 )
-from repro.sim.kernel import make_engine
+from repro.sim.kernel import decline_counts, make_engine
+from repro.workloads.substrate import KernelMemo
 from repro.workloads.trace import MemoryCondition
 
 CACHE = TraceCache()
@@ -70,6 +80,7 @@ def _grid():
         ("bypass", ooo_system(replace(cfg, variant=SiptVariant.BYPASS))),
         ("waypred", ooo_system(replace(cfg, way_prediction=True))),
         ("inorder", inorder_system(cfg)),
+        ("ooo-detailed", replace(ooo_system(cfg), core="ooo-detailed")),
         ("vipt-baseline", ooo_system(BASELINE_L1)),
         ("64K_4w", ooo_system(SIPT_GEOMETRIES["64K_4w"])),
     ]
@@ -109,16 +120,67 @@ def test_kernel_engages_and_stays_synced():
     assert engine._synced == ctx._len
 
 
-def test_kernel_declines_unsupported_core_and_still_matches():
-    """ooo-detailed is outside the envelope: engine=None, oracle runs."""
+def test_kernel_accepts_ooo_detailed_core():
+    """ooo-detailed rides the kernel: core model live, streams hot."""
     system = replace(ooo_system(SIPT_GEOMETRIES["32K_2w"]),
                      core="ooo-detailed")
     trace = CACHE.get("perlbench", N)
     ctx = _CoreContext(system, trace)
+    engine = make_engine(ctx, _replay_range)
+    assert engine is not None
+    engine.replay(ctx, 0, ctx._len)
+    assert engine._fallback is False
+    assert engine._synced == ctx._len
+
+
+def test_kernel_declines_are_counted_by_reason():
+    """An out-of-envelope config declines observably and still matches."""
+    cfg = replace(SIPT_GEOMETRIES["32K_2w"], page_bound_idb=True)
+    system = ooo_system(cfg)
+    trace = CACHE.get("perlbench", N)
+    ctx = _CoreContext(system, trace)
+    before = decline_counts().get("idb-page-bound", 0)
     assert make_engine(ctx, _replay_range) is None
+    assert decline_counts()["idb-page-bound"] == before + 1
     python = simulate(trace, system)
     kernel = simulate(trace, system, engine="kernel")
     assert fingerprint(kernel) == fingerprint(python)
+    assert decline_counts()["idb-page-bound"] == before + 2
+
+
+def test_kernel_debug_reraises_build_errors(monkeypatch):
+    """REPRO_KERNEL_DEBUG=1 surfaces a swallowed build exception."""
+    system = ooo_system(SIPT_GEOMETRIES["32K_2w"])
+    trace = CACHE.get("perlbench", N)
+
+    def boom(kind, way_pred):
+        raise RuntimeError("forced build failure")
+
+    monkeypatch.setattr(kernel_mod, "_compile_loop", boom)
+    before = decline_counts().get("build-error:RuntimeError", 0)
+    assert make_engine(_CoreContext(system, trace),
+                       _replay_range) is None
+    assert decline_counts()["build-error:RuntimeError"] == before + 1
+    monkeypatch.setenv("REPRO_KERNEL_DEBUG", "1")
+    with pytest.raises(RuntimeError, match="forced build failure"):
+        make_engine(_CoreContext(system, trace), _replay_range)
+
+
+def test_kernel_memo_is_lru_bounded(monkeypatch):
+    """The stream memo evicts LRU at capacity instead of growing."""
+    memo = KernelMemo(max_entries=2)
+    memo["a"] = 1
+    memo["b"] = 2
+    assert memo.get("a") == 1      # refreshes "a": "b" is now LRU
+    memo["c"] = 3
+    assert len(memo) == 2
+    assert memo.get("b") is None
+    assert memo.get("a") == 1 and memo.get("c") == 3
+    monkeypatch.setenv("REPRO_KERNEL_MEMO", "5")
+    assert KernelMemo().max_entries == 5
+    monkeypatch.setenv("REPRO_KERNEL_MEMO", "0")
+    with pytest.raises(ConfigError, match="memo capacity"):
+        KernelMemo()
 
 
 def test_kernel_interval_series_identical():
@@ -249,6 +311,19 @@ _FUZZ_SYSTEMS = {
                                   way_prediction=True)),
     "inorder-small": inorder_system(replace(SIPT_GEOMETRIES["32K_2w"],
                                             capacity=8 * 1024)),
+    # Small L1 *and* small L2/LLC: misses cascade write-backs through
+    # every level and churn the DRAM row buffers inside the compiled
+    # miss path.
+    "combined-deep": replace(
+        ooo_system(replace(SIPT_GEOMETRIES["32K_2w"],
+                           capacity=8 * 1024),
+                   llc_capacity=128 * 1024),
+        l2_capacity=32 * 1024),
+    "detailed-small": replace(
+        ooo_system(replace(SIPT_GEOMETRIES["32K_2w"],
+                           capacity=8 * 1024),
+                   llc_capacity=256 * 1024),
+        core="ooo-detailed", l2_capacity=32 * 1024),
 }
 
 
@@ -279,3 +354,71 @@ def test_fuzz_three_replay_paths_agree(app, system_name, condition,
     want = fingerprint(stepped.result())
     assert fingerprint(fused.result()) == want
     assert fingerprint(kernel) == want
+
+
+# ---------------------------------------------------------------------
+# Differential fuzz: multicore over the shared LLC/DRAM miss path
+# ---------------------------------------------------------------------
+
+_MC_FUZZ_SYSTEMS = {
+    "ooo": replace(
+        ooo_system(replace(SIPT_GEOMETRIES["32K_2w"],
+                           capacity=8 * 1024),
+                   llc_capacity=256 * 1024),
+        l2_capacity=32 * 1024),
+    "ooo-detailed": replace(
+        ooo_system(replace(SIPT_GEOMETRIES["32K_2w"],
+                           capacity=8 * 1024),
+                   llc_capacity=256 * 1024),
+        core="ooo-detailed", l2_capacity=32 * 1024),
+    "inorder": inorder_system(replace(SIPT_GEOMETRIES["32K_2w"],
+                                      capacity=8 * 1024),
+                              llc_capacity=128 * 1024),
+}
+
+
+@pytest.mark.parametrize("kind", sorted(_MC_FUZZ_SYSTEMS))
+def test_multicore_kernel_accepted_and_identical(kind):
+    """Per-core results byte-identical; the streams path engages.
+
+    Unequal trace lengths force one core to graduate and recycle live
+    while the other still streams, covering the fold/demote path.
+    """
+    system = _MC_FUZZ_SYSTEMS[kind]
+    traces = [CACHE.get("mcf", 1500, seed=1),
+              CACHE.get("calculix", 900, seed=2)]
+    python = [fingerprint(r)
+              for r in simulate_multicore(traces, system)]
+    before = sum(n for k, n in decline_counts().items()
+                 if k.startswith("multicore:"))
+    kernel = [fingerprint(r)
+              for r in simulate_multicore(traces, system,
+                                          engine="kernel")]
+    after = sum(n for k, n in decline_counts().items()
+                if k.startswith("multicore:"))
+    assert kernel == python
+    assert after == before, "multicore kernel declined unexpectedly"
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.sampled_from(sorted(_MC_FUZZ_SYSTEMS)),
+       st.sampled_from([2, 4]),
+       st.integers(min_value=0, max_value=3),
+       st.integers(min_value=120, max_value=500))
+def test_fuzz_multicore_kernel_matches_python(kind, n_cores, seed, n):
+    """Shared-state interleaving is byte-identical across engines.
+
+    The small per-level capacities drive write-back cascades and DRAM
+    row-buffer traffic through the shared containers; staggered
+    lengths mix streaming and recycled-live cores in one round-robin.
+    """
+    system = _MC_FUZZ_SYSTEMS[kind]
+    apps = ["mcf", "calculix", "povray", "libquantum"]
+    traces = [CACHE.get(apps[i], n + 73 * i, seed=seed + i)
+              for i in range(n_cores)]
+    python = [fingerprint(r)
+              for r in simulate_multicore(traces, system)]
+    kernel = [fingerprint(r)
+              for r in simulate_multicore(traces, system,
+                                          engine="kernel")]
+    assert kernel == python

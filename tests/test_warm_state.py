@@ -97,6 +97,27 @@ def test_warm_cache_for_memoizes_per_directory(tmp_path):
     assert warm_cache_for(tmp_path) is not warm_cache_for(tmp_path / "x")
 
 
+def test_core_kinds_do_not_share_warm_entries(trace, tmp_path):
+    """ooo and ooo-detailed share a generated system name but snapshot
+    incompatible core state; the cache key must keep them apart.
+
+    Regression: a `--cores ooo,ooo-detailed` sweep warmed the detailed
+    cells from the plain-ooo snapshot and every detailed cell died in
+    ``DetailedOooCore.load_state_dict`` (KeyError: 'index')."""
+    from dataclasses import replace
+    from repro.sim import ooo_system
+    ooo = ooo_system(SIPT_GEOMETRIES["32K_2w"])
+    detailed = replace(ooo, core="ooo-detailed")
+    assert ooo.name == detailed.name  # the collision this test pins
+    cache = WarmStateCache(tmp_path)
+    plain = simulate(trace, ooo, warm_state=cache)
+    assert cache.fetch(trace, detailed) is None
+    cold = simulate(trace, detailed)
+    warm = simulate(trace, detailed, warm_state=cache)
+    assert warm.cycles == cold.cycles
+    assert warm.cycles != plain.cycles  # detailed model really ran
+
+
 # ---------------------------------------------------------------------
 # End-to-end identity: warm reuse must not change a single byte
 # ---------------------------------------------------------------------
